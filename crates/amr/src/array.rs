@@ -1,0 +1,166 @@
+//! Dense 3-D arrays in the layout ENZO's files use: row-major with x the
+//! fastest-varying dimension (paper Fig. 5), indexed `(z, y, x)`.
+
+/// A dense 3-D array of `f32` cell data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Array3 {
+    dims: [usize; 3], // (nz, ny, nx)
+    data: Vec<f32>,
+}
+
+impl Array3 {
+    pub fn zeros(dims: [usize; 3]) -> Array3 {
+        Array3 {
+            dims,
+            data: vec![0.0; dims[0] * dims[1] * dims[2]],
+        }
+    }
+
+    pub fn from_fn(dims: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> f32) -> Array3 {
+        let mut a = Array3::zeros(dims);
+        for z in 0..dims[0] {
+            for y in 0..dims[1] {
+                for x in 0..dims[2] {
+                    let v = f(z, y, x);
+                    a.set(z, y, x, v);
+                }
+            }
+        }
+        a
+    }
+
+    pub fn from_vec(dims: [usize; 3], data: Vec<f32>) -> Array3 {
+        assert_eq!(data.len(), dims[0] * dims[1] * dims[2]);
+        Array3 { dims, data }
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(z < self.dims[0] && y < self.dims[1] && x < self.dims[2]);
+        (z * self.dims[1] + y) * self.dims[2] + x
+    }
+
+    #[inline]
+    pub fn get(&self, z: usize, y: usize, x: usize) -> f32 {
+        self.data[self.idx(z, y, x)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, z: usize, y: usize, x: usize, v: f32) {
+        let i = self.idx(z, y, x);
+        self.data[i] = v;
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Serialize to little-endian bytes (the on-file representation).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn from_bytes(dims: [usize; 3], bytes: &[u8]) -> Array3 {
+        assert_eq!(bytes.len(), dims[0] * dims[1] * dims[2] * 4);
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Array3 { dims, data }
+    }
+
+    /// Extract the packed subarray `[start, start+size)` (row-major).
+    pub fn extract(&self, start: [usize; 3], size: [usize; 3]) -> Array3 {
+        let mut out = Array3::zeros(size);
+        for z in 0..size[0] {
+            for y in 0..size[1] {
+                let src0 = self.idx(start[0] + z, start[1] + y, start[2]);
+                let dst0 = (z * size[1] + y) * size[2];
+                out.data[dst0..dst0 + size[2]]
+                    .copy_from_slice(&self.data[src0..src0 + size[2]]);
+            }
+        }
+        out
+    }
+
+    /// Write `sub` into this array at `start`.
+    pub fn insert(&mut self, start: [usize; 3], sub: &Array3) {
+        let size = sub.dims;
+        for z in 0..size[0] {
+            for y in 0..size[1] {
+                let dst0 = self.idx(start[0] + z, start[1] + y, start[2]);
+                let src0 = (z * size[1] + y) * size[2];
+                self.data[dst0..dst0 + size[2]]
+                    .copy_from_slice(&sub.data[src0..src0 + size[2]]);
+            }
+        }
+    }
+
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|v| *v as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_layout_is_x_fastest() {
+        let a = Array3::from_fn([2, 3, 4], |z, y, x| (z * 100 + y * 10 + x) as f32);
+        assert_eq!(a.as_slice()[0], 0.0);
+        assert_eq!(a.as_slice()[1], 1.0); // x moves first
+        assert_eq!(a.as_slice()[4], 10.0); // then y
+        assert_eq!(a.as_slice()[12], 100.0); // then z
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = Array3::from_fn([3, 3, 3], |z, y, x| (z + y + x) as f32 * 0.5);
+        let b = Array3::from_bytes([3, 3, 3], &a.to_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip() {
+        let a = Array3::from_fn([4, 4, 4], |z, y, x| (z * 16 + y * 4 + x) as f32);
+        let sub = a.extract([1, 2, 0], [2, 2, 4]);
+        assert_eq!(sub.get(0, 0, 0), a.get(1, 2, 0));
+        assert_eq!(sub.get(1, 1, 3), a.get(2, 3, 3));
+        let mut b = Array3::zeros([4, 4, 4]);
+        b.insert([1, 2, 0], &sub);
+        assert_eq!(b.get(2, 3, 3), a.get(2, 3, 3));
+        assert_eq!(b.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Array3::from_fn([2, 2, 2], |z, y, x| (z + y + x) as f32);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.sum(), 12.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Grid-to-processor assignment (the load-balance optimization of
+//! Lan/Taylor/Bryan the paper cites): longest-processing-time (LPT)
+//! greedy placement by estimated work.
+
+/// Assign `work[i]` items to `nranks` bins; returns the owner of each
+/// item. Deterministic: ties broken by lower rank, items by index.
+pub fn lpt_assign(work: &[u64], nranks: usize) -> Vec<usize> {
+    assert!(nranks > 0);
+    let mut order: Vec<usize> = (0..work.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse((work[i], std::cmp::Reverse(i))));
+    let mut load = vec![0u64; nranks];
+    let mut owner = vec![0usize; work.len()];
+    for i in order {
+        let r = (0..nranks).min_by_key(|&r| (load[r], r)).unwrap();
+        owner[i] = r;
+        load[r] += work[i];
+    }
+    owner
+}
+
+/// Maximum over minimum bin load (1.0 = perfectly balanced).
+pub fn imbalance(work: &[u64], owner: &[usize], nranks: usize) -> f64 {
+    let mut load = vec![0u64; nranks];
+    for (w, o) in work.iter().zip(owner) {
+        load[*o] += w;
+    }
+    let max = *load.iter().max().unwrap_or(&0) as f64;
+    let avg = load.iter().sum::<u64>() as f64 / nranks as f64;
+    if avg == 0.0 {
+        1.0
+    } else {
+        max / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_work_spreads_evenly() {
+        let work = vec![10u64; 8];
+        let owner = lpt_assign(&work, 4);
+        let mut counts = [0; 4];
+        for o in &owner {
+            counts[*o] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+        assert!((imbalance(&work, &owner, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpt_beats_naive_on_skewed_work() {
+        let work = vec![100, 1, 1, 1, 1, 1, 1, 1];
+        let owner = lpt_assign(&work, 2);
+        // The big item is alone; the small ones share the other bin.
+        let big_owner = owner[0];
+        assert!(owner[1..].iter().all(|o| *o != big_owner));
+    }
+
+    #[test]
+    fn more_ranks_than_items() {
+        let owner = lpt_assign(&[5, 3], 8);
+        assert_eq!(owner.len(), 2);
+        assert_ne!(owner[0], owner[1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let work: Vec<u64> = (0..50).map(|i| (i * 37) % 17 + 1).collect();
+        assert_eq!(lpt_assign(&work, 7), lpt_assign(&work, 7));
+    }
+
+    #[test]
+    fn empty_work() {
+        assert!(lpt_assign(&[], 3).is_empty());
+        assert_eq!(imbalance(&[], &[], 3), 1.0);
+    }
+}

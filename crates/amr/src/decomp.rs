@@ -1,0 +1,192 @@
+//! Domain decomposition: the `(Block, Block, Block)` partition of a grid
+//! over a 3-D processor mesh (paper Fig. 4) and the processor-mesh
+//! factorization.
+
+use crate::grid::CellBox;
+
+/// Factor `p` into a 3-D processor mesh `(pz, py, px)` as close to cubic
+/// as possible (largest factors to the slowest dimension).
+pub fn factor3(p: usize) -> [u64; 3] {
+    assert!(p > 0);
+    let mut best = [p as u64, 1, 1];
+    let mut best_score = u64::MAX;
+    let p64 = p as u64;
+    let mut a = 1;
+    while a * a * a <= p64 {
+        if p64.is_multiple_of(a) {
+            let rest = p64 / a;
+            let mut b = a;
+            while b * b <= rest {
+                if rest.is_multiple_of(b) {
+                    let c = rest / b;
+                    // score: surface-to-volume proxy — prefer balanced.
+                    let score = (c - a) + (c - b);
+                    if score < best_score {
+                        best_score = score;
+                        best = [c, b, a];
+                    }
+                }
+                b += 1;
+            }
+        }
+        a += 1;
+    }
+    best
+}
+
+/// Even block bounds: `[start, end)` of block `i` of `p` over `n` cells.
+pub fn block_bounds(n: u64, p: u64, i: u64) -> (u64, u64) {
+    assert!(i < p);
+    let base = n / p;
+    let rem = n % p;
+    let start = i * base + i.min(rem);
+    let len = base + u64::from(i < rem);
+    (start, start + len)
+}
+
+/// A `(Block, Block, Block)` decomposition of a box over `p` ranks.
+#[derive(Clone, Debug)]
+pub struct BlockDecomp {
+    pub mesh: [u64; 3],
+    pub bbox: CellBox,
+}
+
+impl BlockDecomp {
+    pub fn new(bbox: CellBox, nranks: usize) -> BlockDecomp {
+        BlockDecomp {
+            mesh: factor3(nranks),
+            bbox,
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        (self.mesh[0] * self.mesh[1] * self.mesh[2]) as usize
+    }
+
+    /// Rank index -> mesh coordinates (z, y, x).
+    pub fn coords(&self, rank: usize) -> [u64; 3] {
+        let r = rank as u64;
+        [
+            r / (self.mesh[1] * self.mesh[2]),
+            (r / self.mesh[2]) % self.mesh[1],
+            r % self.mesh[2],
+        ]
+    }
+
+    /// The sub-box of `bbox` owned by `rank`.
+    pub fn slab(&self, rank: usize) -> CellBox {
+        let c = self.coords(rank);
+        let size = self.bbox.size();
+        let mut lo = [0u64; 3];
+        let mut hi = [0u64; 3];
+        for d in 0..3 {
+            let (s, e) = block_bounds(size[d], self.mesh[d], c[d]);
+            lo[d] = self.bbox.lo[d] + s;
+            hi[d] = self.bbox.lo[d] + e;
+        }
+        CellBox::new(lo, hi)
+    }
+
+    /// Which rank owns a cell (must lie inside `bbox`).
+    pub fn owner_of_cell(&self, cell: [u64; 3]) -> usize {
+        let size = self.bbox.size();
+        let mut coord = [0u64; 3];
+        for d in 0..3 {
+            let rel = cell[d] - self.bbox.lo[d];
+            // Invert block_bounds: scan is fine for small meshes.
+            let mut c = 0;
+            while block_bounds(size[d], self.mesh[d], c).1 <= rel {
+                c += 1;
+            }
+            coord[d] = c;
+        }
+        ((coord[0] * self.mesh[1] + coord[1]) * self.mesh[2] + coord[2]) as usize
+    }
+
+    /// Which rank owns a normalized position in [0,1)³ relative to the
+    /// full box (used for the irregular particle partition).
+    pub fn owner_of_pos(&self, pos: [f64; 3], level_n: [u64; 3]) -> usize {
+        let mut cell = [0u64; 3];
+        for d in 0..3 {
+            let c = (pos[d] * level_n[d] as f64).floor() as i64;
+            cell[d] = c.clamp(self.bbox.lo[d] as i64, self.bbox.hi[d] as i64 - 1) as u64;
+        }
+        self.owner_of_cell(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor3_balanced() {
+        assert_eq!(factor3(8), [2, 2, 2]);
+        assert_eq!(factor3(64), [4, 4, 4]);
+        assert_eq!(factor3(32), [4, 4, 2]);
+        assert_eq!(factor3(1), [1, 1, 1]);
+        assert_eq!(factor3(7), [7, 1, 1]);
+        let f = factor3(12);
+        assert_eq!(f.iter().product::<u64>(), 12);
+    }
+
+    #[test]
+    fn block_bounds_cover_exactly() {
+        for (n, p) in [(64u64, 4u64), (10, 3), (7, 7), (100, 6)] {
+            let mut prev = 0;
+            for i in 0..p {
+                let (s, e) = block_bounds(n, p, i);
+                assert_eq!(s, prev);
+                assert!(e >= s);
+                prev = e;
+            }
+            assert_eq!(prev, n);
+        }
+    }
+
+    #[test]
+    fn slabs_partition_the_box() {
+        let d = BlockDecomp::new(CellBox::cube(64), 8);
+        let total: u64 = (0..8).map(|r| d.slab(r).cells()).sum();
+        assert_eq!(total, 64 * 64 * 64);
+        // Slabs are disjoint.
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                assert!(d.slab(a).intersect(&d.slab(b)).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn owner_matches_slab() {
+        let d = BlockDecomp::new(CellBox::cube(16), 8);
+        for r in 0..8 {
+            let s = d.slab(r);
+            assert_eq!(d.owner_of_cell(s.lo), r);
+            let last = [s.hi[0] - 1, s.hi[1] - 1, s.hi[2] - 1];
+            assert_eq!(d.owner_of_cell(last), r);
+        }
+    }
+
+    #[test]
+    fn position_owner_consistent_with_cell_owner() {
+        let d = BlockDecomp::new(CellBox::cube(16), 4);
+        let n = [16, 16, 16];
+        for &(x, y, z) in &[(0.1, 0.2, 0.3), (0.9, 0.9, 0.05), (0.5, 0.5, 0.5)] {
+            let pos = [z, y, x];
+            let cell = [
+                (z * 16.0) as u64,
+                (y * 16.0) as u64,
+                (x * 16.0) as u64,
+            ];
+            assert_eq!(d.owner_of_pos(pos, n), d.owner_of_cell(cell));
+        }
+    }
+
+    #[test]
+    fn non_cubic_box_decomposes() {
+        let d = BlockDecomp::new(CellBox::new([0, 0, 0], [8, 16, 32]), 4);
+        let total: u64 = (0..4).map(|r| d.slab(r).cells()).sum();
+        assert_eq!(total, 8 * 16 * 32);
+    }
+}

@@ -1,0 +1,20 @@
+//! `amrio-amr` — the structured adaptive-mesh-refinement substrate:
+//! dense 3-D field arrays, particle sets, grid patches and the replicated
+//! hierarchy, `(Block, Block, Block)` domain decomposition,
+//! Berger–Rigoutsos-style refinement clustering, LPT load balancing, and
+//! a toy clustering solver that drives adaptive, irregular refinement.
+
+pub mod array;
+pub mod balance;
+pub mod decomp;
+pub mod grid;
+pub mod particles;
+pub mod refine;
+pub mod solver;
+
+pub use array::Array3;
+pub use balance::{imbalance, lpt_assign};
+pub use decomp::{block_bounds, factor3, BlockDecomp};
+pub use grid::{CellBox, GridMeta, GridPatch, Hierarchy, BARYON_FIELDS, NUM_FIELDS};
+pub use particles::{bytes_per_particle, ParticleSet, NUM_ATTRS, PARTICLE_ARRAYS};
+pub use refine::{cluster, ClusterParams};

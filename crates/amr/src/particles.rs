@@ -1,0 +1,280 @@
+//! Particle data: the irregular half of ENZO's grid payload.
+//!
+//! A particle carries the arrays the paper enumerates: ID, position,
+//! velocity, mass, and extra attributes. They are stored as a struct of
+//! arrays because the file formats store *one 1-D dataset per array*, in
+//! a fixed order, and partition them by particle position (paper Fig. 4).
+
+/// Number of extra per-particle attribute arrays (e.g. creation time,
+/// metallicity).
+pub const NUM_ATTRS: usize = 2;
+
+/// Names and element widths of the particle datasets in their fixed file
+/// order.
+pub const PARTICLE_ARRAYS: [(&str, u64); 10] = [
+    ("particle_id", 8),
+    ("particle_position_x", 8),
+    ("particle_position_y", 8),
+    ("particle_position_z", 8),
+    ("particle_velocity_x", 4),
+    ("particle_velocity_y", 4),
+    ("particle_velocity_z", 4),
+    ("particle_mass", 4),
+    ("particle_attr0", 4),
+    ("particle_attr1", 4),
+];
+
+/// Bytes per particle across all arrays.
+pub fn bytes_per_particle() -> u64 {
+    PARTICLE_ARRAYS.iter().map(|(_, w)| w).sum()
+}
+
+/// A set of particles, struct-of-arrays.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParticleSet {
+    pub id: Vec<i64>,
+    pub pos: [Vec<f64>; 3],
+    pub vel: [Vec<f32>; 3],
+    pub mass: Vec<f32>,
+    pub attrs: [Vec<f32>; NUM_ATTRS],
+}
+
+impl ParticleSet {
+    pub fn new() -> ParticleSet {
+        ParticleSet::default()
+    }
+
+    pub fn with_capacity(n: usize) -> ParticleSet {
+        ParticleSet {
+            id: Vec::with_capacity(n),
+            pos: std::array::from_fn(|_| Vec::with_capacity(n)),
+            vel: std::array::from_fn(|_| Vec::with_capacity(n)),
+            mass: Vec::with_capacity(n),
+            attrs: std::array::from_fn(|_| Vec::with_capacity(n)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    pub fn push(&mut self, id: i64, pos: [f64; 3], vel: [f32; 3], mass: f32, attrs: [f32; NUM_ATTRS]) {
+        self.id.push(id);
+        for d in 0..3 {
+            self.pos[d].push(pos[d]);
+            self.vel[d].push(vel[d]);
+        }
+        self.mass.push(mass);
+        for (a, v) in self.attrs.iter_mut().zip(attrs) {
+            a.push(v);
+        }
+    }
+
+    pub fn get(&self, i: usize) -> (i64, [f64; 3], [f32; 3], f32, [f32; NUM_ATTRS]) {
+        (
+            self.id[i],
+            [self.pos[0][i], self.pos[1][i], self.pos[2][i]],
+            [self.vel[0][i], self.vel[1][i], self.vel[2][i]],
+            self.mass[i],
+            std::array::from_fn(|k| self.attrs[k][i]),
+        )
+    }
+
+    pub fn extend(&mut self, other: &ParticleSet) {
+        self.id.extend_from_slice(&other.id);
+        for d in 0..3 {
+            self.pos[d].extend_from_slice(&other.pos[d]);
+            self.vel[d].extend_from_slice(&other.vel[d]);
+        }
+        self.mass.extend_from_slice(&other.mass);
+        for (a, b) in self.attrs.iter_mut().zip(&other.attrs) {
+            a.extend_from_slice(b);
+        }
+    }
+
+    /// Reorder all arrays so `id` is ascending (the order in which the
+    /// particles were initially read — required for the combined top-grid
+    /// dump).
+    pub fn sort_by_id(&mut self) {
+        let mut perm: Vec<usize> = (0..self.len()).collect();
+        perm.sort_by_key(|&i| self.id[i]);
+        self.apply_permutation(&perm);
+    }
+
+    fn apply_permutation(&mut self, perm: &[usize]) {
+        fn permute<T: Copy>(v: &mut Vec<T>, perm: &[usize]) {
+            let out: Vec<T> = perm.iter().map(|&i| v[i]).collect();
+            *v = out;
+        }
+        permute(&mut self.id, perm);
+        for d in 0..3 {
+            permute(&mut self.pos[d], perm);
+            permute(&mut self.vel[d], perm);
+        }
+        permute(&mut self.mass, perm);
+        for a in self.attrs.iter_mut() {
+            permute(a, perm);
+        }
+    }
+
+    /// Split into per-destination sets by a position classifier.
+    pub fn partition_by(&self, ndst: usize, f: impl Fn([f64; 3]) -> usize) -> Vec<ParticleSet> {
+        let mut out: Vec<ParticleSet> = (0..ndst).map(|_| ParticleSet::new()).collect();
+        for i in 0..self.len() {
+            let (id, pos, vel, mass, attrs) = self.get(i);
+            let d = f(pos);
+            assert!(d < ndst, "classifier out of range");
+            out[d].push(id, pos, vel, mass, attrs);
+        }
+        out
+    }
+
+    /// Serialize one named array to little-endian bytes (file order).
+    pub fn array_bytes(&self, name: &str) -> Vec<u8> {
+        match name {
+            "particle_id" => self.id.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_position_x" => self.pos[0].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_position_y" => self.pos[1].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_position_z" => self.pos[2].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_velocity_x" => self.vel[0].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_velocity_y" => self.vel[1].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_velocity_z" => self.vel[2].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_mass" => self.mass.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_attr0" => self.attrs[0].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            "particle_attr1" => self.attrs[1].iter().flat_map(|v| v.to_le_bytes()).collect(),
+            _ => panic!("unknown particle array {name:?}"),
+        }
+    }
+
+    /// Install one named array from bytes; all arrays must end up with the
+    /// same length before the set is used.
+    pub fn set_array_bytes(&mut self, name: &str, bytes: &[u8]) {
+        fn de_f64(b: &[u8]) -> Vec<f64> {
+            b.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        }
+        fn de_f32(b: &[u8]) -> Vec<f32> {
+            b.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        }
+        match name {
+            "particle_id" => {
+                self.id = bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            }
+            "particle_position_x" => self.pos[0] = de_f64(bytes),
+            "particle_position_y" => self.pos[1] = de_f64(bytes),
+            "particle_position_z" => self.pos[2] = de_f64(bytes),
+            "particle_velocity_x" => self.vel[0] = de_f32(bytes),
+            "particle_velocity_y" => self.vel[1] = de_f32(bytes),
+            "particle_velocity_z" => self.vel[2] = de_f32(bytes),
+            "particle_mass" => self.mass = de_f32(bytes),
+            "particle_attr0" => self.attrs[0] = de_f32(bytes),
+            "particle_attr1" => self.attrs[1] = de_f32(bytes),
+            _ => panic!("unknown particle array {name:?}"),
+        }
+    }
+
+    /// Check that every array has the same length (call after assembling
+    /// from per-array bytes).
+    pub fn validate(&self) {
+        let n = self.id.len();
+        for d in 0..3 {
+            assert_eq!(self.pos[d].len(), n);
+            assert_eq!(self.vel[d].len(), n);
+        }
+        assert_eq!(self.mass.len(), n);
+        for a in &self.attrs {
+            assert_eq!(a.len(), n);
+        }
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.len() as u64 * bytes_per_particle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> ParticleSet {
+        let mut p = ParticleSet::new();
+        for i in 0..n {
+            p.push(
+                (n - i) as i64,
+                [i as f64 * 0.1, 0.5, 0.9 - i as f64 * 0.01],
+                [1.0, 2.0, 3.0],
+                0.5,
+                [i as f32, -(i as f32)],
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let p = sample(5);
+        let (id, pos, vel, mass, attrs) = p.get(2);
+        assert_eq!(id, 3);
+        assert!((pos[0] - 0.2).abs() < 1e-12);
+        assert_eq!(vel, [1.0, 2.0, 3.0]);
+        assert_eq!(mass, 0.5);
+        assert_eq!(attrs, [2.0, -2.0]);
+    }
+
+    #[test]
+    fn sort_by_id_reorders_all_arrays() {
+        let mut p = sample(5);
+        p.sort_by_id();
+        assert_eq!(p.id, vec![1, 2, 3, 4, 5]);
+        // id 1 was pushed last (i=4): pos x = 0.4, attr0 = 4
+        assert!((p.pos[0][0] - 0.4).abs() < 1e-12);
+        assert_eq!(p.attrs[0][0], 4.0);
+        p.validate();
+    }
+
+    #[test]
+    fn array_bytes_roundtrip_every_array() {
+        let p = sample(7);
+        let mut q = ParticleSet::new();
+        for (name, width) in PARTICLE_ARRAYS {
+            let b = p.array_bytes(name);
+            assert_eq!(b.len() as u64, 7 * width);
+            q.set_array_bytes(name, &b);
+        }
+        q.validate();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn partition_by_classifier() {
+        let p = sample(10);
+        let parts = p.partition_by(2, |pos| usize::from(pos[0] >= 0.45));
+        assert_eq!(parts[0].len() + parts[1].len(), 10);
+        assert!(parts[0].pos[0].iter().all(|x| *x < 0.45));
+        assert!(parts[1].pos[0].iter().all(|x| *x >= 0.45));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = sample(3);
+        let b = sample(2);
+        a.extend(&b);
+        assert_eq!(a.len(), 5);
+        a.validate();
+    }
+
+    #[test]
+    fn bytes_per_particle_is_56() {
+        assert_eq!(bytes_per_particle(), 56);
+    }
+}

@@ -1,0 +1,256 @@
+//! Flagging and clustering: turning cells that need resolution into
+//! rectangular subgrids, Berger–Rigoutsos style (the clustering algorithm
+//! behind structured AMR hierarchies like ENZO's).
+
+use crate::grid::CellBox;
+use std::collections::HashSet;
+
+/// Tuning for the clusterer.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterParams {
+    /// Minimum fraction of flagged cells a box must contain.
+    pub min_efficiency: f64,
+    /// Boxes are not split below this edge length.
+    pub min_width: u64,
+    /// Hard cap on recursion (safety).
+    pub max_boxes: usize,
+}
+
+impl Default for ClusterParams {
+    fn default() -> ClusterParams {
+        ClusterParams {
+            min_efficiency: 0.7,
+            min_width: 4,
+            max_boxes: 256,
+        }
+    }
+}
+
+/// Cluster flagged cells into boxes covering all of them.
+///
+/// Classic Berger–Rigoutsos: shrink to the bounding box; accept if
+/// efficient enough or too small to split; otherwise split at a signature
+/// hole, else at the strongest Laplacian inflection, else in half along
+/// the longest axis; recurse on both halves.
+pub fn cluster(flags: &[[u64; 3]], params: &ClusterParams) -> Vec<CellBox> {
+    if flags.is_empty() {
+        return Vec::new();
+    }
+    let set: HashSet<[u64; 3]> = flags.iter().copied().collect();
+    let mut out = Vec::new();
+    let mut work = vec![bounding_box(flags)];
+    while let Some(region) = work.pop() {
+        let inside = flags_in(&set, &region);
+        if inside.is_empty() {
+            continue;
+        }
+        let bbox = bounding_box(&inside);
+        let eff = inside.len() as f64 / bbox.cells() as f64;
+        let size = bbox.size();
+        let splittable = size.iter().any(|s| *s >= 2 * params.min_width);
+        // Budget: accepted boxes + regions still queued must stay in cap.
+        let budget_left = out.len() + work.len() + 1 < params.max_boxes;
+        if eff >= params.min_efficiency || !splittable || !budget_left {
+            out.push(bbox);
+            continue;
+        }
+        match choose_cut(&inside, &bbox, params.min_width) {
+            Some((dim, at)) => {
+                let mut hi1 = bbox.hi;
+                hi1[dim] = at;
+                let mut lo2 = bbox.lo;
+                lo2[dim] = at;
+                work.push(CellBox::new(bbox.lo, hi1));
+                work.push(CellBox::new(lo2, bbox.hi));
+            }
+            None => out.push(bbox),
+        }
+    }
+    out
+}
+
+fn bounding_box(flags: &[[u64; 3]]) -> CellBox {
+    let mut lo = [u64::MAX; 3];
+    let mut hi = [0u64; 3];
+    for f in flags {
+        for d in 0..3 {
+            lo[d] = lo[d].min(f[d]);
+            hi[d] = hi[d].max(f[d] + 1);
+        }
+    }
+    CellBox::new(lo, hi)
+}
+
+fn flags_in(set: &HashSet<[u64; 3]>, b: &CellBox) -> Vec<[u64; 3]> {
+    // Iterate whichever is smaller: the box or the set.
+    if b.cells() <= set.len() as u64 * 4 {
+        let mut v = Vec::new();
+        for z in b.lo[0]..b.hi[0] {
+            for y in b.lo[1]..b.hi[1] {
+                for x in b.lo[2]..b.hi[2] {
+                    if set.contains(&[z, y, x]) {
+                        v.push([z, y, x]);
+                    }
+                }
+            }
+        }
+        v
+    } else {
+        set.iter().filter(|f| b.contains(**f)).copied().collect()
+    }
+}
+
+/// Pick a cut plane: prefer signature holes, then the largest inflection
+/// of the signature's second difference, then the midpoint of the longest
+/// splittable axis.
+fn choose_cut(flags: &[[u64; 3]], bbox: &CellBox, min_width: u64) -> Option<(usize, u64)> {
+    let size = bbox.size();
+    let mut best_hole: Option<(usize, u64)> = None;
+    let mut best_inflect: Option<(usize, u64, i64)> = None;
+
+    for dim in 0..3 {
+        if size[dim] < 2 * min_width {
+            continue;
+        }
+        let n = size[dim] as usize;
+        let mut sig = vec![0i64; n];
+        for f in flags {
+            sig[(f[dim] - bbox.lo[dim]) as usize] += 1;
+        }
+        // Holes (zero planes), away from the edges by min_width.
+        for i in min_width..(size[dim] - min_width + 1) {
+            let idx = i as usize;
+            if idx < n && sig[idx] == 0 && best_hole.is_none() {
+                best_hole = Some((dim, bbox.lo[dim] + i));
+            }
+        }
+        // Inflection points of the second difference.
+        for i in (min_width as usize)..(n.saturating_sub(min_width as usize)) {
+            if i + 1 >= n || i < 1 {
+                continue;
+            }
+            let lap =
+                |j: usize| -> i64 { sig[j + 1] - 2 * sig[j] + sig[j - 1] };
+            if i + 1 < n - 1 {
+                let d = lap(i) - lap(i + 1);
+                let mag = d.abs();
+                if lap(i).signum() != lap(i + 1).signum()
+                    && best_inflect.map(|(_, _, m)| mag > m).unwrap_or(true)
+                {
+                    best_inflect = Some((dim, bbox.lo[dim] + i as u64 + 1, mag));
+                }
+            }
+        }
+    }
+    if let Some(h) = best_hole {
+        return Some(h);
+    }
+    if let Some((d, at, _)) = best_inflect {
+        return Some((d, at));
+    }
+    // Fall back: halve the longest splittable dimension.
+    let dim = (0..3)
+        .filter(|d| size[*d] >= 2 * min_width)
+        .max_by_key(|d| size[*d])?;
+    Some((dim, bbox.lo[dim] + size[dim] / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(boxes: &[CellBox], flags: &[[u64; 3]]) -> bool {
+        flags.iter().all(|f| boxes.iter().any(|b| b.contains(*f)))
+    }
+
+    #[test]
+    fn single_blob_single_box() {
+        let mut flags = Vec::new();
+        for z in 4..8 {
+            for y in 4..8 {
+                for x in 4..8 {
+                    flags.push([z, y, x]);
+                }
+            }
+        }
+        let boxes = cluster(&flags, &ClusterParams::default());
+        assert_eq!(boxes, vec![CellBox::new([4, 4, 4], [8, 8, 8])]);
+    }
+
+    #[test]
+    fn two_separated_blobs_split_at_hole() {
+        let mut flags = Vec::new();
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    flags.push([z, y, x]);
+                    flags.push([z + 20, y, x]);
+                }
+            }
+        }
+        let boxes = cluster(&flags, &ClusterParams::default());
+        assert_eq!(boxes.len(), 2, "{boxes:?}");
+        assert!(covers(&boxes, &flags));
+        // Each box is tight around its blob.
+        let total: u64 = boxes.iter().map(|b| b.cells()).sum();
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn diagonal_flags_get_reasonable_efficiency() {
+        let flags: Vec<[u64; 3]> = (0..32).map(|i| [i, i, i]).collect();
+        let params = ClusterParams {
+            min_efficiency: 0.02,
+            ..Default::default()
+        };
+        let boxes = cluster(&flags, &params);
+        assert!(covers(&boxes, &flags));
+        // With a high efficiency demand the diagonal gets chopped up.
+        let tight = cluster(
+            &flags,
+            &ClusterParams {
+                min_efficiency: 0.5,
+                min_width: 2,
+                max_boxes: 64,
+            },
+        );
+        assert!(tight.len() > boxes.len());
+        assert!(covers(&tight, &flags));
+    }
+
+    #[test]
+    fn empty_flags_no_boxes() {
+        assert!(cluster(&[], &ClusterParams::default()).is_empty());
+    }
+
+    #[test]
+    fn max_boxes_is_respected() {
+        let flags: Vec<[u64; 3]> = (0..64).map(|i| [i * 7 % 61, i * 13 % 61, i * 29 % 61]).collect();
+        let params = ClusterParams {
+            min_efficiency: 0.99,
+            min_width: 1,
+            max_boxes: 8,
+        };
+        let boxes = cluster(&flags, &params);
+        assert!(boxes.len() <= 8, "{}", boxes.len());
+        assert!(covers(&boxes, &flags));
+    }
+
+    #[test]
+    fn coverage_is_invariant_under_params() {
+        let flags: Vec<[u64; 3]> = (0..100)
+            .map(|i| [(i * 37) % 50, (i * 11) % 50, (i * 53) % 50])
+            .collect();
+        for eff in [0.1, 0.5, 0.9] {
+            let boxes = cluster(
+                &flags,
+                &ClusterParams {
+                    min_efficiency: eff,
+                    min_width: 2,
+                    max_boxes: 128,
+                },
+            );
+            assert!(covers(&boxes, &flags), "eff={eff}");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! A deliberately simple cosmology-flavoured solver.
+//!
+//! The paper's I/O behaviour depends on the *data model and access
+//! patterns*, not on hydro fidelity (DESIGN.md §2), so evolution here is a
+//! toy: particles fall toward fixed attractors (proto-clusters), density
+//! is a nearest-grid-point deposit of particle mass plus diffusion, and
+//! the derived fields follow algebraically. What matters is that it is
+//! deterministic, that matter *clusters* (so refinement is adaptive and
+//! spatially irregular, like Fig. 1), and that particles *move* (so the
+//! particle→processor partition is irregular, like Fig. 4).
+
+use crate::array::Array3;
+use crate::grid::{CellBox, GridPatch};
+use crate::particles::ParticleSet;
+
+/// Gravitational attractors in normalized domain coordinates (z, y, x):
+/// the proto-cluster seeds.
+pub const ATTRACTORS: [[f64; 3]; 3] = [
+    [0.30, 0.32, 0.28],
+    [0.68, 0.62, 0.70],
+    [0.25, 0.70, 0.65],
+];
+
+/// Indices into `GridPatch::fields` (see `BARYON_FIELDS`).
+pub const DENSITY: usize = 0;
+pub const TOTAL_ENERGY: usize = 1;
+pub const VELOCITY_X: usize = 2;
+pub const VELOCITY_Y: usize = 3;
+pub const VELOCITY_Z: usize = 4;
+pub const TEMPERATURE: usize = 5;
+pub const DARK_MATTER: usize = 6;
+
+/// Pull particles toward the attractors and drift them; positions live in
+/// [0,1)³ with wraparound (comoving periodic box).
+#[allow(clippy::needless_range_loop)] // d indexes three parallel SoA arrays
+pub fn push_particles(ps: &mut ParticleSet, dt: f64) {
+    // Overdamped descent: velocity saturates at acc / (1 - damping), so
+    // particles settle into the attractors instead of orbiting out.
+    let g = 6.0e-5;
+    let damping = 0.9;
+    for i in 0..ps.len() {
+        let pos = [ps.pos[0][i], ps.pos[1][i], ps.pos[2][i]];
+        let mut acc = [0.0f64; 3];
+        for a in &ATTRACTORS {
+            let mut d2 = 2.5e-3; // softening
+            let mut dir = [0.0f64; 3];
+            for d in 0..3 {
+                let mut dx = a[d] - pos[d];
+                // Periodic minimum image.
+                if dx > 0.5 {
+                    dx -= 1.0;
+                }
+                if dx < -0.5 {
+                    dx += 1.0;
+                }
+                dir[d] = dx;
+                d2 += dx * dx;
+            }
+            let inv = g / (d2 * d2.sqrt());
+            for (a, dx) in acc.iter_mut().zip(dir) {
+                *a += dx * inv;
+            }
+        }
+        for d in 0..3 {
+            let v = (ps.vel[d][i] as f64 + acc[d] * dt) * damping;
+            ps.vel[d][i] = v as f32;
+            let mut x = ps.pos[d][i] + v * dt;
+            x -= x.floor(); // wrap to [0,1)
+            ps.pos[d][i] = x;
+        }
+    }
+}
+
+/// Nearest-grid-point mass deposit of `ps` into `density` over `bbox`
+/// (cell extents at resolution `n` per dim).
+pub fn deposit_particles(density: &mut Array3, bbox: &CellBox, n: [u64; 3], ps: &ParticleSet) {
+    let dims = density.dims();
+    for i in 0..ps.len() {
+        let mut c = [0usize; 3];
+        let mut inside = true;
+        for d in 0..3 {
+            let cell = (ps.pos[d][i] * n[d] as f64).floor() as i64;
+            let rel = cell - bbox.lo[d] as i64;
+            if rel < 0 || rel >= dims[d] as i64 {
+                inside = false;
+                break;
+            }
+            c[d] = rel as usize;
+        }
+        if inside {
+            let v = density.get(c[0], c[1], c[2]) + ps.mass[i];
+            density.set(c[0], c[1], c[2], v);
+        }
+    }
+}
+
+/// One explicit diffusion step (6-point stencil, reflecting boundaries).
+pub fn diffuse(field: &mut Array3, coef: f32) {
+    let [nz, ny, nx] = field.dims();
+    let src = field.clone();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let c = src.get(z, y, x);
+                let mut acc = 0.0f32;
+                let mut cnt = 0.0f32;
+                let mut add = |v: f32| {
+                    acc += v;
+                    cnt += 1.0;
+                };
+                if z > 0 {
+                    add(src.get(z - 1, y, x));
+                }
+                if z + 1 < nz {
+                    add(src.get(z + 1, y, x));
+                }
+                if y > 0 {
+                    add(src.get(z, y - 1, x));
+                }
+                if y + 1 < ny {
+                    add(src.get(z, y + 1, x));
+                }
+                if x > 0 {
+                    add(src.get(z, y, x - 1));
+                }
+                if x + 1 < nx {
+                    add(src.get(z, y, x + 1));
+                }
+                let lap = if cnt > 0.0 { acc / cnt - c } else { 0.0 };
+                field.set(z, y, x, c + coef * lap);
+            }
+        }
+    }
+}
+
+/// Recompute the derived baryon fields of a patch from its density and
+/// particle content. `n` is the level resolution of the patch's box.
+pub fn update_derived_fields(patch: &mut GridPatch, n: [u64; 3]) {
+    // Re-deposit particles onto a fresh density, diffuse a little (gas
+    // pressure proxy), then fill the derived fields.
+    let bbox = patch.bbox;
+    let mut density = Array3::zeros(patch.dims());
+    deposit_particles(&mut density, &bbox, n, &patch.particles);
+    diffuse(&mut density, 0.3);
+    let dims = patch.dims();
+    let mut te = Array3::zeros(dims);
+    let mut temp = Array3::zeros(dims);
+    let mut dm = Array3::zeros(dims);
+    let (mut vx, mut vy, mut vz) = (
+        Array3::zeros(dims),
+        Array3::zeros(dims),
+        Array3::zeros(dims),
+    );
+    for z in 0..dims[0] {
+        for y in 0..dims[1] {
+            for x in 0..dims[2] {
+                let rho = density.get(z, y, x);
+                te.set(z, y, x, 0.5 + rho * 1.5);
+                temp.set(z, y, x, (1.0 + rho).ln() * 100.0);
+                dm.set(z, y, x, rho * 5.0);
+                // A gentle shear-flow proxy for the velocity fields.
+                vx.set(z, y, x, (y as f32 * 0.01).sin() + rho * 0.1);
+                vy.set(z, y, x, (z as f32 * 0.01).cos() * 0.5);
+                vz.set(z, y, x, (x as f32 * 0.01).sin() * 0.25 - rho * 0.05);
+            }
+        }
+    }
+    patch.fields[DENSITY] = density;
+    patch.fields[TOTAL_ENERGY] = te;
+    patch.fields[VELOCITY_X] = vx;
+    patch.fields[VELOCITY_Y] = vy;
+    patch.fields[VELOCITY_Z] = vz;
+    patch.fields[TEMPERATURE] = temp;
+    patch.fields[DARK_MATTER] = dm;
+}
+
+/// Cells whose density exceeds `threshold`, in global (level) indices —
+/// the refinement flags.
+pub fn flag_cells(patch: &GridPatch, threshold: f32) -> Vec<[u64; 3]> {
+    let d = &patch.fields[DENSITY];
+    let dims = patch.dims();
+    let mut out = Vec::new();
+    for z in 0..dims[0] {
+        for y in 0..dims[1] {
+            for x in 0..dims[2] {
+                if d.get(z, y, x) > threshold {
+                    out.push([
+                        patch.bbox.lo[0] + z as u64,
+                        patch.bbox.lo[1] + y as u64,
+                        patch.bbox.lo[2] + x as u64,
+                    ]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_particles(n: usize) -> ParticleSet {
+        let mut ps = ParticleSet::new();
+        for i in 0..n {
+            // Low-discrepancy-ish fill of the unit cube.
+            let f = |k: u64| ((i as u64 * k) % 1000) as f64 / 1000.0;
+            ps.push(
+                i as i64,
+                [f(541), f(769), f(863)],
+                [0.0; 3],
+                1.0,
+                [0.0, 0.0],
+            );
+        }
+        ps
+    }
+
+    #[test]
+    fn particles_cluster_toward_attractors() {
+        let mut ps = seed_particles(500);
+        let spread = |ps: &ParticleSet| -> f64 {
+            // Mean distance to the nearest attractor.
+            (0..ps.len())
+                .map(|i| {
+                    ATTRACTORS
+                        .iter()
+                        .map(|a| {
+                            (0..3)
+                                .map(|d| {
+                                    let mut dx = (a[d] - ps.pos[d][i]).abs();
+                                    if dx > 0.5 {
+                                        dx = 1.0 - dx;
+                                    }
+                                    dx * dx
+                                })
+                                .sum::<f64>()
+                                .sqrt()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / ps.len() as f64
+        };
+        let before = spread(&ps);
+        for _ in 0..200 {
+            push_particles(&mut ps, 1.0);
+        }
+        let after = spread(&ps);
+        assert!(after < before * 0.9, "before={before} after={after}");
+        // Positions stay in the unit box.
+        for d in 0..3 {
+            assert!(ps.pos[d].iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn deposit_conserves_mass_inside_box() {
+        let mut ps = seed_particles(100);
+        for i in 0..ps.len() {
+            ps.mass[i] = 2.0;
+        }
+        let bbox = CellBox::cube(8);
+        let mut rho = Array3::zeros([8, 8, 8]);
+        deposit_particles(&mut rho, &bbox, [8, 8, 8], &ps);
+        assert!((rho.sum() - 200.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deposit_respects_subbox() {
+        let mut ps = ParticleSet::new();
+        ps.push(0, [0.1, 0.1, 0.1], [0.0; 3], 1.0, [0.0, 0.0]);
+        ps.push(1, [0.9, 0.9, 0.9], [0.0; 3], 1.0, [0.0, 0.0]);
+        let bbox = CellBox::new([0, 0, 0], [4, 4, 4]);
+        let mut rho = Array3::zeros([4, 4, 4]);
+        deposit_particles(&mut rho, &bbox, [8, 8, 8], &ps);
+        assert!((rho.sum() - 1.0).abs() < 1e-6, "only the first is inside");
+    }
+
+    #[test]
+    fn diffusion_preserves_mean_and_smooths() {
+        let mut f = Array3::zeros([8, 8, 8]);
+        f.set(4, 4, 4, 100.0);
+        let sum0 = f.sum();
+        for _ in 0..5 {
+            diffuse(&mut f, 0.4);
+        }
+        assert!(f.max() < 100.0);
+        assert!(f.get(4, 4, 3) > 0.0);
+        // Reflecting stencil: mass drifts only through averaging error.
+        assert!((f.sum() - sum0).abs() / sum0 < 0.2, "{}", f.sum());
+    }
+
+    #[test]
+    fn flags_follow_density() {
+        let mut patch = GridPatch::new(0, 0, CellBox::cube(8));
+        let mut ps = ParticleSet::new();
+        for i in 0..50 {
+            ps.push(i, [0.55, 0.55, 0.55], [0.0; 3], 1.0, [0.0, 0.0]);
+        }
+        patch.particles = ps;
+        update_derived_fields(&mut patch, [8, 8, 8]);
+        let flags = flag_cells(&patch, 1.0);
+        assert!(!flags.is_empty());
+        assert!(flags.contains(&[4, 4, 4]));
+        // Far corner not flagged.
+        assert!(!flags.contains(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn derived_fields_are_populated() {
+        let mut patch = GridPatch::new(0, 0, CellBox::cube(4));
+        patch.particles = seed_particles(64);
+        update_derived_fields(&mut patch, [4, 4, 4]);
+        assert!(patch.fields[DENSITY].sum() > 0.0);
+        assert!(patch.fields[TEMPERATURE].max() > 0.0);
+        assert!(patch.fields[TOTAL_ENERGY].max() >= 0.5);
+        assert!(patch.fields[DARK_MATTER].sum() > 0.0);
+    }
+}

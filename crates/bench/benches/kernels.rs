@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks of the hot kernels behind the experiment
+//! harness: datatype flattening, subarray packing, refinement clustering,
+//! particle sorting, and a whole two-phase collective write on the
+//! simulated stack (host wall-time, complementing the virtual-time
+//! figures).
+
+use amrio_amr::{cluster, Array3, ClusterParams, ParticleSet};
+use amrio_disk::{DiskParams, FsConfig, Placement, Pfs};
+use amrio_mpi::World;
+use amrio_mpiio::{Datatype, Mode, MpiIo};
+use amrio_net::{Net, NetConfig};
+use amrio_simt::{SimDur, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datatype_flatten");
+    for n in [32u64, 64, 128] {
+        let t = Datatype::subarray3([n, n, n], [n / 4, n / 4, n / 4], [n / 2, n / 2, n / 2], 4);
+        g.bench_function(format!("subarray_{n}cubed"), |b| {
+            b.iter(|| black_box(&t).flatten())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subarray_pack");
+    let a = Array3::from_fn([64, 64, 64], |z, y, x| (z + y + x) as f32);
+    g.bench_function("extract_32cubed_of_64cubed", |b| {
+        b.iter(|| black_box(&a).extract([16, 16, 16], [32, 32, 32]))
+    });
+    let sub = a.extract([16, 16, 16], [32, 32, 32]);
+    g.bench_function("insert_32cubed_into_64cubed", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut dst| dst.insert([16, 16, 16], black_box(&sub)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("berger_rigoutsos");
+    for nblobs in [2usize, 8] {
+        let mut flags = Vec::new();
+        for b in 0..nblobs {
+            let base = (b * 17) as u64 % 100;
+            for z in 0..6 {
+                for y in 0..6 {
+                    for x in 0..6 {
+                        flags.push([base + z, base + y, base + x]);
+                    }
+                }
+            }
+        }
+        g.bench_function(format!("{nblobs}_blobs"), |b| {
+            b.iter(|| cluster(black_box(&flags), &ClusterParams::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_particle_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("particle_sort");
+    let mut ps = ParticleSet::new();
+    for i in 0..50_000u64 {
+        let id = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 20) as i64;
+        ps.push(id, [0.5; 3], [0.0; 3], 1.0, [0.0, 0.0]);
+    }
+    g.bench_function("sort_by_id_50k", |b| {
+        b.iter_batched(|| ps.clone(), |mut p| p.sort_by_id(), BatchSize::LargeInput)
+    });
+    g.finish();
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk_model");
+    let cfg = FsConfig {
+        label: "bench".into(),
+        stripe: 64 * 1024,
+        nservers: 8,
+        disk: DiskParams::new(100, 4, 40.0),
+        server_endpoints: None,
+        placement: Placement::Striped,
+        lock_block: None,
+        token_cost: SimDur::ZERO,
+        client_queue_cost: None,
+        single_stream_bw: None,
+    };
+    g.bench_function("write_1mb_striped", |b| {
+        b.iter_batched(
+            || {
+                let mut fs = Pfs::new(cfg.clone());
+                let mut net = Net::new(NetConfig::ccnuma(4));
+                let (f, _) = fs.create(0, &mut net, "x", SimTime::ZERO);
+                (fs, net, f, vec![7u8; 1 << 20])
+            },
+            |(mut fs, mut net, f, data)| fs.write_at(0, &mut net, f, 0, &data, SimTime::ZERO),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_phase_collective");
+    g.sample_size(10);
+    let cfg = FsConfig {
+        label: "bench".into(),
+        stripe: 64 * 1024,
+        nservers: 4,
+        disk: DiskParams::new(100, 2, 100.0),
+        server_endpoints: None,
+        placement: Placement::Striped,
+        lock_block: None,
+        token_cost: SimDur::ZERO,
+        client_queue_cost: None,
+        single_stream_bw: None,
+    };
+    g.bench_function("write_all_8ranks_32cubed", |b| {
+        b.iter(|| {
+            let world = World::new(8, NetConfig::ccnuma(8));
+            let io = MpiIo::new(cfg.clone());
+            world.run(|comm| {
+                let mut f = io.open(comm, "g", Mode::Create);
+                let n = 32u64;
+                let pz = comm.rank() as u64 / 4;
+                let py = (comm.rank() as u64 / 2) % 2;
+                let px = comm.rank() as u64 % 2;
+                let sub = [n / 2, n / 2, n / 2];
+                let t = Datatype::subarray3(
+                    [n, n, n],
+                    [pz * sub[0], py * sub[1], px * sub[2]],
+                    sub,
+                    4,
+                );
+                f.set_view(0, t);
+                f.write_all_view(&vec![1u8; (sub.iter().product::<u64>() * 4) as usize]);
+                comm.barrier();
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flatten,
+    bench_pack,
+    bench_cluster,
+    bench_particle_sort,
+    bench_disk_model,
+    bench_two_phase
+);
+criterion_main!(benches);

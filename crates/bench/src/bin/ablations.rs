@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices the paper motivates:
+//!
+//! 1. two-phase collective I/O vs independent per-run writes vs data
+//!    sieving for the `(Block, Block, Block)` baryon-field pattern;
+//! 2. one shared checkpoint file vs a file per subgrid (§3.3);
+//! 3. GPFS stripe-size sensitivity of the parallel write path (§4.2's
+//!    access/striping mismatch).
+
+use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_disk::Pfs;
+use amrio_enzo::{MpiIoMultiFile, MpiIoOptimized, MpiIoWriteBehind, Platform, ProblemSize};
+use amrio_mpi::World;
+use amrio_mpiio::{Datatype, Hints, Mode, MpiIo};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Time one strided field write with the chosen access method.
+fn strided_write_time(platform: &Platform, nranks: usize, n: u64, method: &str) -> f64 {
+    let world = World::new(nranks, platform.net.clone());
+    let io = MpiIo::new(platform.fs.clone());
+    let _fs: Arc<Mutex<Pfs>> = io.fs();
+    let method = method.to_string();
+    let r = world.run(move |c| {
+        let mut f = io.open(c, "field", Mode::Create);
+        let mesh = amrio_amr::factor3(nranks);
+        let d = amrio_amr::BlockDecomp {
+            mesh,
+            bbox: amrio_amr::CellBox::cube(n),
+        };
+        let slab = d.slab(c.rank());
+        let t = Datatype::subarray3([n, n, n], slab.lo, slab.size(), 4);
+        f.set_view(0, t);
+        let buf = vec![1u8; (slab.cells() * 4) as usize];
+        let mut h = Hints::default();
+        match method.as_str() {
+            "collective" => {}
+            "independent" => h.ds_write = false,
+            "sieved" => h.ds_write = true,
+            _ => unreachable!(),
+        }
+        f.set_hints(h);
+        c.barrier();
+        let t0 = c.now();
+        if method == "collective" {
+            f.write_all_view(&buf);
+        } else {
+            f.write_view(&buf);
+        }
+        c.barrier();
+        (c.now() - t0).as_secs_f64()
+    });
+    r.results[0]
+}
+
+fn main() {
+    // --- 1. Access-method ablation on two platforms. ---
+    println!("== Ablation 1: two-phase collective vs independent vs sieved write ==");
+    println!("(one 64^3 f32 field, (Block,Block,Block) over 8 ranks)");
+    use std::io::Write;
+    std::fs::create_dir_all("results").ok();
+    let mut csv = std::fs::File::create("results/ablation_access.csv").unwrap();
+    writeln!(csv, "platform,method,write_s").unwrap();
+    for platform in [Platform::origin2000(8), Platform::ibm_sp2(8)] {
+        for method in ["collective", "independent", "sieved"] {
+            let t = strided_write_time(&platform, 8, 64, method);
+            println!("{:<22} {:<12} {:>9.4}s", platform.name, method, t);
+            writeln!(csv, "{},{},{:.6}", platform.name, method, t).unwrap();
+        }
+    }
+
+    // --- 2. Shared file vs file-per-subgrid. ---
+    println!("\n== Ablation 2: single shared checkpoint file vs file per subgrid ==");
+    let mut reports = Vec::new();
+    for p in [4usize, 8] {
+        let platform = Platform::origin2000(p);
+        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
+        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoMultiFile));
+    }
+    print_reports("shared vs multi-file (restart read is the interesting column)", &reports);
+    write_csv("ablation_files", &reports);
+
+    // --- 2b. Write-behind buffering of the independent writes. ---
+    println!("\n== Ablation 2b: two-stage write-behind buffering (write column) ==");
+    let mut wb_reports = Vec::new();
+    for p in [4usize, 8] {
+        let platform = Platform::origin2000(p);
+        wb_reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
+        wb_reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoWriteBehind));
+    }
+    print_reports("independent writes: direct vs write-behind", &wb_reports);
+    write_csv("ablation_write_behind", &wb_reports);
+
+    // --- 3. GPFS stripe-size sweep. ---
+    println!("\n== Ablation 3: GPFS stripe size vs parallel write time (AMR64, 32 procs) ==");
+    let mut csv = std::fs::File::create("results/ablation_stripe.csv").unwrap();
+    writeln!(csv, "stripe_kb,write_s,read_s").unwrap();
+    for stripe_kb in [64u64, 128, 256, 512, 1024, 2048] {
+        let mut platform = Platform::ibm_sp2(32);
+        platform.fs.stripe = stripe_kb * 1024;
+        platform.fs.lock_block = Some(stripe_kb * 1024);
+        let r = run_cell(&platform, ProblemSize::Amr64, 32, &MpiIoOptimized);
+        println!(
+            "stripe {:>5} KiB: write {:>8.3}s read {:>8.3}s",
+            stripe_kb, r.write_time, r.read_time
+        );
+        writeln!(csv, "{},{:.6},{:.6}", stripe_kb, r.write_time, r.read_time).unwrap();
+    }
+}

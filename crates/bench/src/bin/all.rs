@@ -1,0 +1,34 @@
+//! Run every experiment of the paper in sequence (Table 1, Figures 6-10).
+//! Pass `--quick` to use the reduced sweeps.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    for bin in [
+        "table1",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "ablations",
+        "io_analysis",
+        "mdms_demo",
+        "future_fs",
+        "hdf5_chunking",
+    ] {
+        let path = exe_dir.join(bin);
+        println!("\n########## running {bin} ##########");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {path:?}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

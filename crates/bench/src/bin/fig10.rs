@@ -1,0 +1,73 @@
+//! Figure 10: HDF5 I/O vs MPI-IO *write* performance on the SGI
+//! Origin2000.
+//!
+//! Expected shape (paper §4.5): parallel HDF5 is much slower than raw
+//! MPI-IO even though it sits on top of it, because of (1) internal
+//! synchronization in every collective dataset create/close, (2) metadata
+//! interleaved with raw data (misaligned allocations), (3) recursive
+//! hyperslab packing, and (4) rank-0-only attribute writes.
+//!
+//! `--ablate` additionally decomposes the gap by disabling each modeled
+//! overhead individually.
+
+use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_enzo::{Hdf5Parallel, MpiIoOptimized, Platform, ProblemSize};
+use amrio_hdf5::OverheadModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ablate = std::env::args().any(|a| a == "--ablate");
+    let procs: &[usize] = if quick { &[4, 8] } else { &[2, 4, 8, 16, 32] };
+    let problems: &[ProblemSize] = if quick {
+        &[ProblemSize::Amr64]
+    } else {
+        &[ProblemSize::Amr64, ProblemSize::Amr128]
+    };
+    let mut reports = Vec::new();
+    for &problem in problems {
+        for &p in procs {
+            let platform = Platform::origin2000(p);
+            reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+            reports.push(run_cell(&platform, problem, p, &Hdf5Parallel::default()));
+        }
+    }
+    print_reports(
+        "Figure 10: HDF5 vs MPI-IO write performance on SGI Origin2000 / XFS",
+        &reports,
+    );
+    write_csv("fig10", &reports);
+
+    if ablate {
+        let p = 8;
+        let platform = Platform::origin2000(p);
+        let mut abl = Vec::new();
+        let mk = |f: fn(&mut OverheadModel)| {
+            let mut m = OverheadModel::default();
+            f(&mut m);
+            Hdf5Parallel { model: m }
+        };
+        let variants: Vec<(&str, Hdf5Parallel)> = vec![
+            ("all-2002", Hdf5Parallel::default()),
+            ("no-create-sync", mk(|m| m.create_sync = false)),
+            ("aligned-data", mk(|m| m.metadata_inline = false)),
+            ("fast-hyperslab", mk(|m| m.hyperslab_ns_per_run = 150)),
+            ("parallel-attrs", mk(|m| m.rank0_attributes = false)),
+            (
+                "modern",
+                Hdf5Parallel {
+                    model: OverheadModel::modern(),
+                },
+            ),
+        ];
+        println!("\n== Figure 10 ablation (AMR64, 8 procs): which overhead costs what ==");
+        for (name, strat) in &variants {
+            let r = run_cell(&platform, ProblemSize::Amr64, p, strat);
+            println!(
+                "{:<16} write {:>8.3}s  read {:>8.3}s",
+                name, r.write_time, r.read_time
+            );
+            abl.push(r);
+        }
+        write_csv("fig10_ablation", &abl);
+    }
+}

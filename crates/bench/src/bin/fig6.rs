@@ -1,0 +1,33 @@
+//! Figure 6: I/O performance of the ENZO application on SGI Origin2000
+//! with XFS — original HDF4 I/O vs optimized MPI-IO, read and write, for
+//! AMR64 and AMR128 over a range of processor counts.
+//!
+//! Expected shape (paper §4.1): HDF4 times grow with the number of
+//! processors (gather through processor 0 + sequential file access);
+//! MPI-IO stays flat or falls, so its advantage widens with P.
+
+use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_enzo::{Hdf4Serial, MpiIoOptimized, Platform, ProblemSize};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let procs: &[usize] = if quick { &[4, 8] } else { &[2, 4, 8, 16, 32] };
+    let problems: &[ProblemSize] = if quick {
+        &[ProblemSize::Amr64]
+    } else {
+        &[ProblemSize::Amr64, ProblemSize::Amr128]
+    };
+    let mut reports = Vec::new();
+    for &problem in problems {
+        for &p in procs {
+            let platform = Platform::origin2000(p);
+            reports.push(run_cell(&platform, problem, p, &Hdf4Serial));
+            reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+        }
+    }
+    print_reports(
+        "Figure 6: ENZO I/O on SGI Origin2000 / XFS (HDF4 vs MPI-IO)",
+        &reports,
+    );
+    write_csv("fig6", &reports);
+}

@@ -1,0 +1,34 @@
+//! Figure 7: I/O performance of the ENZO application on IBM SP-2 with
+//! GPFS — AMR64 and AMR128 on 32 and 64 processors.
+//!
+//! Expected shape (paper §4.2): the parallel MPI-IO version is *worse*
+//! than the original HDF4 I/O for the small problem — small per-processor
+//! chunks clash with GPFS's very large fixed stripes (token/false-sharing
+//! serialization) and many processors per SMP node queue on the node's
+//! I/O path — and the gap narrows for AMR128.
+
+use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_enzo::{Hdf4Serial, MpiIoOptimized, Platform, ProblemSize};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let procs: &[usize] = &[32, 64];
+    let problems: &[ProblemSize] = if quick {
+        &[ProblemSize::Amr64]
+    } else {
+        &[ProblemSize::Amr64, ProblemSize::Amr128]
+    };
+    let mut reports = Vec::new();
+    for &problem in problems {
+        for &p in procs {
+            let platform = Platform::ibm_sp2(p);
+            reports.push(run_cell(&platform, problem, p, &Hdf4Serial));
+            reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+        }
+    }
+    print_reports(
+        "Figure 7: ENZO I/O on IBM SP-2 / GPFS (HDF4 vs MPI-IO)",
+        &reports,
+    );
+    write_csv("fig7", &reports);
+}

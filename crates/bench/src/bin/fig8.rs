@@ -1,0 +1,32 @@
+//! Figure 8: I/O performance on the Chiba City Linux cluster with PVFS —
+//! 8 compute nodes and 8 I/O nodes over Fast Ethernet.
+//!
+//! Expected shape (paper §4.3): everything is much slower than on the
+//! other platforms (the compute↔I/O-node network is the bottleneck and
+//! two-phase redistribution pays it too); MPI-IO *reads* come out a
+//! little ahead of HDF4 thanks to data sieving and large sequential
+//! server access; results improve relatively for the larger problem.
+
+use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_enzo::{Hdf4Serial, MpiIoOptimized, Platform, ProblemSize};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let problems: &[ProblemSize] = if quick {
+        &[ProblemSize::Amr64]
+    } else {
+        &[ProblemSize::Amr64, ProblemSize::Amr128]
+    };
+    let p = 8; // 8 compute nodes, one process each (paper setup)
+    let mut reports = Vec::new();
+    for &problem in problems {
+        let platform = Platform::chiba_pvfs(p);
+        reports.push(run_cell(&platform, problem, p, &Hdf4Serial));
+        reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+    }
+    print_reports(
+        "Figure 8: ENZO I/O on Chiba City / PVFS over Fast Ethernet",
+        &reports,
+    );
+    write_csv("fig8", &reports);
+}

@@ -1,0 +1,33 @@
+//! Figure 9: I/O performance on Chiba City with each compute node
+//! accessing its *local* disk through the PVFS interface.
+//!
+//! Expected shape (paper §4.4): with the slow Ethernet out of the storage
+//! path, MPI-IO has much better overall performance than the sequential
+//! HDF4 design and scales well with the number of processors; the only
+//! remaining overhead is user-level communication.
+
+use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_enzo::{Hdf4Serial, MpiIoOptimized, Platform, ProblemSize};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let procs: &[usize] = if quick { &[4, 8] } else { &[2, 4, 8] };
+    let problems: &[ProblemSize] = if quick {
+        &[ProblemSize::Amr64]
+    } else {
+        &[ProblemSize::Amr64, ProblemSize::Amr128]
+    };
+    let mut reports = Vec::new();
+    for &problem in problems {
+        for &p in procs {
+            let platform = Platform::chiba_local(p);
+            reports.push(run_cell(&platform, problem, p, &Hdf4Serial));
+            reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+        }
+    }
+    print_reports(
+        "Figure 9: ENZO I/O on Chiba City / node-local disks via PVFS interface",
+        &reports,
+    );
+    write_csv("fig9", &reports);
+}

@@ -1,0 +1,30 @@
+//! Future-work demo (paper §5, file system side): "improve the parallel
+//! file system so that it has flexible, application-specific disk file
+//! striping and distribution patterns".
+//!
+//! The GPFS result of Fig. 7 — parallel MPI-IO losing to serial HDF4 —
+//! is caused by the mismatch between small per-processor chunks and the
+//! file system's very large fixed stripes/lock blocks. With the per-file
+//! striping interface (`Pfs::set_file_striping`), the application aligns
+//! the stripe to its aggregator file domains, and the penalty should
+//! shrink or vanish.
+
+use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_enzo::{Hdf4Serial, MpiIoAppStriped, MpiIoOptimized, Platform, ProblemSize};
+
+fn main() {
+    let mut reports = Vec::new();
+    for p in [32usize, 64] {
+        let platform = Platform::ibm_sp2(p);
+        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &Hdf4Serial));
+        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
+        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoAppStriped));
+    }
+    print_reports(
+        "Future FS: GPFS with fixed stripes vs application-specific striping",
+        &reports,
+    );
+    write_csv("future_fs", &reports);
+    println!("\nIf the mechanism is right, MPI-IO-appstripe recovers (most of) the");
+    println!("Fig. 7 write deficit that MPI-IO shows against HDF4 on stock GPFS.");
+}

@@ -1,0 +1,60 @@
+//! HDF5 storage-layout ablation: contiguous datasets (what the 2002 ENZO
+//! HDF5 port used, with the §4.5 misalignment problem) vs chunked
+//! datasets at several chunk sizes — the layout later ENZO versions
+//! adopted. Chunking trades per-chunk B-tree index lookups and scattered
+//! allocation for alignment and locality of subarray access.
+
+use amrio_enzo::Platform;
+use amrio_hdf5::{H5File, Hyperslab, OverheadModel, Xfer};
+use amrio_mpi::World;
+use amrio_mpiio::{MpiIo, NumType};
+
+fn run(n: u64, nranks: usize, chunk: Option<u64>) -> (f64, f64) {
+    let platform = Platform::origin2000(nranks);
+    let world = World::new(nranks, platform.net.clone());
+    let io = MpiIo::new(platform.fs.clone());
+    let r = world.run(|c| {
+        let mut f = H5File::create(&io, c, "lay.h5", OverheadModel::default());
+        let ds = match chunk {
+            None => f.create_dataset("v", NumType::F32, &[n, n, n]),
+            Some(cz) => f.create_dataset_chunked("v", NumType::F32, &[n, n, n], &[cz, cz, cz]),
+        };
+        let per = n / nranks as u64;
+        let slab = Hyperslab::new(&[c.rank() as u64 * per, 0, 0], &[per, n, n]);
+        let buf = vec![1u8; (slab.elements() * 4) as usize];
+        c.barrier();
+        let t0 = c.now();
+        f.write_hyperslab(ds, &slab, Xfer::Collective, &buf);
+        c.barrier();
+        let tw = (c.now() - t0).as_secs_f64();
+        let t0 = c.now();
+        let _ = f.read_hyperslab(ds, &slab, Xfer::Collective);
+        c.barrier();
+        let tr = (c.now() - t0).as_secs_f64();
+        (tw, tr)
+    });
+    r.results[0]
+}
+
+fn main() {
+    let n = 64u64;
+    let nranks = 8;
+    println!("== HDF5 layout ablation: one {n}^3 f32 dataset, {nranks} ranks, Origin2000/XFS ==");
+    println!("{:<16} {:>10} {:>10}", "layout", "write[s]", "read[s]");
+    use std::io::Write;
+    std::fs::create_dir_all("results").ok();
+    let mut csv = std::fs::File::create("results/hdf5_chunking.csv").unwrap();
+    writeln!(csv, "layout,write_s,read_s").unwrap();
+    let (tw, tr) = run(n, nranks, None);
+    println!("{:<16} {:>10.4} {:>10.4}", "contiguous", tw, tr);
+    writeln!(csv, "contiguous,{tw:.6},{tr:.6}").unwrap();
+    for cz in [4u64, 8, 16, 32] {
+        let (tw, tr) = run(n, nranks, Some(cz));
+        let label = format!("chunked-{cz}^3");
+        println!("{:<16} {:>10.4} {:>10.4}", label, tw, tr);
+        writeln!(csv, "{label},{tw:.6},{tr:.6}").unwrap();
+    }
+    println!("\nTiny chunks drown in B-tree lookups and scattered allocation;");
+    println!("large chunks approach contiguous performance while keeping");
+    println!("stripe-aligned allocation (the post-2002 HDF5 remedy).");
+}

@@ -1,0 +1,59 @@
+//! The paper's §3.1 "Application I/O Analysis", regenerated: trace every
+//! file system request each strategy issues during a checkpoint dump +
+//! restart (Pablo-style, the paper's reference [20]) and print the
+//! characterization — request counts and sizes, sequentiality,
+//! concurrency — that motivated the MPI-IO redesign.
+
+use amrio_bench::{default_cfg, EVOLVE_CYCLES};
+use amrio_enzo::evolve::{evolve_step, rebuild_refinement};
+use amrio_enzo::{
+    driver::timed, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    SimState,
+};
+use amrio_mpi::World;
+use amrio_mpiio::MpiIo;
+
+fn analyze(strategy: &dyn IoStrategy, nranks: usize) {
+    let platform = Platform::origin2000(nranks);
+    let world = World::new(nranks, platform.net.clone());
+    let io = MpiIo::new(platform.fs.clone());
+    io.fs().lock().trace.enable();
+    world.run(|c| {
+        let mut st = SimState::init(c, default_cfg(ProblemSize::Amr64, nranks));
+        rebuild_refinement(c, &mut st);
+        for _ in 0..EVOLVE_CYCLES {
+            evolve_step(c, &mut st, 1.0);
+        }
+        rebuild_refinement(c, &mut st);
+        let (_, ()) = timed(c, || strategy.write_checkpoint(c, &io, &st, 0));
+        let (_, _st2) = timed(c, || strategy.read_checkpoint(c, &io, &st.cfg, 0));
+    });
+    let fs = io.fs();
+    let g = fs.lock();
+    let report = g.trace.report();
+    println!("--- {} (AMR64, {} procs) ---", strategy.name(), nranks);
+    print!("{}", report.render());
+    std::fs::create_dir_all("results").ok();
+    let path = format!(
+        "results/trace_{}.csv",
+        strategy.name().to_lowercase().replace('-', "_")
+    );
+    std::fs::write(&path, g.trace.to_csv()).expect("write trace csv");
+    println!("(raw trace: {path})\n");
+}
+
+fn main() {
+    println!("== I/O characterization of the three strategies (paper sec. 3.1) ==\n");
+    for s in [
+        &Hdf4Serial as &dyn IoStrategy,
+        &MpiIoOptimized,
+        &Hdf5Parallel::default(),
+    ] {
+        analyze(s, 8);
+    }
+    println!("Expected contrasts: HDF4 funnels everything through client 0");
+    println!("(peak concurrency ~1 for the top-grid phase, small header");
+    println!("requests from directory scans); MPI-IO issues fewer, larger,");
+    println!("highly concurrent requests; HDF5 adds many small metadata");
+    println!("requests interleaved with the data (misalignment).");
+}

@@ -1,0 +1,78 @@
+//! `amrio-bench` — the experiment harness that regenerates every table
+//! and figure of the paper. Each `src/bin/*` binary prints one
+//! table/figure; `cargo run -p amrio-bench --bin all` runs everything.
+
+use amrio_enzo::{driver, IoStrategy, Platform, ProblemSize, RunReport, SimConfig};
+
+/// Evolution cycles before the timed dump (enough to grow a refinement
+/// hierarchy and scatter particles irregularly).
+pub const EVOLVE_CYCLES: u32 = 2;
+
+pub fn default_cfg(problem: ProblemSize, nranks: usize) -> SimConfig {
+    SimConfig::new(problem, nranks)
+}
+
+/// Run one experiment cell: platform x problem x strategy.
+pub fn run_cell(
+    platform: &Platform,
+    problem: ProblemSize,
+    nranks: usize,
+    strategy: &dyn IoStrategy,
+) -> RunReport {
+    let cfg = default_cfg(problem, nranks);
+    driver::run_experiment(platform, &cfg, strategy, EVOLVE_CYCLES)
+}
+
+/// Pretty-print a block of reports as a figure-style table.
+pub fn print_reports(title: &str, reports: &[RunReport]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<24} {:>8} {:>6} {:>14} {:>12} {:>12} {:>10} {:>10} {:>6}",
+        "platform", "problem", "procs", "strategy", "write[s]", "read[s]", "MB-write", "MB-read", "ok"
+    );
+    for r in reports {
+        println!(
+            "{:<24} {:>8} {:>6} {:>14} {:>12.3} {:>12.3} {:>10.1} {:>10.1} {:>6}",
+            r.platform,
+            r.problem,
+            r.nranks,
+            r.strategy,
+            r.write_time,
+            r.read_time,
+            r.bytes_written as f64 / 1e6,
+            r.bytes_read as f64 / 1e6,
+            if r.verified { "yes" } else { "NO" }
+        );
+    }
+}
+
+/// Write reports as CSV rows to `results/<name>.csv` (creating the dir).
+pub fn write_csv(name: &str, reports: &[RunReport]) {
+    use std::io::Write;
+    std::fs::create_dir_all("results").ok();
+    let path = format!("results/{name}.csv");
+    let mut f = std::fs::File::create(&path).expect("create results csv");
+    writeln!(
+        f,
+        "platform,problem,procs,strategy,write_s,read_s,bytes_written,bytes_read,grids,verified"
+    )
+    .unwrap();
+    for r in reports {
+        writeln!(
+            f,
+            "{},{},{},{},{:.6},{:.6},{},{},{},{}",
+            r.platform,
+            r.problem,
+            r.nranks,
+            r.strategy,
+            r.write_time,
+            r.read_time,
+            r.bytes_written,
+            r.bytes_read,
+            r.grids,
+            r.verified
+        )
+        .unwrap();
+    }
+    println!("(wrote {path})");
+}

@@ -1,0 +1,111 @@
+//! End-to-end experiment driver: build a platform, initialize the
+//! simulation, evolve it, then time a checkpoint dump and a restart read
+//! with a chosen I/O strategy — the measurement loop behind every figure.
+
+use crate::evolve::{evolve_step, rebuild_refinement};
+use crate::io::IoStrategy;
+use crate::platform::Platform;
+use crate::problem::SimConfig;
+use crate::state::{global_digest, SimState};
+use amrio_mpi::{Comm, World};
+use amrio_mpiio::MpiIo;
+use amrio_simt::SimDur;
+
+/// Result of one experiment run (virtual seconds).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub platform: &'static str,
+    pub strategy: &'static str,
+    pub problem: String,
+    pub nranks: usize,
+    /// Time of the checkpoint dump (all grids).
+    pub write_time: f64,
+    /// Time of the restart read.
+    pub read_time: f64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    /// Grid count at dump time (incl. the root grid).
+    pub grids: usize,
+    pub max_level: u8,
+    /// Restart state matched the dumped state bit-for-bit.
+    pub verified: bool,
+    /// Whole-run virtual makespan (setup + evolution + I/O).
+    pub makespan: f64,
+}
+
+/// Barrier-bracketed timing: all ranks enter and leave together, so the
+/// duration is identical on every rank.
+pub fn timed<R>(comm: &Comm, f: impl FnOnce() -> R) -> (SimDur, R) {
+    comm.barrier();
+    let t0 = comm.now();
+    let r = f();
+    comm.barrier();
+    (comm.now() - t0, r)
+}
+
+/// Run the full experiment: init → refine → `evolve_cycles` steps →
+/// timed checkpoint write → timed restart read → verification.
+pub fn run_experiment(
+    platform: &Platform,
+    cfg: &SimConfig,
+    strategy: &dyn IoStrategy,
+    evolve_cycles: u32,
+) -> RunReport {
+    assert_eq!(cfg.nranks, {
+        // Compute endpoints precede any I/O server endpoints.
+        let eps = platform.net.node_of.len();
+        let servers = platform
+            .fs
+            .server_endpoints
+            .as_ref()
+            .map(|v| v.len())
+            .unwrap_or(0);
+        eps - servers
+    });
+    let world = World::new(cfg.nranks, platform.net.clone());
+    let io = MpiIo::new(platform.fs.clone());
+
+    let report = world.run(|comm| {
+        let mut st = SimState::init(comm, cfg.clone());
+        rebuild_refinement(comm, &mut st);
+        for _ in 0..evolve_cycles {
+            evolve_step(comm, &mut st, 1.0);
+        }
+        rebuild_refinement(comm, &mut st);
+
+        let (wt, ()) = timed(comm, || strategy.write_checkpoint(comm, &io, &st, 0));
+        let d0 = global_digest(comm, &st);
+        let (rt, st2) = timed(comm, || strategy.read_checkpoint(comm, &io, &st.cfg, 0));
+        let d1 = global_digest(comm, &st2);
+
+        (
+            wt,
+            rt,
+            d0 == d1,
+            st.hierarchy.grids.len(),
+            st.hierarchy.max_level(),
+            comm.now(),
+        )
+    });
+
+    let (wt, rt, verified, grids, max_level, _) = report.results[0];
+    let stats = {
+        let fs = io.fs();
+        let s = fs.lock().stats;
+        s
+    };
+    RunReport {
+        platform: platform.name,
+        strategy: strategy.name(),
+        problem: cfg.problem.label(),
+        nranks: cfg.nranks,
+        write_time: wt.as_secs_f64(),
+        read_time: rt.as_secs_f64(),
+        bytes_written: stats.bytes_written,
+        bytes_read: stats.bytes_read,
+        grids,
+        max_level,
+        verified,
+        makespan: report.makespan.as_secs_f64(),
+    }
+}

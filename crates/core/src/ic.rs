@@ -1,0 +1,308 @@
+//! The "new simulation" I/O category (paper §3.1): reading initial grids.
+//!
+//! A cosmology run starts from initial-condition files produced by a
+//! separate generator (ENZO's `inits` tool): the top grid plus some
+//! pre-refined subgrids, stored in (sequential) HDF4 format. The paper's
+//! original design has processor 0 read every initial grid and
+//! redistribute it; the optimized design lets all processors read the
+//! top-grid in parallel "in the same way as the top-grid [checkpoint]"
+//! — which works because the HDF4 record layout stores each dataset
+//! contiguously at a discoverable offset, so MPI-IO file views can
+//! address it directly.
+
+use crate::io::{extract_slabs, scatter_particles_by_slab};
+use crate::problem::SimConfig;
+use crate::state::{ic_position, ic_velocity, SimState, TOP_GRID};
+use crate::wire;
+use amrio_amr::grid::GridMeta;
+use amrio_amr::solver;
+use amrio_amr::{block_bounds, BlockDecomp, CellBox, GridPatch, Hierarchy, ParticleSet};
+use amrio_amr::{Array3, BARYON_FIELDS, NUM_FIELDS, PARTICLE_ARRAYS};
+use amrio_hdf4::H4File;
+use amrio_mpi::Comm;
+use amrio_mpiio::{Datatype, Mode, MpiIo};
+
+/// Path of the initial-conditions file.
+pub fn ic_path() -> &'static str {
+    "InitialGrid"
+}
+
+/// The `inits` tool: processor 0 generates the initial top grid (fields
+/// plus particles, sorted by ID) and writes it as an HDF4 file. Runs
+/// before the simulation; its cost is the IC-generation cost, not part
+/// of the timed read.
+pub fn write_initial_conditions(comm: &Comm, io: &MpiIo, cfg: &SimConfig) {
+    if comm.rank() == 0 {
+        let n = cfg.root_n();
+        let np = cfg.num_particles();
+        let mass = (n * n * n) as f32 / np.max(1) as f32;
+        let mut ps = ParticleSet::with_capacity(np as usize);
+        for i in 0..np {
+            ps.push(
+                i as i64,
+                ic_position(cfg.seed, i),
+                ic_velocity(cfg.seed, i),
+                mass,
+                [0.0, 0.0],
+            );
+        }
+        let mut top = GridPatch::new(TOP_GRID, 0, CellBox::cube(n));
+        top.particles = ps;
+        solver::update_derived_fields(&mut top, [n, n, n]);
+
+        let mut h = Hierarchy::new();
+        h.add(GridMeta {
+            id: TOP_GRID,
+            level: 0,
+            bbox: CellBox::cube(n),
+            parent: None,
+            owner: 0,
+            nparticles: np,
+        });
+
+        let mut f = H4File::create(io, comm, ic_path());
+        f.write_attr("hierarchy", &wire::encode_hierarchy(&h, 0.0, 0));
+        for (i, name) in BARYON_FIELDS.iter().enumerate() {
+            f.write_sds(name, amrio_mpiio::NumType::F32, &[n, n, n], &top.fields[i].to_bytes());
+        }
+        for (a, (name, _)) in PARTICLE_ARRAYS.iter().enumerate() {
+            f.write_sds(
+                name,
+                crate::io::particle_numtype(a),
+                &[np],
+                &top.particles.array_bytes(name),
+            );
+        }
+    }
+    comm.barrier();
+}
+
+fn state_from(
+    comm: &Comm,
+    cfg: &SimConfig,
+    hierarchy: Hierarchy,
+    fields: Vec<Array3>,
+    particles: ParticleSet,
+) -> SimState {
+    crate::io::rebuild_state(comm, cfg, hierarchy, 0.0, 0, fields, particles, Vec::new())
+}
+
+/// The original design: processor 0 reads every initial grid and
+/// redistributes — fields as `(Block,Block,Block)` slabs, particles by
+/// position (paper §3.1).
+pub fn new_simulation_read_serial(comm: &Comm, io: &MpiIo, cfg: &SimConfig) -> SimState {
+    let n = cfg.root_n();
+    let decomp = BlockDecomp::new(CellBox::cube(n), comm.size());
+    let f = (comm.rank() == 0).then(|| H4File::open(io, comm, ic_path()));
+    let meta = f
+        .as_ref()
+        .map(|f| f.read_attr("hierarchy"))
+        .unwrap_or_default();
+    let meta = comm.bcast(0, meta);
+    let (hierarchy, _, _) = wire::decode_hierarchy(&meta);
+
+    let mut my_fields = Vec::with_capacity(NUM_FIELDS);
+    for name in BARYON_FIELDS.iter() {
+        let parts = if let Some(f) = &f {
+            let (_, bytes) = f.read_sds(name);
+            let global = Array3::from_bytes([n as usize; 3], &bytes);
+            extract_slabs(comm, &decomp, &global)
+        } else {
+            Vec::new()
+        };
+        let mine = comm.scatterv(0, parts);
+        let s = decomp.slab(comm.rank()).size();
+        my_fields.push(Array3::from_bytes(
+            [s[0] as usize, s[1] as usize, s[2] as usize],
+            &mine,
+        ));
+    }
+    let parts = if let Some(f) = &f {
+        let mut ps = ParticleSet::new();
+        for (name, _) in PARTICLE_ARRAYS.iter() {
+            let (_, bytes) = f.read_sds(name);
+            ps.set_array_bytes(name, &bytes);
+        }
+        ps.validate();
+        let split = ps.partition_by(comm.size(), |pos| decomp.owner_of_pos(pos, [n, n, n]));
+        split
+            .iter()
+            .map(|s| {
+                let mut rec = Vec::new();
+                for i in 0..s.len() {
+                    wire::push_particle(&mut rec, s, i);
+                }
+                rec
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mine = comm.scatterv(0, parts);
+    let mut particles = ParticleSet::new();
+    wire::read_particles(&mine, &mut particles);
+    comm.barrier();
+    state_from(comm, cfg, hierarchy, my_fields, particles)
+}
+
+/// The optimized design: every processor opens the (HDF4-format) IC file
+/// and reads its own portion in parallel — collective subarray views for
+/// the fields, block-wise contiguous reads + position redistribution for
+/// the particles. Possible because HDF4 stores each SDS contiguously at
+/// an offset the record scan discovers.
+pub fn new_simulation_read_parallel(comm: &Comm, io: &MpiIo, cfg: &SimConfig) -> SimState {
+    let n = cfg.root_n();
+    let decomp = BlockDecomp::new(CellBox::cube(n), comm.size());
+    let slab = decomp.slab(comm.rank());
+
+    // Rank 0 scans the record directory once and broadcasts the dataset
+    // offsets (cheaper than every rank scanning).
+    let catalog: Vec<u8> = if comm.rank() == 0 {
+        let f = H4File::open(io, comm, ic_path());
+        let mut out = Vec::new();
+        let hmeta = f.read_attr("hierarchy");
+        out.extend_from_slice(&(hmeta.len() as u64).to_le_bytes());
+        out.extend_from_slice(&hmeta);
+        for name in BARYON_FIELDS.iter() {
+            let info = f.info(name).expect("field present");
+            out.extend_from_slice(&info.data_off.to_le_bytes());
+        }
+        for (name, _) in PARTICLE_ARRAYS.iter() {
+            let info = f.info(name).expect("array present");
+            out.extend_from_slice(&info.data_off.to_le_bytes());
+        }
+        out
+    } else {
+        Vec::new()
+    };
+    let catalog = comm.bcast(0, catalog);
+    let hlen = u64::from_le_bytes(catalog[..8].try_into().unwrap()) as usize;
+    let (hierarchy, _, _) = wire::decode_hierarchy(&catalog[8..8 + hlen]);
+    let mut p = 8 + hlen;
+    let mut next_off = || {
+        let v = u64::from_le_bytes(catalog[p..p + 8].try_into().unwrap());
+        p += 8;
+        v
+    };
+
+    // Fields: collective reads through subarray views at the SDS offsets.
+    let mut f = io.open(comm, ic_path(), Mode::Open);
+    let s = slab.size();
+    let dims = [s[0] as usize, s[1] as usize, s[2] as usize];
+    let mut my_fields = Vec::with_capacity(NUM_FIELDS);
+    for _ in 0..NUM_FIELDS {
+        let off = next_off();
+        f.set_view(off, Datatype::subarray3([n, n, n], slab.lo, slab.size(), 4));
+        my_fields.push(Array3::from_bytes(dims, &f.read_all_view()));
+    }
+
+    // Particles: block-wise contiguous reads + redistribution.
+    let np = hierarchy.find(TOP_GRID).unwrap().nparticles;
+    let (bs, be) = block_bounds(np, comm.size() as u64, comm.rank() as u64);
+    let mut block = ParticleSet::new();
+    for (name, width) in PARTICLE_ARRAYS.iter() {
+        let off = next_off();
+        let bytes = f.read_at(off + bs * width, (be - bs) * width);
+        block.set_array_bytes(name, &bytes);
+    }
+    block.validate();
+    let particles = scatter_particles_by_slab(comm, &decomp, n, &block);
+    comm.barrier();
+    state_from(comm, cfg, hierarchy, my_fields, particles)
+}
+
+/// Sanity helper for tests/examples: regenerate the initial state in
+/// memory (no I/O) for comparison against the file-based paths.
+pub fn reference_state(comm: &Comm, cfg: &SimConfig) -> SimState {
+    SimState::init(comm, cfg.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ProblemSize;
+    use crate::state::global_digest;
+    use amrio_mpi::World;
+    use amrio_mpiio::MpiIo;
+
+    fn cfg(nranks: usize) -> SimConfig {
+        let mut c = SimConfig::new(ProblemSize::Custom(16), nranks);
+        c.particle_fraction = 0.5;
+        c
+    }
+
+    #[test]
+    fn serial_and_parallel_reads_agree() {
+        // Note: the in-memory generator is NOT byte-identical to the file
+        // path (field diffusion runs per-slab there vs globally in the IC
+        // writer), so the equivalence that matters is between the two
+        // file-based read designs — same file, same resulting state.
+        let platform = crate::Platform::origin2000(4);
+        let world = World::new(4, platform.net.clone());
+        let io = MpiIo::new(platform.fs.clone());
+        let r = world.run(|c| {
+            let cfg = cfg(4);
+            write_initial_conditions(c, &io, &cfg);
+            let serial = new_simulation_read_serial(c, &io, &cfg);
+            let parallel = new_simulation_read_parallel(c, &io, &cfg);
+            let np = c.allreduce_u64(
+                serial.my_top.particles.len() as u64,
+                amrio_mpi::coll::ReduceOp::Sum,
+            );
+            assert_eq!(np, cfg.num_particles(), "no particle lost in scatter");
+            (global_digest(c, &serial), global_digest(c, &parallel))
+        });
+        let (b, c_) = r.results[0];
+        assert_eq!(b, c_, "parallel new-sim read must match the serial one");
+    }
+
+    #[test]
+    fn parallel_new_sim_read_is_faster() {
+        let time_of = |parallel: bool| {
+            let platform = crate::Platform::origin2000(8);
+            let world = World::new(8, platform.net.clone());
+            let io = MpiIo::new(platform.fs.clone());
+            let r = world.run(move |c| {
+                // Large enough that data movement dominates the fixed
+                // per-operation costs.
+                let cfg = SimConfig::new(ProblemSize::Custom(32), 8);
+                write_initial_conditions(c, &io, &cfg);
+                c.barrier();
+                let t0 = c.now();
+                let st = if parallel {
+                    new_simulation_read_parallel(c, &io, &cfg)
+                } else {
+                    new_simulation_read_serial(c, &io, &cfg)
+                };
+                c.barrier();
+                let dt = c.now() - t0;
+                assert!(st.my_top.particles.len() < cfg.num_particles() as usize);
+                dt
+            });
+            r.results[0]
+        };
+        assert!(time_of(true) < time_of(false));
+    }
+
+    #[test]
+    fn evolution_from_either_read_path_matches() {
+        // A run started from the serially-read ICs must follow the same
+        // trajectory as one started from the parallel read.
+        let platform = crate::Platform::origin2000(4);
+        let world = World::new(4, platform.net.clone());
+        let io = MpiIo::new(platform.fs.clone());
+        let r = world.run(|c| {
+            let cfg = cfg(4);
+            write_initial_conditions(c, &io, &cfg);
+            let mut a = new_simulation_read_serial(c, &io, &cfg);
+            let mut b = new_simulation_read_parallel(c, &io, &cfg);
+            crate::evolve::rebuild_refinement(c, &mut a);
+            crate::evolve::rebuild_refinement(c, &mut b);
+            crate::evolve::evolve_step(c, &mut a, 1.0);
+            crate::evolve::evolve_step(c, &mut b, 1.0);
+            (global_digest(c, &a), global_digest(c, &b))
+        });
+        let (a, b) = r.results[0];
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's three testbeds as bundled network + file system models.
+
+use amrio_disk::{presets, FsConfig};
+use amrio_net::NetConfig;
+
+/// One experimental platform: interconnect plus parallel file system.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    pub name: &'static str,
+    pub net: NetConfig,
+    pub fs: FsConfig,
+}
+
+impl Platform {
+    /// SGI Origin2000 at NCSA: 48-proc ccNUMA, XFS scratch volume (§4.1).
+    pub fn origin2000(nranks: usize) -> Platform {
+        Platform {
+            name: "SGI-Origin2000/XFS",
+            net: NetConfig::ccnuma(nranks),
+            fs: presets::xfs_origin2000(),
+        }
+    }
+
+    /// IBM SP-2 at SDSC: 8-way Power3 SMP nodes behind a switch, GPFS with
+    /// dedicated I/O nodes (§4.2).
+    pub fn ibm_sp2(nranks: usize) -> Platform {
+        let nservers = 8;
+        let compute_nodes = nranks.div_ceil(8);
+        // I/O nodes sit on their own switch ports after the compute nodes.
+        let server_nodes: Vec<usize> = (0..nservers).map(|i| compute_nodes + i).collect();
+        let net = NetConfig::smp_cluster(nranks, 8).with_extra_endpoints(&server_nodes);
+        let server_endpoints: Vec<usize> = (0..nservers).map(|i| nranks + i).collect();
+        Platform {
+            name: "IBM-SP2/GPFS",
+            net,
+            fs: presets::gpfs_sp2(server_endpoints),
+        }
+    }
+
+    /// Chiba City Linux cluster at ANL: Fast Ethernet, PVFS with 8 I/O
+    /// nodes (§4.3).
+    pub fn chiba_pvfs(nranks: usize) -> Platform {
+        let nservers = 8;
+        let server_nodes: Vec<usize> = (0..nservers).map(|i| nranks + i).collect();
+        let net = NetConfig::fast_ethernet(nranks).with_extra_endpoints(&server_nodes);
+        let server_endpoints: Vec<usize> = (0..nservers).map(|i| nranks + i).collect();
+        Platform {
+            name: "ChibaCity/PVFS",
+            net,
+            fs: presets::pvfs_chiba(server_endpoints),
+        }
+    }
+
+    /// Chiba City using each compute node's local disk through the PVFS
+    /// interface (§4.4).
+    pub fn chiba_local(nranks: usize) -> Platform {
+        Platform {
+            name: "ChibaCity/PVFS-local",
+            net: NetConfig::fast_ethernet(nranks),
+            fs: presets::pvfs_local_disks(nranks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp2_places_servers_on_dedicated_nodes() {
+        let p = Platform::ibm_sp2(32);
+        // 32 ranks over 4 SMP nodes, then 8 I/O nodes.
+        assert_eq!(p.net.node_of.len(), 40);
+        assert_eq!(p.net.node_of[31], 3);
+        assert_eq!(p.net.node_of[32], 4);
+        assert_eq!(p.net.node_of[39], 11);
+        assert_eq!(p.fs.server_endpoints.as_ref().unwrap()[0], 32);
+    }
+
+    #[test]
+    fn chiba_has_8_io_nodes() {
+        let p = Platform::chiba_pvfs(8);
+        assert_eq!(p.net.node_of.len(), 16);
+        assert_eq!(p.fs.nservers, 8);
+    }
+
+    #[test]
+    fn local_platform_has_no_server_endpoints() {
+        let p = Platform::chiba_local(8);
+        assert!(p.fs.server_endpoints.is_none());
+        assert_eq!(p.fs.nservers, 8);
+    }
+
+    #[test]
+    fn origin_is_single_node() {
+        let p = Platform::origin2000(16);
+        assert!(p.net.node_of.iter().all(|n| *n == 0));
+    }
+}

@@ -1,0 +1,816 @@
+//! The parallel file system simulator.
+//!
+//! A [`Pfs`] owns a set of I/O servers (each a [`BlockDev`]) and a flat
+//! namespace of files with *real* byte contents. Requests are priced per
+//! the platform's striping, network placement, locking, and client-side
+//! queueing rules, and must be issued from `amrio-simt` ordered sections
+//! so contention resolves deterministically.
+//!
+//! Mechanisms reproduced from the paper's platforms:
+//!
+//! * **Striping**: a contiguous file range maps round-robin over servers;
+//!   adjacent blocks on the same server coalesce into one contiguous disk
+//!   request (so a single large sequential stream uses all servers at
+//!   near-full bandwidth, while small strided chunks pay per-request
+//!   costs — the GPFS "mismatch" of §4.2).
+//! * **Block tokens** (GPFS): writes acquire a token per lock block;
+//!   writes from different clients into the same block serialize and pay
+//!   a revocation cost (false sharing across stripe boundaries).
+//! * **Per-node I/O queue** (IBM SP): requests from processors of one SMP
+//!   node serialize through that node's I/O request queue.
+//! * **Client-local placement** (PVFS interface on local disks, §4.4):
+//!   every client reads/writes its own directly-attached disk.
+
+use crate::dev::{BlockDev, DiskParams};
+use crate::store::ExtentStore;
+use crate::trace::{IoEvent, IoTrace};
+use amrio_net::{Endpoint, Net};
+use amrio_simt::{SimDur, SimTime};
+use std::collections::HashMap;
+
+/// Size of the request header / ack messages exchanged with servers.
+const REQ_MSG: u64 = 64;
+
+/// How file data is placed on servers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Round-robin striping over all servers.
+    Striped,
+    /// Client `c` uses server `c`'s (its own node's) disk directly.
+    ClientLocal,
+}
+
+/// Static configuration of a simulated parallel file system.
+#[derive(Clone, Debug)]
+pub struct FsConfig {
+    pub label: String,
+    /// Stripe (and GPFS lock-block) unit in bytes.
+    pub stripe: u64,
+    pub nservers: usize,
+    pub disk: DiskParams,
+    /// Network endpoints of the servers; `None` means direct-attached
+    /// storage with no network hop (XFS on the Origin2000, local disks).
+    pub server_endpoints: Option<Vec<Endpoint>>,
+    pub placement: Placement,
+    /// GPFS-style write tokens at this granularity (bytes).
+    pub lock_block: Option<u64>,
+    /// Cost of stealing a write token owned by another client.
+    pub token_cost: SimDur,
+    /// If set, requests serialize through the client node's I/O queue at
+    /// this cost per request (IBM SP SMP nodes).
+    pub client_queue_cost: Option<SimDur>,
+    /// Per-client streaming limit (bytes/s) on the local syscall/copy
+    /// path of direct-attached storage: one 2002-era process cannot
+    /// saturate a striped volume, but several together can.
+    pub single_stream_bw: Option<f64>,
+}
+
+/// Identifies an open file.
+pub type FileId = usize;
+
+#[derive(Clone, Debug, Default)]
+struct FileData {
+    store: ExtentStore,
+    /// Application-specific stripe override (the paper's §5 proposal:
+    /// "flexible, application-specific disk file striping and
+    /// distribution patterns").
+    stripe_override: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Token {
+    owner: Endpoint,
+    free_at: SimTime,
+}
+
+/// Aggregate counters for a file system instance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FsStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Requests as seen by servers after striping/coalescing.
+    pub server_requests: u64,
+    pub token_steals: u64,
+    pub meta_ops: u64,
+}
+
+/// One (server index, device offset, length, file offset) piece of a
+/// request after striping and coalescing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Piece {
+    pub server: usize,
+    pub dev_off: u64,
+    pub len: u64,
+    pub file_off: u64,
+}
+
+/// The simulated parallel file system.
+#[derive(Clone, Debug)]
+pub struct Pfs {
+    cfg: FsConfig,
+    servers: Vec<BlockDev>,
+    files: Vec<FileData>,
+    names: HashMap<String, FileId>,
+    tokens: HashMap<(FileId, u64), Token>,
+    node_queue: HashMap<usize, SimTime>,
+    client_stream_free: HashMap<Endpoint, SimTime>,
+    pub stats: FsStats,
+    /// Optional Pablo-style request trace (see [`crate::trace`]).
+    pub trace: IoTrace,
+}
+
+impl Pfs {
+    pub fn new(cfg: FsConfig) -> Pfs {
+        assert!(cfg.stripe > 0, "stripe must be positive");
+        assert!(cfg.nservers > 0, "need at least one server");
+        if let Some(eps) = &cfg.server_endpoints {
+            assert_eq!(eps.len(), cfg.nservers, "one endpoint per server");
+        }
+        let servers = (0..cfg.nservers)
+            .map(|_| BlockDev::new(cfg.disk))
+            .collect();
+        Pfs {
+            cfg,
+            servers,
+            files: Vec::new(),
+            names: HashMap::new(),
+            tokens: HashMap::new(),
+            node_queue: HashMap::new(),
+            client_stream_free: HashMap::new(),
+            stats: FsStats::default(),
+            trace: IoTrace::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FsConfig {
+        &self.cfg
+    }
+
+    pub fn server(&self, i: usize) -> &BlockDev {
+        &self.servers[i]
+    }
+
+    /// Create (or truncate) a file; charges one metadata round trip.
+    pub fn create(&mut self, client: Endpoint, net: &mut Net, path: &str, t: SimTime) -> (FileId, SimTime) {
+        let id = *self.names.entry(path.to_string()).or_insert_with(|| {
+            self.files.push(FileData::default());
+            self.files.len() - 1
+        });
+        self.files[id].store = ExtentStore::new();
+        let done = self.meta_op(client, net, t);
+        (id, done)
+    }
+
+    /// Open an existing file; charges one metadata round trip.
+    pub fn open(&mut self, client: Endpoint, net: &mut Net, path: &str, t: SimTime) -> (FileId, SimTime) {
+        let id = *self
+            .names
+            .get(path)
+            .unwrap_or_else(|| panic!("open of missing file {path:?}"));
+        let done = self.meta_op(client, net, t);
+        (id, done)
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.names.contains_key(path)
+    }
+
+    pub fn file_size(&self, f: FileId) -> u64 {
+        self.files[f].store.len()
+    }
+
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.names.keys().map(|s| s.as_str())
+    }
+
+    /// A small control message to the metadata server (server 0).
+    fn meta_op(&mut self, client: Endpoint, net: &mut Net, t: SimTime) -> SimTime {
+        self.stats.meta_ops += 1;
+        match &self.cfg.server_endpoints {
+            Some(eps) => {
+                let req = net.transfer(client, eps[0], REQ_MSG, t);
+                let rsp = net.transfer(eps[0], client, REQ_MSG, req.arrival);
+                rsp.arrival
+            }
+            None => t + self.cfg.disk.per_request,
+        }
+    }
+
+    /// The stripe unit in effect for a file (config default, unless the
+    /// application installed a per-file override).
+    pub fn stripe_of(&self, f: FileId) -> u64 {
+        self.files
+            .get(f)
+            .and_then(|fd| fd.stripe_override)
+            .unwrap_or(self.cfg.stripe)
+    }
+
+    /// Install an application-specific stripe unit for one file — the
+    /// future-work interface the paper's §5 asks parallel file systems
+    /// for. Takes effect for subsequent requests and lock-block layout.
+    pub fn set_file_striping(&mut self, f: FileId, stripe: u64) {
+        assert!(stripe > 0, "stripe must be positive");
+        self.files[f].stripe_override = Some(stripe);
+    }
+
+    /// Decompose `[off, off+len)` into coalesced per-server pieces.
+    /// Striping is staggered by file id (like allocation groups), so small
+    /// files spread over all servers instead of piling onto server 0.
+    pub fn map_pieces(&self, client: Endpoint, f: FileId, off: u64, len: u64) -> Vec<Piece> {
+        if len == 0 {
+            return Vec::new();
+        }
+        match self.cfg.placement {
+            Placement::ClientLocal => {
+                let server = client % self.cfg.nservers;
+                vec![Piece {
+                    server,
+                    dev_off: off,
+                    len,
+                    file_off: off,
+                }]
+            }
+            Placement::Striped => {
+                let s = self.stripe_of(f);
+                let n = self.cfg.nservers as u64;
+                let mut pieces: Vec<Piece> = Vec::new();
+                let mut cur = off;
+                let end = off + len;
+                while cur < end {
+                    let block = cur / s;
+                    let server = ((block + f as u64) % n) as usize;
+                    let local_block = block / n;
+                    let in_block = cur % s;
+                    let piece_len = (s - in_block).min(end - cur);
+                    let dev_off = local_block * s + in_block;
+                    // Coalesce with the previous piece on the same server
+                    // when contiguous on disk (round-robin guarantees that
+                    // successive blocks of a server land on adjacent local
+                    // blocks, so long sequential file ranges become one
+                    // large disk request per server).
+                    if let Some(last) = pieces.iter_mut().rev().find(|p| p.server == server) {
+                        if last.dev_off + last.len == dev_off {
+                            last.len += piece_len;
+                            cur += piece_len;
+                            continue;
+                        }
+                    }
+                    pieces.push(Piece {
+                        server,
+                        dev_off,
+                        len: piece_len,
+                        file_off: cur,
+                    });
+                    cur += piece_len;
+                }
+                pieces
+            }
+        }
+    }
+
+    /// Occupy the client's local streaming path for `bytes`; returns when
+    /// the last byte has left (or reached) the client.
+    fn client_stream(&mut self, client: Endpoint, bytes: u64, t: SimTime) -> SimTime {
+        match self.cfg.single_stream_bw {
+            None => t,
+            Some(bw) => {
+                let free = self.client_stream_free.entry(client).or_insert(SimTime::ZERO);
+                let start = t.max(*free);
+                *free = start + SimDur::transfer(bytes, bw);
+                *free
+            }
+        }
+    }
+
+    /// Lock-block granularity for a file: tracks the stripe override
+    /// (GPFS tokens live at stripe-block granularity).
+    fn lock_block_of(&self, f: FileId) -> Option<u64> {
+        self.cfg.lock_block?;
+        let fd = self.files.get(f)?;
+        Some(fd.stripe_override.unwrap_or(self.cfg.lock_block.unwrap()))
+    }
+
+    fn client_queue(&mut self, client: Endpoint, net: &Net, t: SimTime) -> SimTime {
+        match self.cfg.client_queue_cost {
+            None => t,
+            Some(cost) => {
+                let node = net.node_of(client);
+                let q = self.node_queue.entry(node).or_insert(SimTime::ZERO);
+                let start = t.max(*q);
+                *q = start + cost;
+                *q
+            }
+        }
+    }
+
+    /// Synchronous write. Returns the completion time (all servers acked).
+    pub fn write_at(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        f: FileId,
+        off: u64,
+        data: &[u8],
+        t: SimTime,
+    ) -> SimTime {
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        let t = self.client_queue(client, net, t);
+        let stream_done = self.client_stream(client, data.len() as u64, t);
+        let pieces = self.map_pieces(client, f, off, data.len() as u64);
+        let mut completion = stream_done;
+        let mut send_clock = t;
+        for p in &pieces {
+            self.stats.server_requests += 1;
+            // Token acquisition (GPFS): serialize conflicting writers.
+            let mut start_floor = SimTime::ZERO;
+            let mut token_penalty = SimDur::ZERO;
+            if let Some(lb) = self.lock_block_of(f) {
+                let b0 = p.file_off / lb;
+                let b1 = (p.file_off + p.len - 1) / lb;
+                for b in b0..=b1 {
+                    let tok = self.tokens.entry((f, b)).or_insert(Token {
+                        owner: client,
+                        free_at: SimTime::ZERO,
+                    });
+                    if tok.owner != client {
+                        self.stats.token_steals += 1;
+                        token_penalty += self.cfg.token_cost;
+                        start_floor = start_floor.max(tok.free_at);
+                        tok.owner = client;
+                    }
+                }
+            }
+            let arrival = match &self.cfg.server_endpoints {
+                Some(eps) => {
+                    let x = net.transfer(client, eps[p.server], p.len + REQ_MSG, send_clock);
+                    send_clock = x.sender_free;
+                    x.arrival
+                }
+                None => send_clock,
+            };
+            let begin = arrival.max(start_floor) + token_penalty;
+            let disk_done = self.servers[p.server].access(p.dev_off, p.len, begin, true);
+            if let Some(lb) = self.lock_block_of(f) {
+                let b0 = p.file_off / lb;
+                let b1 = (p.file_off + p.len - 1) / lb;
+                for b in b0..=b1 {
+                    if let Some(tok) = self.tokens.get_mut(&(f, b)) {
+                        tok.free_at = tok.free_at.max(disk_done);
+                    }
+                }
+            }
+            let acked = match &self.cfg.server_endpoints {
+                Some(eps) => net.transfer(eps[p.server], client, REQ_MSG, disk_done).arrival,
+                None => disk_done,
+            };
+            completion = completion.max(acked);
+        }
+        self.files[f].store.write(off, data);
+        self.trace.record(IoEvent {
+            client,
+            file: f,
+            offset: off,
+            len: data.len() as u64,
+            write: true,
+            start: t,
+            end: completion,
+        });
+        completion
+    }
+
+    /// Synchronous read. Returns `(completion, data)`.
+    pub fn read_at(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        f: FileId,
+        off: u64,
+        len: u64,
+        t: SimTime,
+    ) -> (SimTime, Vec<u8>) {
+        self.stats.reads += 1;
+        self.stats.bytes_read += len;
+        let t = self.client_queue(client, net, t);
+        let stream_done = self.client_stream(client, len, t);
+        let pieces = self.map_pieces(client, f, off, len);
+        let mut completion = stream_done;
+        let mut send_clock = t;
+        for p in &pieces {
+            self.stats.server_requests += 1;
+            let arrival = match &self.cfg.server_endpoints {
+                Some(eps) => {
+                    let x = net.transfer(client, eps[p.server], REQ_MSG, send_clock);
+                    send_clock = x.sender_free;
+                    x.arrival
+                }
+                None => send_clock,
+            };
+            let disk_done = self.servers[p.server].access(p.dev_off, p.len, arrival, false);
+            let back = match &self.cfg.server_endpoints {
+                Some(eps) => net.transfer(eps[p.server], client, p.len + REQ_MSG, disk_done).arrival,
+                None => disk_done,
+            };
+            completion = completion.max(back);
+        }
+        let data = self.files[f].store.read_vec(off, len as usize);
+        self.trace.record(IoEvent {
+            client,
+            file: f,
+            offset: off,
+            len,
+            write: false,
+            start: t,
+            end: completion,
+        });
+        (completion, data)
+    }
+
+    /// Direct (cost-free) access to file bytes, for assertions in tests and
+    /// for post-run integration of per-process output files.
+    pub fn peek(&self, f: FileId, off: u64, len: usize) -> Vec<u8> {
+        self.files[f].store.read_vec(off, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrio_net::NetConfig;
+
+    fn striped(nservers: usize, stripe: u64) -> (Pfs, Net) {
+        let fs = Pfs::new(FsConfig {
+            label: "test".into(),
+            stripe,
+            nservers,
+            disk: DiskParams::new(100, 5, 50.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        });
+        (fs, Net::new(NetConfig::ccnuma(4)))
+    }
+
+    #[test]
+    fn data_roundtrips() {
+        let (mut fs, mut net) = striped(4, 1024);
+        let (f, t) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        let t = fs.write_at(0, &mut net, f, 123, &data, t);
+        let (_, got) = fs.read_at(1, &mut net, f, 123, data.len() as u64, t);
+        assert_eq!(got, data);
+        assert_eq!(fs.file_size(f), 123 + 10_000);
+    }
+
+    #[test]
+    fn striping_coalesces_contiguous_ranges() {
+        let (fs, _) = striped(4, 1024);
+        // 16 KiB from offset 0 over 4 servers: exactly one piece per server.
+        let pieces = fs.map_pieces(0, 0, 0, 16 * 1024);
+        assert_eq!(pieces.len(), 4);
+        for p in &pieces {
+            assert_eq!(p.len, 4 * 1024);
+        }
+        let servers: Vec<usize> = pieces.iter().map(|p| p.server).collect();
+        assert_eq!(servers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn small_unaligned_request_touches_few_servers() {
+        let (fs, _) = striped(4, 1024);
+        let pieces = fs.map_pieces(0, 0, 1000, 100);
+        assert_eq!(pieces.len(), 2); // crosses one stripe boundary
+        assert_eq!(pieces[0].server, 0);
+        assert_eq!(pieces[1].server, 1);
+    }
+
+    #[test]
+    fn device_offsets_are_round_robin() {
+        let (fs, _) = striped(2, 100);
+        // file blocks 0,1,2,3 -> (s0,b0),(s1,b0),(s0,b1),(s1,b1)
+        let p = fs.map_pieces(0, 0, 250, 10);
+        assert_eq!(
+            p,
+            vec![Piece {
+                server: 0,
+                dev_off: 150,
+                len: 10,
+                file_off: 250
+            }]
+        );
+    }
+
+    #[test]
+    fn big_write_is_parallel_across_servers() {
+        // Time for an 8 MB write over 4 servers must be ~1/4 of over 1.
+        let (mut fs4, mut net) = striped(4, 64 * 1024);
+        let (mut fs1, _) = striped(1, 64 * 1024);
+        let data = vec![7u8; 8 << 20];
+        let (f4, t0) = fs4.create(0, &mut net, "a", SimTime::ZERO);
+        let t4 = fs4.write_at(0, &mut net, f4, 0, &data, t0).as_secs_f64();
+        let (f1, t0) = fs1.create(0, &mut net, "a", SimTime::ZERO);
+        let t1 = fs1.write_at(0, &mut net, f1, 0, &data, t0).as_secs_f64();
+        assert!(t4 < t1 / 3.0, "t4={t4} t1={t1}");
+    }
+
+    #[test]
+    fn token_false_sharing_serializes_writers() {
+        let mk = |lock: bool| {
+            Pfs::new(FsConfig {
+                label: "gpfs".into(),
+                stripe: 1024,
+                nservers: 1,
+                disk: DiskParams::new(10, 0, 1000.0),
+                server_endpoints: None,
+                placement: Placement::Striped,
+                lock_block: lock.then_some(1024),
+                token_cost: SimDur::from_millis(5),
+                client_queue_cost: None,
+                single_stream_bw: None,
+            })
+        };
+        let mut net = Net::new(NetConfig::ccnuma(4));
+        // Two clients write into the same 1 KiB lock block.
+        let run = |fs: &mut Pfs, net: &mut Net| {
+            let (f, t0) = fs.create(0, net, "a", SimTime::ZERO);
+            let t1 = fs.write_at(0, net, f, 0, &[1u8; 512], t0);
+            fs.write_at(1, net, f, 512, &[2u8; 512], t1)
+        };
+        let mut locked = mk(true);
+        let mut unlocked = mk(false);
+        let tl = run(&mut locked, &mut net);
+        let tu = run(&mut unlocked, &mut net);
+        assert!(tl > tu + SimDur::from_millis(4));
+        assert_eq!(locked.stats.token_steals, 1);
+    }
+
+    #[test]
+    fn client_queue_serializes_same_node_requests() {
+        let mut fs = Pfs::new(FsConfig {
+            label: "sp".into(),
+            stripe: 1 << 20,
+            nservers: 1,
+            disk: DiskParams::new(10, 0, 10_000.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: Some(SimDur::from_millis(1)),
+            single_stream_bw: None,
+        });
+        // 4 ranks on one SMP node (procs_per_node=4).
+        let mut net = Net::new(NetConfig::smp_cluster(4, 4));
+        let (f, _) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let mut last = SimTime::ZERO;
+        for c in 0..4 {
+            last = last.max(fs.write_at(c, &mut net, f, c as u64 * 10, &[0u8; 10], SimTime::ZERO));
+        }
+        // Four requests through one queue at 1ms each.
+        assert!(last >= SimTime::ZERO + SimDur::from_millis(4));
+    }
+
+    #[test]
+    fn client_local_placement_uses_own_disk() {
+        let mut fs = Pfs::new(FsConfig {
+            label: "local".into(),
+            stripe: 64 * 1024,
+            nservers: 4,
+            disk: DiskParams::new(100, 5, 20.0),
+            server_endpoints: None,
+            placement: Placement::ClientLocal,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        });
+        let mut net = Net::new(NetConfig::fast_ethernet(4));
+        let (f, _) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let data = vec![1u8; 1 << 20];
+        // All four clients write concurrently to their own disks: the
+        // makespan equals one client's time, not four.
+        let mut times = Vec::new();
+        for c in 0..4 {
+            times.push(fs.write_at(c, &mut net, f, (c as u64) << 20, &data, SimTime::ZERO));
+        }
+        let spread = times.iter().max().unwrap().as_secs_f64()
+            - times.iter().min().unwrap().as_secs_f64();
+        assert!(spread < 1e-9, "local disks must not contend: {times:?}");
+    }
+
+    #[test]
+    fn networked_servers_charge_transfer() {
+        let eps = vec![8, 9]; // servers on dedicated nodes
+        let mut fs = Pfs::new(FsConfig {
+            label: "pvfs".into(),
+            stripe: 64 * 1024,
+            nservers: 2,
+            disk: DiskParams::new(100, 5, 1000.0),
+            server_endpoints: Some(eps),
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        });
+        let mut net = Net::new(NetConfig::fast_ethernet(8).with_extra_endpoints(&[8, 9]));
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let data = vec![1u8; 1 << 20];
+        let done = fs.write_at(0, &mut net, f, 0, &data, t0);
+        // 1 MB through an 11.5 MB/s NIC: at least ~87 ms.
+        assert!(done.as_secs_f64() > 0.085, "{done:?}");
+    }
+
+    #[test]
+    fn read_of_hole_returns_zeros_within_size() {
+        let (mut fs, mut net) = striped(2, 1024);
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        fs.write_at(0, &mut net, f, 10_000, b"x", t0);
+        let (_, data) = fs.read_at(0, &mut net, f, 0, 4, SimTime::ZERO);
+        assert_eq!(data, vec![0; 4]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut fs, mut net) = striped(2, 1024);
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        fs.write_at(0, &mut net, f, 0, &[1u8; 4096], t0);
+        fs.read_at(0, &mut net, f, 0, 4096, SimTime::ZERO);
+        assert_eq!(fs.stats.writes, 1);
+        assert_eq!(fs.stats.reads, 1);
+        assert_eq!(fs.stats.bytes_written, 4096);
+        assert_eq!(fs.stats.bytes_read, 4096);
+        assert_eq!(fs.stats.meta_ops, 1);
+        // 4 KiB over 2 servers at 1 KiB stripes coalesces to 2+2... within
+        // one request per server per contiguous run: exactly 2 per op.
+        assert_eq!(fs.stats.server_requests, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing file")]
+    fn open_missing_panics() {
+        let (mut fs, mut net) = striped(2, 1024);
+        fs.open(0, &mut net, "nope", SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::dev::DiskParams;
+    use amrio_net::NetConfig;
+
+    fn capped(bw: Option<f64>) -> Pfs {
+        Pfs::new(FsConfig {
+            label: "cap".into(),
+            stripe: 256 * 1024,
+            nservers: 4,
+            disk: DiskParams::new(10, 0, 50.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: bw,
+        })
+    }
+
+    #[test]
+    fn single_stream_cap_limits_one_client() {
+        let mut net = Net::new(NetConfig::ccnuma(4));
+        let data = vec![0u8; 8 << 20];
+        // Uncapped: 8 MB over 4x50 MB/s ~ 0.04 s.
+        let mut fs = capped(None);
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let free = fs.write_at(0, &mut net, f, 0, &data, t0);
+        // Capped at 10 MB/s: ~0.8 s.
+        let mut fs = capped(Some(10.0e6));
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let capped_t = fs.write_at(0, &mut net, f, 0, &data, t0);
+        assert!(capped_t.as_secs_f64() > 0.7, "{capped_t:?}");
+        assert!(free.as_secs_f64() < 0.3, "{free:?}");
+    }
+
+    #[test]
+    fn stream_cap_does_not_serialize_distinct_clients() {
+        let mut net = Net::new(NetConfig::ccnuma(4));
+        let data = vec![0u8; 4 << 20];
+        let mut fs = capped(Some(10.0e6));
+        let (f, _) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let t1 = fs.write_at(0, &mut net, f, 0, &data, SimTime::ZERO);
+        let t2 = fs.write_at(1, &mut net, f, 8 << 20, &data, SimTime::ZERO);
+        // Client 1 is not delayed by client 0's stream window (only by
+        // shared disks, which are fast here).
+        assert!((t2.as_secs_f64() - t1.as_secs_f64()).abs() < 0.2);
+    }
+
+    #[test]
+    fn file_stagger_spreads_small_files() {
+        let fs = capped(None);
+        // Small files starting in block 0 land on different servers
+        // because placement is staggered by file id.
+        let s0 = fs.map_pieces(0, 0, 0, 100)[0].server;
+        let s1 = fs.map_pieces(0, 1, 0, 100)[0].server;
+        let s2 = fs.map_pieces(0, 2, 0, 100)[0].server;
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn write_seek_cheaper_than_read_seek() {
+        let params = DiskParams::new(0, 8, 1000.0);
+        let mut wdev = crate::dev::BlockDev::new(params);
+        let mut rdev = crate::dev::BlockDev::new(params);
+        let w = wdev.access(0, 10, SimTime::ZERO, true);
+        let r = rdev.access(0, 10, SimTime::ZERO, false);
+        assert!(w.as_secs_f64() < r.as_secs_f64() / 4.0);
+    }
+}
+
+#[cfg(test)]
+mod app_striping_tests {
+    use super::*;
+    use crate::dev::DiskParams;
+    use amrio_net::NetConfig;
+
+    fn gpfs_like() -> Pfs {
+        Pfs::new(FsConfig {
+            label: "gpfs".into(),
+            stripe: 512 * 1024,
+            nservers: 4,
+            disk: DiskParams::new(100, 2, 50.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: Some(512 * 1024),
+            token_cost: SimDur::from_millis(1),
+            client_queue_cost: None,
+            single_stream_bw: None,
+        })
+    }
+
+    #[test]
+    fn override_changes_piece_mapping() {
+        let mut fs = gpfs_like();
+        let mut net = Net::new(NetConfig::ccnuma(4));
+        let (f, _) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        assert_eq!(fs.stripe_of(f), 512 * 1024);
+        // Default: a 64 KiB chunk at offset 0 fits in one huge stripe.
+        let before = fs.map_pieces(0, f, 0, 256 * 1024);
+        assert_eq!(before.len(), 1);
+        fs.set_file_striping(f, 64 * 1024);
+        let after = fs.map_pieces(0, f, 0, 256 * 1024);
+        assert_eq!(after.len(), 4, "fine stripes spread over all servers");
+        assert_eq!(fs.stripe_of(f), 64 * 1024);
+    }
+
+    #[test]
+    fn app_striping_eliminates_token_false_sharing() {
+        // Two writers interleave 64 KiB chunks. With 512 KiB lock blocks
+        // they fight for tokens; with app-aligned 64 KiB stripes each
+        // chunk owns its block.
+        let run = |aligned: bool| {
+            let mut fs = gpfs_like();
+            let mut net = Net::new(NetConfig::ccnuma(4));
+            let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+            if aligned {
+                fs.set_file_striping(f, 64 * 1024);
+            }
+            let mut done = t0;
+            for k in 0..8u64 {
+                for client in 0..2usize {
+                    let off = (k * 2 + client as u64) * 64 * 1024;
+                    done = done.max(fs.write_at(
+                        client,
+                        &mut net,
+                        f,
+                        off,
+                        &[1u8; 64 * 1024],
+                        t0,
+                    ));
+                }
+            }
+            (done, fs.stats.token_steals)
+        };
+        let (t_default, steals_default) = run(false);
+        let (t_aligned, steals_aligned) = run(true);
+        assert!(steals_default > 0);
+        assert_eq!(steals_aligned, 0, "aligned stripes: no shared blocks");
+        assert!(t_aligned < t_default, "{t_aligned:?} vs {t_default:?}");
+    }
+
+    #[test]
+    fn data_still_roundtrips_with_override() {
+        let mut fs = gpfs_like();
+        let mut net = Net::new(NetConfig::ccnuma(4));
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        fs.set_file_striping(f, 4096);
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let t = fs.write_at(0, &mut net, f, 777, &data, t0);
+        let (_, got) = fs.read_at(1, &mut net, f, 777, data.len() as u64, t);
+        assert_eq!(got, data);
+    }
+}

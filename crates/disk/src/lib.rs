@@ -1,0 +1,19 @@
+//! `amrio-disk` — simulated storage: block devices, sparse file contents,
+//! and striped parallel file systems with the contention mechanisms of the
+//! paper's three platforms (XFS, GPFS, PVFS + node-local disks).
+//!
+//! File *contents* are real bytes (checkpoints genuinely round-trip);
+//! file *timing* comes from the device, striping, locking and queueing
+//! models. All methods that touch shared state must be called from
+//! `amrio-simt` ordered sections.
+
+pub mod dev;
+pub mod fs;
+pub mod presets;
+pub mod store;
+pub mod trace;
+
+pub use dev::{BlockDev, DevStats, DiskParams};
+pub use fs::{FileId, FsConfig, FsStats, Pfs, Piece, Placement};
+pub use store::ExtentStore;
+pub use trace::{IoEvent, IoTrace, TraceReport};

@@ -1,0 +1,120 @@
+//! Per-platform file system presets matching the paper's testbeds.
+//!
+//! Absolute constants are calibrated to 2002-era hardware classes; the
+//! experiments only depend on the *relationships* between them (see
+//! DESIGN.md §2): XFS is a fast direct-attached striped volume; GPFS has
+//! large fixed stripes, write tokens and a per-SMP-node request queue;
+//! PVFS has uniform medium stripes behind slow Ethernet; the "local"
+//! variant bypasses the network entirely.
+
+use crate::dev::DiskParams;
+use crate::fs::{FsConfig, Placement};
+use amrio_net::Endpoint;
+use amrio_simt::SimDur;
+
+/// SGI Origin2000 XFS: direct-attached striped RAID on the ccNUMA machine.
+/// 1290 GB scratch volume in the paper; we model 4 spindles at 45 MB/s.
+pub fn xfs_origin2000() -> FsConfig {
+    FsConfig {
+        label: "XFS/Origin2000".into(),
+        stripe: 256 * 1024,
+        nservers: 4,
+        disk: DiskParams::new(120, 4, 13.0),
+        server_endpoints: None,
+        placement: Placement::Striped,
+        lock_block: None,
+        token_cost: SimDur::ZERO,
+        client_queue_cost: None,
+        // A single 2002 process streams at ~18 MB/s through the kernel
+        // copy path; the 4-way volume aggregates to ~52 MB/s.
+        single_stream_bw: Some(18.0e6),
+    }
+}
+
+/// IBM SP-2 GPFS: dedicated I/O nodes behind the switch, very large fixed
+/// stripes, block write tokens, and a per-SMP-node I/O request queue.
+///
+/// `server_endpoints` must point at endpoints the caller appended to the
+/// SP's `NetConfig` (one per virtual shared disk server).
+pub fn gpfs_sp2(server_endpoints: Vec<Endpoint>) -> FsConfig {
+    let nservers = server_endpoints.len();
+    FsConfig {
+        label: "GPFS/IBM-SP2".into(),
+        stripe: 512 * 1024,
+        nservers,
+        disk: DiskParams::new(700, 6, 14.0),
+        server_endpoints: Some(server_endpoints),
+        placement: Placement::Striped,
+        lock_block: Some(512 * 1024),
+        token_cost: SimDur::from_micros(600),
+        client_queue_cost: Some(SimDur::from_micros(350)),
+            single_stream_bw: None,
+    }
+}
+
+/// Chiba City PVFS: 8 I/O nodes over Fast Ethernet, 64 KiB stripes, no
+/// locking (PVFS has no consistency tokens), TCP-based request handling.
+pub fn pvfs_chiba(server_endpoints: Vec<Endpoint>) -> FsConfig {
+    let nservers = server_endpoints.len();
+    FsConfig {
+        label: "PVFS/ChibaCity".into(),
+        stripe: 64 * 1024,
+        nservers,
+        disk: DiskParams::new(900, 8, 18.0),
+        server_endpoints: Some(server_endpoints),
+        placement: Placement::Striped,
+        lock_block: None,
+        token_cost: SimDur::ZERO,
+        client_queue_cost: None,
+            single_stream_bw: None,
+    }
+}
+
+/// Chiba City node-local disks accessed through the PVFS interface
+/// (paper §4.4): every client uses its own 9 GB IDE disk; the only shared
+/// resource left is the user-level network.
+pub fn pvfs_local_disks(nclients: usize) -> FsConfig {
+    FsConfig {
+        label: "PVFS-local/ChibaCity".into(),
+        stripe: 64 * 1024,
+        nservers: nclients,
+        disk: DiskParams::new(400, 8, 16.0),
+        server_endpoints: None,
+        placement: Placement::ClientLocal,
+        lock_block: None,
+        token_cost: SimDur::ZERO,
+        client_queue_cost: None,
+            single_stream_bw: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_construct() {
+        let x = xfs_origin2000();
+        assert_eq!(x.nservers, 4);
+        assert!(x.server_endpoints.is_none());
+
+        let g = gpfs_sp2(vec![32, 33, 34, 35]);
+        assert_eq!(g.nservers, 4);
+        assert!(g.lock_block.is_some());
+        assert!(g.client_queue_cost.is_some());
+
+        let p = pvfs_chiba(vec![8, 9]);
+        assert_eq!(p.nservers, 2);
+        assert!(p.lock_block.is_none());
+
+        let l = pvfs_local_disks(8);
+        assert_eq!(l.placement, Placement::ClientLocal);
+        assert_eq!(l.nservers, 8);
+    }
+
+    #[test]
+    fn gpfs_stripe_much_larger_than_pvfs() {
+        // The §4.2 "mismatch" argument depends on this relationship.
+        assert!(gpfs_sp2(vec![0]).stripe > 4 * pvfs_chiba(vec![0]).stripe);
+    }
+}

@@ -1,0 +1,137 @@
+//! Sparse byte storage backing simulated files.
+//!
+//! Checkpoints really round-trip through these bytes, so correctness of the
+//! whole I/O stack (views, two-phase exchange, hyperslabs, file formats)
+//! is testable end-to-end, not just priced.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 16;
+const PAGE: u64 = 1 << PAGE_SHIFT; // 64 KiB
+
+/// A sparse, growable byte array. Unwritten holes read as zeros.
+#[derive(Clone, Debug, Default)]
+pub struct ExtentStore {
+    pages: HashMap<u64, Box<[u8]>>,
+    len: u64,
+}
+
+impl ExtentStore {
+    pub fn new() -> ExtentStore {
+        ExtentStore::default()
+    }
+
+    /// Logical size: one past the highest byte ever written.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of host memory actually allocated (for reports).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE
+    }
+
+    pub fn write(&mut self, mut off: u64, mut data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.len = self.len.max(off + data.len() as u64);
+        while !data.is_empty() {
+            let page = off >> PAGE_SHIFT;
+            let in_page = (off & (PAGE - 1)) as usize;
+            let n = data.len().min(PAGE as usize - in_page);
+            let buf = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0u8; PAGE as usize].into_boxed_slice());
+            buf[in_page..in_page + n].copy_from_slice(&data[..n]);
+            off += n as u64;
+            data = &data[n..];
+        }
+    }
+
+    /// Read `out.len()` bytes at `off`. Holes and bytes past `len` read as
+    /// zero (the file system layer enforces size policy).
+    pub fn read(&self, mut off: u64, mut out: &mut [u8]) {
+        while !out.is_empty() {
+            let page = off >> PAGE_SHIFT;
+            let in_page = (off & (PAGE - 1)) as usize;
+            let n = out.len().min(PAGE as usize - in_page);
+            match self.pages.get(&page) {
+                Some(buf) => out[..n].copy_from_slice(&buf[in_page..in_page + n]),
+                None => out[..n].fill(0),
+            }
+            off += n as u64;
+            out = &mut out[n..];
+        }
+    }
+
+    pub fn read_vec(&self, off: u64, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read(off, &mut v);
+        v
+    }
+
+    /// Truncate to `size` (only shrinks the logical length; pages are kept).
+    pub fn truncate(&mut self, size: u64) {
+        self.len = self.len.min(size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_one_page() {
+        let mut s = ExtentStore::new();
+        s.write(10, b"hello");
+        assert_eq!(s.read_vec(10, 5), b"hello");
+        assert_eq!(s.len(), 15);
+    }
+
+    #[test]
+    fn roundtrip_across_pages() {
+        let mut s = ExtentStore::new();
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        s.write(PAGE - 17, &data);
+        assert_eq!(s.read_vec(PAGE - 17, data.len()), data);
+    }
+
+    #[test]
+    fn holes_read_zero() {
+        let mut s = ExtentStore::new();
+        s.write(1_000_000, b"x");
+        assert_eq!(s.read_vec(0, 4), vec![0, 0, 0, 0]);
+        assert_eq!(s.len(), 1_000_001);
+    }
+
+    #[test]
+    fn overwrite_is_last_writer_wins() {
+        let mut s = ExtentStore::new();
+        s.write(0, b"aaaa");
+        s.write(2, b"bb");
+        assert_eq!(s.read_vec(0, 4), b"aabb");
+    }
+
+    #[test]
+    fn sparse_storage_is_actually_sparse() {
+        let mut s = ExtentStore::new();
+        s.write(0, b"a");
+        s.write(1 << 30, b"b");
+        assert!(s.resident_bytes() <= 2 * PAGE);
+    }
+
+    #[test]
+    fn empty_ops_are_noops() {
+        let mut s = ExtentStore::new();
+        s.write(5, &[]);
+        assert!(s.is_empty());
+        let mut out = [];
+        s.read(0, &mut out);
+    }
+}

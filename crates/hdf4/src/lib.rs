@@ -1,0 +1,304 @@
+//! `amrio-hdf4` — a sequential scientific-dataset library standing in for
+//! NCSA HDF4, the format the original ENZO used.
+//!
+//! The behaviourally relevant properties of HDF4 for the paper are
+//! reproduced: the library is **strictly single-process** (no parallel
+//! interface — whatever process opens the file does all the I/O), datasets
+//! are stored contiguously with small headers interleaved, each dataset is
+//! written/read in full with a fixed access order, and opening a file
+//! scans the record directory with many small reads.
+//!
+//! The on-file representation is a simple self-describing record stream:
+//!
+//! ```text
+//! "AH4\x01"
+//! record*: kind u8 | name_len u16 | name | numtype u8 | rank u8
+//!          | dims u64*rank | data_len u64 | data
+//! ```
+//!
+//! kind 1 = scientific dataset (SDS), kind 2 = attribute.
+//!
+//! I/O is carried (and priced) through the shared simulated file system
+//! via single-rank `MpiIo` handles; HDF4 itself has no knowledge of MPI,
+//! matching the original library.
+
+use amrio_mpi::Comm;
+use amrio_mpiio::{Mode, MpiFile, MpiIo, NumType};
+
+const MAGIC: &[u8; 4] = b"AH4\x01";
+
+/// Metadata of one stored dataset or attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SdsInfo {
+    pub name: String,
+    pub numtype: NumType,
+    pub dims: Vec<u64>,
+    pub data_off: u64,
+    pub data_len: u64,
+    pub is_attr: bool,
+}
+
+impl SdsInfo {
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+}
+
+fn encode_header(kind: u8, name: &str, numtype: NumType, dims: &[u64], data_len: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(16 + name.len() + dims.len() * 8);
+    h.push(kind);
+    h.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    h.extend_from_slice(name.as_bytes());
+    h.push(numtype.code());
+    h.push(dims.len() as u8);
+    for d in dims {
+        h.extend_from_slice(&d.to_le_bytes());
+    }
+    h.extend_from_slice(&data_len.to_le_bytes());
+    h
+}
+
+/// A sequential HDF4-style file opened by exactly one process.
+pub struct H4File<'c, 'w> {
+    file: MpiFile<'c, 'w>,
+    /// Append cursor (end of the record stream).
+    end: u64,
+    index: Vec<SdsInfo>,
+}
+
+impl<'c, 'w> H4File<'c, 'w> {
+    /// Create a new file. Must be called by a single process.
+    pub fn create(io: &MpiIo, comm: &'c Comm<'w>, path: &str) -> H4File<'c, 'w> {
+        let file = io.open_single(comm, path, Mode::Create);
+        file.write_at(0, MAGIC);
+        H4File {
+            file,
+            end: MAGIC.len() as u64,
+            index: Vec::new(),
+        }
+    }
+
+    /// Open an existing file and scan its record directory (one small
+    /// header read per record — the authentic HDF4 open cost).
+    pub fn open(io: &MpiIo, comm: &'c Comm<'w>, path: &str) -> H4File<'c, 'w> {
+        let file = io.open_single(comm, path, Mode::Open);
+        let size = file.size();
+        let magic = file.read_at(0, 4);
+        assert_eq!(&magic[..], MAGIC, "not an AH4 file: {path:?}");
+        let mut index = Vec::new();
+        let mut off = MAGIC.len() as u64;
+        while off < size {
+            // Read a bounded header window, then skip the data.
+            let win = file.read_at(off, 512.min(size - off));
+            let kind = win[0];
+            let name_len = u16::from_le_bytes(win[1..3].try_into().unwrap()) as usize;
+            let name = String::from_utf8(win[3..3 + name_len].to_vec()).expect("utf8 name");
+            let mut p = 3 + name_len;
+            let numtype = NumType::from_code(win[p]);
+            p += 1;
+            let rank = win[p] as usize;
+            p += 1;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(u64::from_le_bytes(win[p..p + 8].try_into().unwrap()));
+                p += 8;
+            }
+            let data_len = u64::from_le_bytes(win[p..p + 8].try_into().unwrap());
+            p += 8;
+            index.push(SdsInfo {
+                name,
+                numtype,
+                dims,
+                data_off: off + p as u64,
+                data_len,
+                is_attr: kind == 2,
+            });
+            off += p as u64 + data_len;
+        }
+        H4File {
+            file,
+            end: size,
+            index,
+        }
+    }
+
+    fn append(&mut self, kind: u8, name: &str, numtype: NumType, dims: &[u64], data: &[u8]) {
+        let h = encode_header(kind, name, numtype, dims, data.len() as u64);
+        // Header and data are two separate writes, interleaving small
+        // metadata with bulk data exactly like the real record format.
+        self.file.write_at(self.end, &h);
+        let data_off = self.end + h.len() as u64;
+        self.file.write_at(data_off, data);
+        self.index.push(SdsInfo {
+            name: name.to_string(),
+            numtype,
+            dims: dims.to_vec(),
+            data_off,
+            data_len: data.len() as u64,
+            is_attr: kind == 2,
+        });
+        self.end = data_off + data.len() as u64;
+    }
+
+    /// Write a full scientific dataset.
+    pub fn write_sds(&mut self, name: &str, numtype: NumType, dims: &[u64], data: &[u8]) {
+        assert_eq!(
+            data.len() as u64,
+            dims.iter().product::<u64>() * numtype.size(),
+            "data length must match dims"
+        );
+        self.append(1, name, numtype, dims, data);
+    }
+
+    /// Write a small attribute record.
+    pub fn write_attr(&mut self, name: &str, data: &[u8]) {
+        self.append(2, name, NumType::U8, &[data.len() as u64], data);
+    }
+
+    /// Dataset catalog in file order (attributes excluded).
+    pub fn sds_list(&self) -> Vec<&SdsInfo> {
+        self.index.iter().filter(|s| !s.is_attr).collect()
+    }
+
+    pub fn info(&self, name: &str) -> Option<&SdsInfo> {
+        self.index.iter().find(|s| s.name == name && !s.is_attr)
+    }
+
+    pub fn attr(&self, name: &str) -> Option<&SdsInfo> {
+        self.index.iter().find(|s| s.name == name && s.is_attr)
+    }
+
+    /// Read a full dataset by name.
+    pub fn read_sds(&self, name: &str) -> (SdsInfo, Vec<u8>) {
+        let info = self
+            .info(name)
+            .unwrap_or_else(|| panic!("no dataset {name:?}"))
+            .clone();
+        let data = self.file.read_at(info.data_off, info.data_len);
+        (info, data)
+    }
+
+    /// Read an attribute payload by name.
+    pub fn read_attr(&self, name: &str) -> Vec<u8> {
+        let info = self
+            .attr(name)
+            .unwrap_or_else(|| panic!("no attribute {name:?}"));
+        self.file.read_at(info.data_off, info.data_len)
+    }
+
+    /// Read a contiguous element range `[first, first+count)` of a
+    /// dataset (used by the restart path to stream large arrays).
+    pub fn read_sds_range(&self, name: &str, first: u64, count: u64) -> Vec<u8> {
+        let info = self.info(name).unwrap_or_else(|| panic!("no dataset {name:?}"));
+        let esz = info.numtype.size();
+        assert!((first + count) * esz <= info.data_len);
+        self.file.read_at(info.data_off + first * esz, count * esz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrio_disk::{DiskParams, FsConfig, Placement};
+    use amrio_mpi::World;
+    use amrio_net::NetConfig;
+    use amrio_simt::SimDur;
+
+    fn fs() -> FsConfig {
+        FsConfig {
+            label: "t".into(),
+            stripe: 64 * 1024,
+            nservers: 2,
+            disk: DiskParams::new(100, 2, 100.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        }
+    }
+
+    #[test]
+    fn write_then_reopen_and_read() {
+        let w = World::new(1, NetConfig::ccnuma(1));
+        let io = MpiIo::new(fs());
+        w.run(|c| {
+            let density: Vec<u8> = (0..4096u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+            {
+                let mut f = H4File::create(&io, c, "grid0000");
+                f.write_sds("density", NumType::F32, &[16, 16, 16], &density);
+                f.write_attr("time", &42f64.to_le_bytes());
+                f.write_sds("particle_id", NumType::I64, &[100], &vec![7u8; 800]);
+            }
+            let f = H4File::open(&io, c, "grid0000");
+            assert_eq!(f.sds_list().len(), 2);
+            let (info, data) = f.read_sds("density");
+            assert_eq!(info.dims, vec![16, 16, 16]);
+            assert_eq!(data, density);
+            assert_eq!(f.read_attr("time"), 42f64.to_le_bytes());
+            let (pinfo, pdata) = f.read_sds("particle_id");
+            assert_eq!(pinfo.numtype, NumType::I64);
+            assert_eq!(pdata, vec![7u8; 800]);
+        });
+    }
+
+    #[test]
+    fn ranged_read_matches_slice() {
+        let w = World::new(1, NetConfig::ccnuma(1));
+        let io = MpiIo::new(fs());
+        w.run(|c| {
+            let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+            let mut f = H4File::create(&io, c, "x");
+            f.write_sds("ids", NumType::I32, &[1000], &data);
+            let part = f.read_sds_range("ids", 100, 50);
+            assert_eq!(part, &data[400..600]);
+        });
+    }
+
+    #[test]
+    fn open_cost_scales_with_record_count() {
+        let w = World::new(1, NetConfig::ccnuma(1));
+        let time_for = |nrecords: usize| {
+            let io = MpiIo::new(fs());
+            let r = w.run(|c| {
+                {
+                    let mut f = H4File::create(&io, c, "many");
+                    for i in 0..nrecords {
+                        f.write_sds(&format!("d{i}"), NumType::F32, &[64], &[0u8; 256]);
+                    }
+                }
+                let t0 = c.now();
+                let _ = H4File::open(&io, c, "many");
+                (c.now() - t0).as_secs_f64()
+            });
+            r.results[0]
+        };
+        assert!(time_for(40) > time_for(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no dataset")]
+    fn missing_dataset_panics() {
+        let w = World::new(1, NetConfig::ccnuma(1));
+        let io = MpiIo::new(fs());
+        w.run(|c| {
+            let mut f = H4File::create(&io, c, "x");
+            f.write_sds("a", NumType::F32, &[1], &[0u8; 4]);
+            let _ = f.read_sds("b");
+        });
+    }
+
+    #[test]
+    fn attributes_do_not_shadow_datasets() {
+        let w = World::new(1, NetConfig::ccnuma(1));
+        let io = MpiIo::new(fs());
+        w.run(|c| {
+            let mut f = H4File::create(&io, c, "x");
+            f.write_attr("n", b"attr");
+            f.write_sds("n", NumType::U8, &[4], b"data");
+            assert_eq!(f.read_attr("n"), b"attr");
+            assert_eq!(f.read_sds("n").1, b"data");
+        });
+    }
+}

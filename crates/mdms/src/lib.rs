@@ -1,0 +1,393 @@
+//! `amrio-mdms` — a Meta-Data Management System for scientific I/O, the
+//! application-level future work the paper names (§5): "using Meta-Data
+//! Management System (MDMS) on AMR applications to develop a powerful
+//! I/O system with the help of the collected metadata" (Liao, Shen,
+//! Choudhary, HiPC 2000).
+//!
+//! The system keeps a small database of
+//!
+//! * **dataset records** — name, element type, rank/dims, location
+//!   (file + offset) per run;
+//! * **access-pattern records** — the §3.1 metadata: whether a dataset
+//!   is accessed with a regular `(Block,Block,Block)` partition, an
+//!   irregular position-dependent partition, or sequentially, plus
+//!   observed request statistics;
+//! * **storage hints** derived from them — whether to use collective
+//!   two-phase I/O, how many aggregators, whether to sieve, whether to
+//!   align file domains.
+//!
+//! The real MDMS used a relational database server; here the tables are
+//! serialized into a file on the simulated parallel file system (the
+//! behaviourally relevant property — metadata survives across runs and
+//! is queryable before the data is touched — is preserved; see
+//! DESIGN.md's substitution rule).
+
+use amrio_mpi::Comm;
+use amrio_mpiio::{Hints, Mode, MpiIo, NumType};
+use std::collections::BTreeMap;
+
+/// How an application accesses a dataset (the §3.1 classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// n-D array partitioned `(Block, Block, ...)` over a processor mesh.
+    RegularBlock,
+    /// 1-D arrays partitioned by a data-dependent key (particle
+    /// position): block-contiguous in the file, irregular in memory.
+    IrregularByKey,
+    /// Whole-object access by a single process.
+    Sequential,
+}
+
+impl AccessPattern {
+    fn code(self) -> u8 {
+        match self {
+            AccessPattern::RegularBlock => 0,
+            AccessPattern::IrregularByKey => 1,
+            AccessPattern::Sequential => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> AccessPattern {
+        match c {
+            0 => AccessPattern::RegularBlock,
+            1 => AccessPattern::IrregularByKey,
+            2 => AccessPattern::Sequential,
+            _ => panic!("bad AccessPattern code {c}"),
+        }
+    }
+}
+
+/// One dataset's registered metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetRecord {
+    pub name: String,
+    pub numtype: NumType,
+    pub dims: Vec<u64>,
+    /// Where the data lives: checkpoint path and byte offset.
+    pub file: String,
+    pub offset: u64,
+    pub pattern: AccessPattern,
+    /// Observed requests when the pattern was recorded.
+    pub observed_requests: u64,
+    pub observed_bytes: u64,
+}
+
+impl DatasetRecord {
+    pub fn bytes(&self) -> u64 {
+        self.dims.iter().product::<u64>() * self.numtype.size()
+    }
+
+    pub fn mean_request(&self) -> u64 {
+        self.observed_bytes
+            .checked_div(self.observed_requests)
+            .unwrap_or(0)
+    }
+}
+
+/// The advice the MDMS derives from a dataset's metadata (what the paper
+/// calls "the proper optimal I/O strategies ... determined with the help
+/// of these metadata").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoAdvice {
+    /// Use collective two-phase I/O (vs independent access).
+    pub collective: bool,
+    /// Suggested number of aggregators (None = every rank).
+    pub cb_nodes: Option<usize>,
+    /// Enable data sieving for noncontiguous independent reads.
+    pub sieve_reads: bool,
+    /// Align collective file domains to the file system stripe.
+    pub align_domains: bool,
+    /// Route tiny datasets through one reader + broadcast.
+    pub root_and_broadcast: bool,
+}
+
+impl IoAdvice {
+    pub fn apply_to(&self, hints: &mut Hints) {
+        hints.cb_nodes = self.cb_nodes;
+        hints.ds_read = self.sieve_reads;
+        hints.align_file_domains = self.align_domains;
+    }
+}
+
+/// The metadata database: a sorted name -> record table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MdmsDb {
+    records: BTreeMap<String, DatasetRecord>,
+}
+
+const MAGIC: &[u8; 4] = b"MDM\x01";
+
+impl MdmsDb {
+    pub fn new() -> MdmsDb {
+        MdmsDb::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Register (or replace) a dataset record.
+    pub fn register(&mut self, rec: DatasetRecord) {
+        self.records.insert(rec.name.clone(), rec);
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<&DatasetRecord> {
+        self.records.get(name)
+    }
+
+    pub fn datasets(&self) -> impl Iterator<Item = &DatasetRecord> {
+        self.records.values()
+    }
+
+    /// Update observed access statistics for a dataset.
+    pub fn record_access(&mut self, name: &str, requests: u64, bytes: u64) {
+        if let Some(r) = self.records.get_mut(name) {
+            r.observed_requests += requests;
+            r.observed_bytes += bytes;
+        }
+    }
+
+    /// Derive I/O advice for a dataset from its pattern and statistics —
+    /// the decision procedure §3.1/§3.2 of the paper applies by hand.
+    pub fn advise(&self, name: &str, nranks: usize, nservers: usize) -> Option<IoAdvice> {
+        let r = self.records.get(name)?;
+        let tiny = r.bytes() < 64 * 1024;
+        Some(match r.pattern {
+            AccessPattern::RegularBlock => IoAdvice {
+                collective: true,
+                // Enough aggregators to cover the servers without
+                // flooding them (two streams per server works well on
+                // every platform model).
+                cb_nodes: Some(nranks.min((2 * nservers).max(1))),
+                sieve_reads: true,
+                align_domains: true,
+                root_and_broadcast: false,
+            },
+            AccessPattern::IrregularByKey => IoAdvice {
+                // Block-wise 1-D access is contiguous per rank: the paper
+                // keeps it independent (non-collective).
+                collective: false,
+                cb_nodes: None,
+                sieve_reads: true,
+                align_domains: true,
+                root_and_broadcast: false,
+            },
+            AccessPattern::Sequential => IoAdvice {
+                collective: false,
+                cb_nodes: None,
+                sieve_reads: false,
+                align_domains: false,
+                root_and_broadcast: tiny,
+            },
+        })
+    }
+
+    /// Serialize the tables.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for r in self.records.values() {
+            let put_str = |out: &mut Vec<u8>, s: &str| {
+                out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            };
+            put_str(&mut out, &r.name);
+            out.push(r.numtype.code());
+            out.push(r.dims.len() as u8);
+            for d in &r.dims {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            put_str(&mut out, &r.file);
+            out.extend_from_slice(&r.offset.to_le_bytes());
+            out.push(r.pattern.code());
+            out.extend_from_slice(&r.observed_requests.to_le_bytes());
+            out.extend_from_slice(&r.observed_bytes.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn from_bytes(data: &[u8]) -> MdmsDb {
+        assert_eq!(&data[..4], MAGIC, "not an MDMS database");
+        let mut p = 4usize;
+        let rd_u16 = |p: &mut usize| {
+            let v = u16::from_le_bytes(data[*p..*p + 2].try_into().unwrap());
+            *p += 2;
+            v as usize
+        };
+        let rd_u64 = |p: &mut usize| {
+            let v = u64::from_le_bytes(data[*p..*p + 8].try_into().unwrap());
+            *p += 8;
+            v
+        };
+        let count = u32::from_le_bytes(data[p..p + 4].try_into().unwrap());
+        p += 4;
+        let mut db = MdmsDb::new();
+        for _ in 0..count {
+            let nl = rd_u16(&mut p);
+            let name = String::from_utf8(data[p..p + nl].to_vec()).unwrap();
+            p += nl;
+            let numtype = NumType::from_code(data[p]);
+            p += 1;
+            let rank = data[p] as usize;
+            p += 1;
+            let dims: Vec<u64> = (0..rank).map(|_| rd_u64(&mut p)).collect();
+            let fl = rd_u16(&mut p);
+            let file = String::from_utf8(data[p..p + fl].to_vec()).unwrap();
+            p += fl;
+            let offset = rd_u64(&mut p);
+            let pattern = AccessPattern::from_code(data[p]);
+            p += 1;
+            let observed_requests = rd_u64(&mut p);
+            let observed_bytes = rd_u64(&mut p);
+            db.register(DatasetRecord {
+                name,
+                numtype,
+                dims,
+                file,
+                offset,
+                pattern,
+                observed_requests,
+                observed_bytes,
+            });
+        }
+        db
+    }
+
+    /// Collectively persist the database: rank 0 writes, everyone syncs.
+    pub fn flush(&self, comm: &Comm, io: &MpiIo, path: &str) {
+        if comm.rank() == 0 {
+            let f = io.open_single(comm, path, Mode::Create);
+            f.write_at(0, &self.to_bytes());
+        }
+        comm.barrier();
+    }
+
+    /// Collectively load the database: rank 0 reads, then broadcasts.
+    pub fn load(comm: &Comm, io: &MpiIo, path: &str) -> MdmsDb {
+        let bytes = if comm.rank() == 0 {
+            let f = io.open_single(comm, path, Mode::Open);
+            let size = f.size();
+            f.read_at(0, size)
+        } else {
+            Vec::new()
+        };
+        let bytes = comm.bcast(0, bytes);
+        MdmsDb::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrio_disk::{DiskParams, FsConfig, Placement};
+    use amrio_mpi::World;
+    use amrio_net::NetConfig;
+    use amrio_simt::SimDur;
+
+    fn rec(name: &str, pattern: AccessPattern, dims: &[u64]) -> DatasetRecord {
+        DatasetRecord {
+            name: name.into(),
+            numtype: NumType::F32,
+            dims: dims.to_vec(),
+            file: "DD0000.cpio".into(),
+            offset: 64,
+            pattern,
+            observed_requests: 0,
+            observed_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn register_lookup_and_stats() {
+        let mut db = MdmsDb::new();
+        db.register(rec("density", AccessPattern::RegularBlock, &[64, 64, 64]));
+        db.record_access("density", 10, 1000);
+        db.record_access("density", 5, 500);
+        let r = db.lookup("density").unwrap();
+        assert_eq!(r.observed_requests, 15);
+        assert_eq!(r.mean_request(), 100);
+        assert_eq!(r.bytes(), 64 * 64 * 64 * 4);
+        assert!(db.lookup("ghost").is_none());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut db = MdmsDb::new();
+        db.register(rec("density", AccessPattern::RegularBlock, &[8, 8, 8]));
+        db.register(rec("particle_id", AccessPattern::IrregularByKey, &[1000]));
+        db.register(rec("hierarchy", AccessPattern::Sequential, &[100]));
+        db.record_access("density", 3, 333);
+        let db2 = MdmsDb::from_bytes(&db.to_bytes());
+        assert_eq!(db, db2);
+    }
+
+    #[test]
+    fn advice_matches_paper_decisions() {
+        let mut db = MdmsDb::new();
+        db.register(rec("density", AccessPattern::RegularBlock, &[64, 64, 64]));
+        db.register(rec("particle_id", AccessPattern::IrregularByKey, &[262144]));
+        db.register(rec("hierarchy", AccessPattern::Sequential, &[100]));
+
+        let a = db.advise("density", 32, 4).unwrap();
+        assert!(a.collective, "regular BBB arrays use collective I/O");
+        assert_eq!(a.cb_nodes, Some(8));
+        assert!(a.align_domains);
+
+        let b = db.advise("particle_id", 32, 4).unwrap();
+        assert!(!b.collective, "block-wise 1-D access stays independent");
+        assert!(b.sieve_reads);
+
+        let c = db.advise("hierarchy", 32, 4).unwrap();
+        assert!(c.root_and_broadcast, "tiny sequential data: read once, broadcast");
+
+        assert!(db.advise("nope", 32, 4).is_none());
+    }
+
+    #[test]
+    fn advice_applies_to_hints() {
+        let mut db = MdmsDb::new();
+        db.register(rec("density", AccessPattern::RegularBlock, &[64, 64, 64]));
+        let a = db.advise("density", 16, 8).unwrap();
+        let mut h = Hints::default();
+        a.apply_to(&mut h);
+        assert_eq!(h.cb_nodes, Some(16));
+        assert!(h.align_file_domains);
+    }
+
+    #[test]
+    fn flush_and_load_through_simulated_fs() {
+        let fs = FsConfig {
+            label: "t".into(),
+            stripe: 64 * 1024,
+            nservers: 2,
+            disk: DiskParams::new(100, 2, 100.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        };
+        let w = World::new(4, NetConfig::ccnuma(4));
+        let io = MpiIo::new(fs);
+        let ok = w.run(|c| {
+            let mut db = MdmsDb::new();
+            db.register(rec("density", AccessPattern::RegularBlock, &[16, 16, 16]));
+            db.flush(c, &io, ".mdms");
+            let loaded = MdmsDb::load(c, &io, ".mdms");
+            loaded == db
+        });
+        assert!(ok.results.iter().all(|x| *x));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an MDMS database")]
+    fn bad_magic_rejected() {
+        MdmsDb::from_bytes(b"XXXX\0\0\0\0");
+    }
+}

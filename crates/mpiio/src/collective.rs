@@ -1,0 +1,394 @@
+//! Two-phase collective I/O (ROMIO's `ADIOI_GEN_WriteStridedColl`
+//! lineage, and Fig. 5 of the paper).
+//!
+//! Write: ranks exchange their flattened access lists, the covered file
+//! range is split into per-aggregator *file domains* (optionally aligned
+//! to the file system stripe), data is redistributed with a real
+//! `alltoallv` (the communication phase), and each aggregator issues
+//! large contiguous file system requests for its domain (the I/O phase).
+//! Read runs the phases in the opposite order. Both phases are priced on
+//! the shared network/disks, so the paper's platform effects — cheap
+//! redistribution on ccNUMA, adapter-bound redistribution on Ethernet,
+//! stripe/token interactions on GPFS — emerge mechanically.
+
+use crate::datatype::Region;
+use crate::file::MpiFile;
+use amrio_simt::SimDur;
+use std::sync::Arc;
+
+fn encode_regions(regions: &[Region]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(regions.len() * 16);
+    for (o, l) in regions {
+        out.extend_from_slice(&o.to_le_bytes());
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+fn decode_regions(data: &[u8]) -> Vec<Region> {
+    assert_eq!(data.len() % 16, 0);
+    data.chunks_exact(16)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[..8].try_into().unwrap()),
+                u64::from_le_bytes(c[8..].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+/// Pieces exchanged between ranks: (file offset, data bytes).
+fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
+    let total: usize = pieces.iter().map(|(_, d)| 16 + d.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for (off, d) in pieces {
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&(d.len() as u64).to_le_bytes());
+        out.extend_from_slice(d);
+    }
+    out
+}
+
+fn decode_pieces(mut data: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        let off = u64::from_le_bytes(data[..8].try_into().unwrap());
+        let len = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+        out.push((off, data[16..16 + len].to_vec()));
+        data = &data[16 + len..];
+    }
+    out
+}
+
+/// The per-aggregator file domains covering `[lo, hi)`.
+fn file_domains(lo: u64, hi: u64, naggs: usize, align: u64) -> Vec<(u64, u64)> {
+    assert!(naggs > 0);
+    let span = hi - lo;
+    let raw = span.div_ceil(naggs as u64);
+    let chunk = if align > 1 {
+        raw.div_ceil(align) * align
+    } else {
+        raw.max(1)
+    };
+    (0..naggs as u64)
+        .map(|a| {
+            let s = (lo + a * chunk).min(hi);
+            let e = (lo + (a + 1) * chunk).min(hi);
+            (s, e)
+        })
+        .collect()
+}
+
+/// Intersect `regions` (with running buffer positions) against `[ds, de)`;
+/// yields (file offset, buffer range) pairs.
+fn intersect<'r>(
+    regions: &'r [Region],
+    buf_pos: &'r [u64],
+    ds: u64,
+    de: u64,
+) -> impl Iterator<Item = (u64, std::ops::Range<usize>)> + 'r {
+    regions
+        .iter()
+        .zip(buf_pos)
+        .filter_map(move |(&(off, len), &bp)| {
+            let s = off.max(ds);
+            let e = (off + len).min(de);
+            (e > s).then(|| {
+                let b0 = (bp + (s - off)) as usize;
+                (s, b0..b0 + (e - s) as usize)
+            })
+        })
+}
+
+fn buffer_positions(regions: &[Region]) -> Vec<u64> {
+    let mut pos = Vec::with_capacity(regions.len());
+    let mut acc = 0;
+    for (_, l) in regions {
+        pos.push(acc);
+        acc += l;
+    }
+    pos
+}
+
+impl<'c, 'w> MpiFile<'c, 'w> {
+    /// Allreduce the global `[lo, hi)` span of everyone's access lists
+    /// (two u64 values — the cheap part of ROMIO's offset exchange).
+    fn exchange_bounds(&self, regions: &[Region]) -> (u64, u64) {
+        let my_lo = regions.first().map(|(o, _)| *o).unwrap_or(u64::MAX);
+        let my_hi = regions.iter().map(|(o, l)| o + l).max().unwrap_or(0);
+        use amrio_mpi::coll::ReduceOp;
+        let lo = self
+            .comm
+            .allreduce_f64(&[if my_lo == u64::MAX { f64::MAX } else { my_lo as f64 }], ReduceOp::Min)[0];
+        let hi = self.comm.allreduce_f64(&[my_hi as f64], ReduceOp::Max)[0];
+        if lo == f64::MAX || hi as u64 == 0 {
+            return (0, 0);
+        }
+        (lo as u64, hi as u64)
+    }
+
+    fn naggs(&self) -> usize {
+        self.hints
+            .cb_nodes
+            .unwrap_or(self.comm.size())
+            .clamp(1, self.comm.size())
+    }
+
+    fn domain_align(&self) -> u64 {
+        if self.hints.align_file_domains {
+            self.fs.lock().config().stripe
+        } else {
+            1
+        }
+    }
+
+    /// Collective write through each rank's view (two-phase).
+    pub fn write_all_view(&self, buf: &[u8]) {
+        let regions = self.view_regions();
+        let total: u64 = regions.iter().map(|(_, l)| l).sum();
+        assert_eq!(buf.len() as u64, total, "buffer must match view size");
+
+        // Phase 0: agree on the covered file range (like ROMIO's
+        // st_offset/end_offset exchange — the pieces themselves carry
+        // their offsets, so full lists are not needed for a write).
+        let (lo, hi) = self.exchange_bounds(&regions);
+        if hi == lo {
+            return;
+        }
+        let naggs = self.naggs();
+        let domains = file_domains(lo, hi, naggs, self.domain_align());
+
+        // Phase 1 (communication): route my pieces to their aggregators.
+        let buf_pos = buffer_positions(&regions);
+        let payloads: Vec<Vec<u8>> = (0..self.comm.size())
+            .map(|dst| {
+                if dst >= naggs {
+                    return Vec::new();
+                }
+                let (ds, de) = domains[dst];
+                let pieces: Vec<(u64, &[u8])> = intersect(&regions, &buf_pos, ds, de)
+                    .map(|(off, r)| (off, &buf[r]))
+                    .collect();
+                encode_pieces(&pieces)
+            })
+            .collect();
+        let received = self.comm.alltoallv(payloads);
+
+        // Phase 2 (I/O): aggregators write their domains with large
+        // contiguous requests.
+        let me = self.comm.rank();
+        if me < naggs {
+            let (ds, de) = domains[me];
+            if de > ds {
+                let mut dom = vec![0u8; (de - ds) as usize];
+                let mut covered: Vec<Region> = Vec::new();
+                for per_src in &received {
+                    for (off, data) in decode_pieces(per_src) {
+                        let p = (off - ds) as usize;
+                        dom[p..p + data.len()].copy_from_slice(&data);
+                        covered.push((off, data.len() as u64));
+                    }
+                }
+                crate::datatype::normalize(&mut covered);
+                let fs = Arc::clone(&self.fs);
+                let fid = self.fid;
+                let cb = self.hints.cb_buffer_size.max(1);
+                let mem_bw = self.comm.mem_bw();
+                self.comm.io(move |t, net| {
+                    let mut fs = fs.lock();
+                    let mut cur = t + SimDur::transfer(dom.len() as u64, mem_bw); // assemble
+                    // Holes inside the domain must not be clobbered: write
+                    // only the covered spans (they are large and few).
+                    for (off, len) in &covered {
+                        let mut o = *off;
+                        let end = off + len;
+                        while o < end {
+                            let n = cb.min(end - o);
+                            let s = (o - ds) as usize;
+                            cur = fs.write_at(me, net, fid, o, &dom[s..s + n as usize], cur);
+                            o += n;
+                        }
+                    }
+                    (cur, ())
+                });
+            }
+        }
+    }
+
+    /// Collective read through each rank's view (two-phase, reversed).
+    pub fn read_all_view(&self) -> Vec<u8> {
+        let regions = self.view_regions();
+        let total: u64 = regions.iter().map(|(_, l)| l).sum();
+
+        let (lo, hi) = self.exchange_bounds(&regions);
+        if hi == lo {
+            return vec![0u8; total as usize];
+        }
+        let naggs = self.naggs();
+        let domains = file_domains(lo, hi, naggs, self.domain_align());
+        let me = self.comm.rank();
+
+        // Phase 0b: every rank sends each aggregator the part of its
+        // access list that falls in that aggregator's file domain
+        // (ROMIO's ADIOI_Calc_others_req).
+        let req_payloads: Vec<Vec<u8>> = (0..self.comm.size())
+            .map(|dst| {
+                if dst >= naggs {
+                    return Vec::new();
+                }
+                let (ds, de) = domains[dst];
+                let clipped: Vec<Region> = regions
+                    .iter()
+                    .filter_map(|&(o, l)| {
+                        let s = o.max(ds);
+                        let e = (o + l).min(de);
+                        (e > s).then(|| (s, e - s))
+                    })
+                    .collect();
+                encode_regions(&clipped)
+            })
+            .collect();
+        // others_req[src] = src's clipped regions inside my domain.
+        let others_req: Vec<Vec<Region>> = self
+            .comm
+            .alltoallv(req_payloads)
+            .iter()
+            .map(|d| decode_regions(d))
+            .collect();
+
+        // Phase 1 (I/O): aggregators read the covered parts of their
+        // domains in large requests.
+        let mut dom_data: Vec<u8> = Vec::new();
+        let mut dom_start = 0u64;
+        if me < naggs {
+            let (ds, de) = domains[me];
+            dom_start = ds;
+            if de > ds {
+                // Union of all requests clipped to the domain.
+                let mut wanted: Vec<Region> = others_req.iter().flatten().copied().collect();
+                crate::datatype::normalize(&mut wanted);
+                let fs = Arc::clone(&self.fs);
+                let fid = self.fid;
+                let cb = self.hints.cb_buffer_size.max(1);
+                dom_data = vec![0u8; (de - ds) as usize];
+                let got = self.comm.io(move |t, net| {
+                    let mut fs = fs.lock();
+                    let mut cur = t;
+                    let mut chunks: Vec<(u64, Vec<u8>)> = Vec::new();
+                    for (off, len) in &wanted {
+                        let mut o = *off;
+                        let end = off + len;
+                        while o < end {
+                            let n = cb.min(end - o);
+                            let (done, data) = fs.read_at(me, net, fid, o, n, cur);
+                            cur = done;
+                            chunks.push((o, data));
+                            o += n;
+                        }
+                    }
+                    (cur, chunks)
+                });
+                for (o, data) in got {
+                    let p = (o - ds) as usize;
+                    dom_data[p..p + data.len()].copy_from_slice(&data);
+                }
+            }
+        }
+
+        // Phase 2 (communication): aggregators route pieces to owners
+        // (the requests arrived pre-clipped in phase 0b).
+        let payloads: Vec<Vec<u8>> = (0..self.comm.size())
+            .map(|dst| {
+                if me >= naggs || dom_data.is_empty() {
+                    return Vec::new();
+                }
+                let pieces: Vec<(u64, &[u8])> = others_req[dst]
+                    .iter()
+                    .map(|&(s, l)| {
+                        let p = (s - dom_start) as usize;
+                        (s, &dom_data[p..p + l as usize])
+                    })
+                    .collect();
+                encode_pieces(&pieces)
+            })
+            .collect();
+        let received = self.comm.alltoallv(payloads);
+
+        // Assemble my buffer from the pieces.
+        let mut out = vec![0u8; total as usize];
+        let buf_pos = buffer_positions(&regions);
+        for per_src in &received {
+            for (off, data) in decode_pieces(per_src) {
+                // Find the region containing this piece.
+                let i = regions
+                    .partition_point(|&(o, l)| o + l <= off)
+                    .min(regions.len().saturating_sub(1));
+                let (ro, _) = regions[i];
+                debug_assert!(off >= ro);
+                let p = (buf_pos[i] + (off - ro)) as usize;
+                out[p..p + data.len()].copy_from_slice(&data);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn file_domains_cover_range_in_order() {
+        let d = file_domains(100, 1000, 4, 1);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0].0, 100);
+        assert_eq!(d.last().unwrap().1, 1000);
+        for w in d.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "domains must tile");
+        }
+    }
+
+    #[test]
+    fn file_domains_align_to_stripe() {
+        let d = file_domains(0, 1_000_000, 3, 65536);
+        // Interior boundaries land on stripe multiples.
+        for (s, _) in d.iter().skip(1) {
+            assert_eq!(s % 65536, 0, "boundary {s} unaligned");
+        }
+        assert_eq!(d.last().unwrap().1, 1_000_000);
+    }
+
+    #[test]
+    fn file_domains_more_aggs_than_bytes() {
+        let d = file_domains(10, 13, 8, 1);
+        let total: u64 = d.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 3);
+        assert!(d.iter().all(|(s, e)| e >= s));
+    }
+
+    #[test]
+    fn pieces_encode_decode_roundtrip() {
+        let a = vec![1u8, 2, 3];
+        let b = vec![9u8; 10];
+        let enc = encode_pieces(&[(5, &a), (100, &b)]);
+        let dec = decode_pieces(&enc);
+        assert_eq!(dec, vec![(5, a), (100, b)]);
+    }
+
+    #[test]
+    fn regions_encode_decode_roundtrip() {
+        let r = vec![(0u64, 5u64), (1 << 40, 123)];
+        assert_eq!(decode_regions(&encode_regions(&r)), r);
+    }
+
+    #[test]
+    fn intersect_clips_and_offsets_buffers() {
+        let regions = vec![(10u64, 10u64), (30, 10)];
+        let pos = buffer_positions(&regions);
+        assert_eq!(pos, vec![0, 10]);
+        let hits: Vec<_> = intersect(&regions, &pos, 15, 35).collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], (15, 5..10));
+        assert_eq!(hits[1], (30, 10..15));
+    }
+}

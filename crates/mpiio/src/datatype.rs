@@ -1,0 +1,355 @@
+//! MPI derived datatypes and their flattening to `(offset, length)` lists.
+//!
+//! The paper's regular access pattern — a `(Block, Block, Block)`
+//! partition of a 3-D array — is expressed as a [`Datatype::Subarray`]
+//! file view, exactly like `MPI_Type_create_subarray` + `MPI_File_set_view`
+//! in the MPI-IO version of ENZO. Flattening a datatype yields the sorted,
+//! coalesced list of contiguous file runs that the I/O layer (independent,
+//! sieved or two-phase collective) operates on.
+
+/// A (byte offset, byte length) contiguous run, relative to the datatype
+/// origin.
+pub type Region = (u64, u64);
+
+/// MPI-like derived datatypes, in bytes (the elementary type is opaque —
+/// callers track element width themselves, as `etype` does in MPI-IO).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Datatype {
+    /// `len` contiguous bytes.
+    Bytes(u64),
+    /// `count` repetitions of `child`, each at the child's extent.
+    Contiguous { count: u64, child: Box<Datatype> },
+    /// `count` blocks of `blocklen` children, strided by `stride` children
+    /// (like `MPI_Type_vector`).
+    Vector {
+        count: u64,
+        blocklen: u64,
+        stride: u64,
+        child: Box<Datatype>,
+    },
+    /// An n-dimensional subarray of an n-dimensional array in row-major
+    /// order (last dimension varies fastest), with `elem` bytes per
+    /// element — `MPI_Type_create_subarray`.
+    Subarray {
+        dims: Vec<u64>,
+        starts: Vec<u64>,
+        subsizes: Vec<u64>,
+        elem: u64,
+    },
+    /// Explicit byte blocks at absolute displacements
+    /// (`MPI_Type_create_hindexed`).
+    Hindexed { blocks: Vec<Region> },
+}
+
+impl Datatype {
+    /// A 3-D subarray helper (the shape ENZO's baryon fields use).
+    pub fn subarray3(
+        dims: [u64; 3],
+        starts: [u64; 3],
+        subsizes: [u64; 3],
+        elem: u64,
+    ) -> Datatype {
+        Datatype::Subarray {
+            dims: dims.to_vec(),
+            starts: starts.to_vec(),
+            subsizes: subsizes.to_vec(),
+            elem,
+        }
+    }
+
+    /// Number of data bytes the type selects.
+    pub fn size(&self) -> u64 {
+        match self {
+            Datatype::Bytes(n) => *n,
+            Datatype::Contiguous { count, child } => count * child.size(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                child,
+                ..
+            } => count * blocklen * child.size(),
+            Datatype::Subarray { subsizes, elem, .. } => {
+                subsizes.iter().product::<u64>() * elem
+            }
+            Datatype::Hindexed { blocks } => blocks.iter().map(|(_, l)| l).sum(),
+        }
+    }
+
+    /// Span from the first to one past the last selected byte.
+    pub fn extent(&self) -> u64 {
+        match self {
+            Datatype::Bytes(n) => *n,
+            Datatype::Contiguous { count, child } => count * child.extent(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                if *count == 0 {
+                    0
+                } else {
+                    ((count - 1) * stride + blocklen) * child.extent()
+                }
+            }
+            Datatype::Subarray { dims, elem, .. } => dims.iter().product::<u64>() * elem,
+            Datatype::Hindexed { blocks } => blocks
+                .iter()
+                .map(|(o, l)| o + l)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Flatten to a sorted, coalesced list of contiguous runs.
+    pub fn flatten(&self) -> Vec<Region> {
+        let mut out = Vec::new();
+        self.flatten_into(0, &mut out);
+        normalize(&mut out);
+        out
+    }
+
+    /// Flatten in generation order without sorting or coalescing (one
+    /// run per innermost row) — for callers that pair runs of two types
+    /// positionally, e.g. chunk-local vs selection-local traversals.
+    pub fn flatten_raw(&self) -> Vec<Region> {
+        let mut out = Vec::new();
+        self.flatten_into(0, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, base: u64, out: &mut Vec<Region>) {
+        match self {
+            Datatype::Bytes(n) => {
+                if *n > 0 {
+                    out.push((base, *n));
+                }
+            }
+            Datatype::Contiguous { count, child } => {
+                let ext = child.extent();
+                for i in 0..*count {
+                    child.flatten_into(base + i * ext, out);
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                let ext = child.extent();
+                for i in 0..*count {
+                    for j in 0..*blocklen {
+                        child.flatten_into(base + (i * stride + j) * ext, out);
+                    }
+                }
+            }
+            Datatype::Subarray {
+                dims,
+                starts,
+                subsizes,
+                elem,
+            } => {
+                assert_eq!(dims.len(), starts.len());
+                assert_eq!(dims.len(), subsizes.len());
+                for (d, (s, z)) in dims.iter().zip(starts.iter().zip(subsizes)) {
+                    assert!(s + z <= *d, "subarray exceeds array bounds");
+                }
+                if subsizes.contains(&0) {
+                    return;
+                }
+                let ndim = dims.len();
+                // Row strides in elements.
+                let mut stride = vec![1u64; ndim];
+                for i in (0..ndim - 1).rev() {
+                    stride[i] = stride[i + 1] * dims[i + 1];
+                }
+                let run = subsizes[ndim - 1] * elem;
+                // Iterate the outer dims with an odometer.
+                let mut idx = vec![0u64; ndim.saturating_sub(1)];
+                loop {
+                    let mut off = starts[ndim - 1];
+                    for i in 0..ndim - 1 {
+                        off += (starts[i] + idx[i]) * stride[i];
+                    }
+                    out.push((base + off * elem, run));
+                    // Increment odometer.
+                    let mut i = ndim.wrapping_sub(2);
+                    loop {
+                        if i == usize::MAX {
+                            return;
+                        }
+                        idx[i] += 1;
+                        if idx[i] < subsizes[i] {
+                            break;
+                        }
+                        idx[i] = 0;
+                        i = i.wrapping_sub(1);
+                    }
+                }
+            }
+            Datatype::Hindexed { blocks } => {
+                for (o, l) in blocks {
+                    if *l > 0 {
+                        out.push((base + o, *l));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sort regions and merge adjacent/overlapping runs.
+pub fn normalize(regions: &mut Vec<Region>) {
+    regions.sort_unstable();
+    let mut w = 0;
+    for i in 0..regions.len() {
+        if w > 0 && regions[w - 1].0 + regions[w - 1].1 >= regions[i].0 {
+            let end = (regions[i].0 + regions[i].1).max(regions[w - 1].0 + regions[w - 1].1);
+            regions[w - 1].1 = end - regions[w - 1].0;
+        } else {
+            regions[w] = regions[i];
+            w += 1;
+        }
+    }
+    regions.truncate(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_flatten() {
+        assert_eq!(Datatype::Bytes(10).flatten(), vec![(0, 10)]);
+        assert_eq!(Datatype::Bytes(0).flatten(), vec![]);
+    }
+
+    #[test]
+    fn contiguous_coalesces() {
+        let t = Datatype::Contiguous {
+            count: 3,
+            child: Box::new(Datatype::Bytes(4)),
+        };
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.extent(), 12);
+        assert_eq!(t.flatten(), vec![(0, 12)]);
+    }
+
+    #[test]
+    fn vector_strides() {
+        let t = Datatype::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+            child: Box::new(Datatype::Bytes(1)),
+        };
+        assert_eq!(t.size(), 6);
+        assert_eq!(t.extent(), 10);
+        assert_eq!(t.flatten(), vec![(0, 2), (4, 2), (8, 2)]);
+    }
+
+    #[test]
+    fn subarray3_runs_match_row_major() {
+        // 4x4x4 array, take the [1..3, 1..3, 1..3] cube of u32.
+        let t = Datatype::subarray3([4, 4, 4], [1, 1, 1], [2, 2, 2], 4);
+        assert_eq!(t.size(), 32);
+        let f = t.flatten();
+        assert_eq!(f.len(), 4); // 2 z-planes x 2 y-rows
+        assert_eq!(f[0], (((16 + 4 + 1) * 4), 8));
+        assert_eq!(f[1], (((16 + 2 * 4 + 1) * 4), 8));
+        assert_eq!(f[2], (((2 * 16 + 4 + 1) * 4), 8));
+    }
+
+    #[test]
+    fn full_rows_coalesce_into_planes() {
+        // Taking entire y and x ranges collapses each z-plane to one run.
+        let t = Datatype::subarray3([4, 4, 4], [1, 0, 0], [2, 4, 4], 8);
+        let f = t.flatten();
+        assert_eq!(f, vec![(16 * 8, 2 * 16 * 8)]);
+    }
+
+    #[test]
+    fn hindexed_sorted_and_merged() {
+        let t = Datatype::Hindexed {
+            blocks: vec![(10, 5), (0, 4), (15, 5), (4, 2)],
+        };
+        assert_eq!(t.flatten(), vec![(0, 6), (10, 10)]);
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.extent(), 20);
+    }
+
+    #[test]
+    fn subarray_total_bytes_match_flatten_sum() {
+        let t = Datatype::subarray3([8, 6, 10], [2, 1, 3], [3, 4, 5], 4);
+        let sum: u64 = t.flatten().iter().map(|(_, l)| l).sum();
+        assert_eq!(sum, t.size());
+        assert_eq!(sum, 3 * 4 * 5 * 4);
+    }
+
+    #[test]
+    fn degenerate_subarray_is_empty() {
+        let t = Datatype::subarray3([4, 4, 4], [0, 0, 0], [0, 4, 4], 4);
+        assert_eq!(t.flatten(), vec![]);
+        assert_eq!(t.size(), 0);
+    }
+
+    #[test]
+    fn one_dimensional_subarray() {
+        let t = Datatype::Subarray {
+            dims: vec![100],
+            starts: vec![25],
+            subsizes: vec![50],
+            elem: 8,
+        };
+        assert_eq!(t.flatten(), vec![(200, 400)]);
+    }
+
+    #[test]
+    fn normalize_merges_overlaps() {
+        let mut r = vec![(0, 10), (5, 10), (20, 5)];
+        normalize(&mut r);
+        assert_eq!(r, vec![(0, 15), (20, 5)]);
+    }
+}
+
+/// Elementary numeric types stored in the scientific file formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NumType {
+    F32,
+    F64,
+    I32,
+    I64,
+    U8,
+}
+
+impl NumType {
+    pub fn size(self) -> u64 {
+        match self {
+            NumType::F32 | NumType::I32 => 4,
+            NumType::F64 | NumType::I64 => 8,
+            NumType::U8 => 1,
+        }
+    }
+
+    pub fn code(self) -> u8 {
+        match self {
+            NumType::F32 => 0,
+            NumType::F64 => 1,
+            NumType::I32 => 2,
+            NumType::I64 => 3,
+            NumType::U8 => 4,
+        }
+    }
+
+    pub fn from_code(c: u8) -> NumType {
+        match c {
+            0 => NumType::F32,
+            1 => NumType::F64,
+            2 => NumType::I32,
+            3 => NumType::I64,
+            4 => NumType::U8,
+            _ => panic!("bad NumType code {c}"),
+        }
+    }
+}

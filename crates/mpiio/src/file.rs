@@ -1,0 +1,540 @@
+//! File handles, hints, independent I/O and data sieving (the ROMIO
+//! optimizations of Thakur/Gropp/Lusk 1999 that the paper builds on).
+
+use crate::datatype::{Datatype, Region};
+use amrio_disk::{FileId, FsConfig, Pfs};
+use amrio_mpi::Comm;
+use amrio_simt::SimDur;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// CPU cost charged per noncontiguous region processed (offset-list
+/// handling in the I/O library).
+pub(crate) const PER_REGION_CPU: SimDur = SimDur(120);
+
+/// ROMIO-style tuning hints.
+#[derive(Clone, Copy, Debug)]
+pub struct Hints {
+    /// Number of collective-I/O aggregators (`cb_nodes`); `None` = all
+    /// ranks aggregate.
+    pub cb_nodes: Option<usize>,
+    /// Aggregator chunk size per file system request (`cb_buffer_size`).
+    pub cb_buffer_size: u64,
+    /// Enable data sieving for noncontiguous independent reads.
+    pub ds_read: bool,
+    /// Enable read-modify-write data sieving for noncontiguous
+    /// independent writes.
+    pub ds_write: bool,
+    /// Sieve buffer size (`ind_rd_buffer_size`).
+    pub sieve_buffer_size: u64,
+    /// Align collective file domains to the file system stripe.
+    pub align_file_domains: bool,
+}
+
+impl Default for Hints {
+    fn default() -> Hints {
+        Hints {
+            cb_nodes: None,
+            cb_buffer_size: 4 << 20,
+            ds_read: true,
+            ds_write: false,
+            sieve_buffer_size: 512 << 10,
+            align_file_domains: true,
+        }
+    }
+}
+
+/// How to open a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    Create,
+    Open,
+}
+
+/// The MPI-IO context: wraps a simulated parallel file system.
+pub struct MpiIo {
+    fs: Arc<Mutex<Pfs>>,
+}
+
+impl MpiIo {
+    pub fn new(cfg: FsConfig) -> MpiIo {
+        MpiIo {
+            fs: Arc::new(Mutex::new(Pfs::new(cfg))),
+        }
+    }
+
+    pub fn from_fs(fs: Arc<Mutex<Pfs>>) -> MpiIo {
+        MpiIo { fs }
+    }
+
+    /// Shared handle to the underlying file system (inspection, reuse by
+    /// the serial HDF4 path on the same simulated volume).
+    pub fn fs(&self) -> Arc<Mutex<Pfs>> {
+        Arc::clone(&self.fs)
+    }
+
+    /// Collectively open `path`. With [`Mode::Create`], rank 0 creates the
+    /// file and everyone else attaches after a barrier (like
+    /// `MPI_File_open` with `MPI_MODE_CREATE`).
+    pub fn open<'c, 'w>(&self, comm: &'c Comm<'w>, path: &str, mode: Mode) -> MpiFile<'c, 'w> {
+        let fs = Arc::clone(&self.fs);
+        let fid = match mode {
+            Mode::Create => {
+                let mut fid = 0;
+                if comm.rank() == 0 {
+                    let fs2 = Arc::clone(&fs);
+                    fid = comm.io(move |t, net| {
+                        let mut fs = fs2.lock();
+                        let (fid, done) = fs.create(0, net, path, t);
+                        (done, fid)
+                    });
+                }
+                comm.barrier();
+                if comm.rank() != 0 {
+                    let fs2 = Arc::clone(&fs);
+                    let me = comm.rank();
+                    fid = comm.io(move |t, net| {
+                        let mut fs = fs2.lock();
+                        let (fid, done) = fs.open(me, net, path, t);
+                        (done, fid)
+                    });
+                }
+                fid
+            }
+            Mode::Open => {
+                let fs2 = Arc::clone(&fs);
+                let me = comm.rank();
+                comm.io(move |t, net| {
+                    let mut fs = fs2.lock();
+                    let (fid, done) = fs.open(me, net, path, t);
+                    (done, fid)
+                })
+            }
+        };
+        MpiFile {
+            comm,
+            fs,
+            fid,
+            hints: Hints::default(),
+            view_disp: 0,
+            view_type: None,
+            write_behind: RefCell::new(None),
+        }
+    }
+
+    /// Open independently from a single rank (no collective semantics) —
+    /// what a sequential library (HDF4) running on processor 0 does.
+    pub fn open_single<'c, 'w>(
+        &self,
+        comm: &'c Comm<'w>,
+        path: &str,
+        mode: Mode,
+    ) -> MpiFile<'c, 'w> {
+        let fs = Arc::clone(&self.fs);
+        let fs2 = Arc::clone(&fs);
+        let me = comm.rank();
+        let fid = comm.io(move |t, net| {
+            let mut fs = fs2.lock();
+            let (fid, done) = match mode {
+                Mode::Create => fs.create(me, net, path, t),
+                Mode::Open => fs.open(me, net, path, t),
+            };
+            (done, fid)
+        });
+        MpiFile {
+            comm,
+            fs,
+            fid,
+            hints: Hints::default(),
+            view_disp: 0,
+            view_type: None,
+            write_behind: RefCell::new(None),
+        }
+    }
+}
+
+/// An open MPI-IO file handle for one rank.
+pub struct MpiFile<'c, 'w> {
+    pub(crate) comm: &'c Comm<'w>,
+    pub(crate) fs: Arc<Mutex<Pfs>>,
+    pub(crate) fid: FileId,
+    pub(crate) hints: Hints,
+    view_disp: u64,
+    view_type: Option<Datatype>,
+    /// Two-stage write-behind buffer for independent writes (the
+    /// Liao/Ching/Coloma/Choudhary/Kandemir follow-up optimization):
+    /// adjacent `write_at` calls coalesce locally and reach the file
+    /// system as one large request.
+    write_behind: RefCell<Option<WbBuf>>,
+}
+
+struct WbBuf {
+    start: u64,
+    data: Vec<u8>,
+    cap: usize,
+}
+
+impl Drop for MpiFile<'_, '_> {
+    fn drop(&mut self) {
+        // Close semantics: staged writes reach the file system.
+        self.flush_write_behind();
+    }
+}
+
+impl<'c, 'w> MpiFile<'c, 'w> {
+    pub fn set_hints(&mut self, hints: Hints) {
+        self.hints = hints;
+    }
+
+    pub fn hints(&self) -> Hints {
+        self.hints
+    }
+
+    pub fn file_id(&self) -> FileId {
+        self.fid
+    }
+
+    /// Stripe unit of the underlying file system (for alignment decisions
+    /// in layers above, e.g. HDF5 data allocation).
+    pub fn fs_stripe(&self) -> u64 {
+        self.fs.lock().config().stripe
+    }
+
+    /// Install an application-specific stripe unit for this file — the
+    /// flexible-striping interface the paper's conclusions ask parallel
+    /// file systems to provide. Charges one metadata-ish request.
+    pub fn set_app_striping(&self, stripe: u64) {
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        self.comm.io(move |t, _net| {
+            let mut fs = fs.lock();
+            fs.set_file_striping(fid, stripe);
+            (t + SimDur::from_micros(50), ())
+        });
+    }
+
+    /// Install a file view: `disp` displacement plus a filetype whose
+    /// flattened runs (ascending) select where this rank's data lives.
+    pub fn set_view(&mut self, disp: u64, filetype: Datatype) {
+        self.view_disp = disp;
+        self.view_type = Some(filetype);
+    }
+
+    pub fn clear_view(&mut self) {
+        self.view_disp = 0;
+        self.view_type = None;
+    }
+
+    /// Absolute file regions selected by the current view.
+    /// (View operations flush staged write-behind data first so every
+    /// access path observes the same bytes.)
+    pub(crate) fn view_regions(&self) -> Vec<Region> {
+        self.flush_write_behind();
+        let t = self
+            .view_type
+            .as_ref()
+            .expect("view operation requires set_view");
+        let regions = t.flatten();
+        // Charge the offset-list computation.
+        self.comm
+            .ctx()
+            .advance(SimDur(PER_REGION_CPU.0 * regions.len() as u64));
+        regions
+            .iter()
+            .map(|(o, l)| (o + self.view_disp, *l))
+            .collect()
+    }
+
+    pub fn size(&self) -> u64 {
+        self.fs.lock().file_size(self.fid)
+    }
+
+    /// Enable two-stage write-behind buffering of independent writes:
+    /// adjacent `write_at` calls accumulate in a local staging buffer (a
+    /// cheap memcpy) and hit the file system as one large request when
+    /// the buffer fills, a non-adjacent write arrives, a read needs the
+    /// data, or the handle drops.
+    pub fn enable_write_behind(&self, capacity: usize) {
+        assert!(capacity > 0);
+        self.flush_write_behind();
+        *self.write_behind.borrow_mut() = Some(WbBuf {
+            start: 0,
+            data: Vec::new(),
+            cap: capacity,
+        });
+    }
+
+    /// Flush any staged write-behind data to the file system.
+    pub fn flush_write_behind(&self) {
+        let staged = {
+            let mut wb = self.write_behind.borrow_mut();
+            match wb.as_mut() {
+                Some(b) if !b.data.is_empty() => {
+                    let start = b.start;
+                    Some((start, std::mem::take(&mut b.data)))
+                }
+                _ => None,
+            }
+        };
+        if let Some((start, data)) = staged {
+            self.write_through(start, data);
+        }
+    }
+
+    fn write_through(&self, off: u64, data: Vec<u8>) {
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        let me = self.comm.rank();
+        self.comm.io(move |t, net| {
+            let mut fs = fs.lock();
+            let done = fs.write_at(me, net, fid, off, &data, t);
+            (done, ())
+        });
+    }
+
+    /// Independent contiguous write at an explicit offset (blocking, or
+    /// staged if write-behind is enabled).
+    pub fn write_at(&self, off: u64, data: &[u8]) {
+        {
+            let mut wb = self.write_behind.borrow_mut();
+            if let Some(b) = wb.as_mut() {
+                let adjacent = b.data.is_empty() || off == b.start + b.data.len() as u64;
+                if adjacent && b.data.len() + data.len() <= b.cap {
+                    if b.data.is_empty() {
+                        b.start = off;
+                    }
+                    b.data.extend_from_slice(data);
+                    // Staging is a memcpy, not I/O.
+                    self.comm
+                        .ctx()
+                        .advance(SimDur::transfer(data.len() as u64, self.comm.mem_bw()));
+                    return;
+                }
+            }
+        }
+        self.flush_write_behind();
+        let staged = {
+            let mut wb = self.write_behind.borrow_mut();
+            match wb.as_mut() {
+                Some(b) if data.len() <= b.cap => {
+                    b.start = off;
+                    b.data.extend_from_slice(data);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if staged {
+            self.comm
+                .ctx()
+                .advance(SimDur::transfer(data.len() as u64, self.comm.mem_bw()));
+        } else {
+            self.write_through(off, data.to_vec());
+        }
+    }
+
+    /// Independent contiguous read at an explicit offset (blocking).
+    /// Flushes staged writes first so reads observe them.
+    pub fn read_at(&self, off: u64, len: u64) -> Vec<u8> {
+        self.flush_write_behind();
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        let me = self.comm.rank();
+        self.comm.io(move |t, net| {
+            let mut fs = fs.lock();
+            let (done, data) = fs.read_at(me, net, fid, off, len, t);
+            (done, data)
+        })
+    }
+
+    /// Independent write through the view. `buf` supplies exactly the
+    /// bytes the view selects, in ascending region order. Noncontiguous
+    /// views either pay one request per run or use read-modify-write data
+    /// sieving, per hints.
+    pub fn write_view(&self, buf: &[u8]) {
+        let regions = self.view_regions();
+        let total: u64 = regions.iter().map(|(_, l)| l).sum();
+        assert_eq!(buf.len() as u64, total, "buffer must match view size");
+        if regions.len() <= 1 {
+            if let Some(&(off, _)) = regions.first() {
+                self.write_at(off, buf);
+            }
+            return;
+        }
+        if self.hints.ds_write {
+            self.sieved_write(&regions, buf);
+        } else {
+            // One blocking request per run.
+            let fs = Arc::clone(&self.fs);
+            let fid = self.fid;
+            let me = self.comm.rank();
+            let buf = buf.to_vec();
+            let regions2 = regions.clone();
+            self.comm.io(move |t, net| {
+                let mut fs = fs.lock();
+                let mut cur = t;
+                let mut pos = 0usize;
+                for (off, len) in regions2 {
+                    cur = fs.write_at(me, net, fid, off, &buf[pos..pos + len as usize], cur);
+                    pos += len as usize;
+                }
+                (cur, ())
+            });
+        }
+    }
+
+    /// Independent read through the view; returns the selected bytes in
+    /// ascending region order. Uses data sieving when enabled.
+    pub fn read_view(&self) -> Vec<u8> {
+        let regions = self.view_regions();
+        let total: u64 = regions.iter().map(|(_, l)| l).sum();
+        if regions.len() <= 1 {
+            return match regions.first() {
+                Some(&(off, len)) => self.read_at(off, len),
+                None => Vec::new(),
+            };
+        }
+        if self.hints.ds_read {
+            self.sieved_read(&regions, total)
+        } else {
+            let fs = Arc::clone(&self.fs);
+            let fid = self.fid;
+            let me = self.comm.rank();
+            let regions2 = regions.clone();
+            self.comm.io(move |t, net| {
+                let mut fs = fs.lock();
+                let mut cur = t;
+                let mut out = Vec::with_capacity(total as usize);
+                for (off, len) in regions2 {
+                    let (done, data) = fs.read_at(me, net, fid, off, len, cur);
+                    cur = done;
+                    out.extend_from_slice(&data);
+                }
+                (cur, out)
+            })
+        }
+    }
+
+    /// Data sieving read: fetch the hole-spanning extent in large sieve
+    /// buffers, then extract the requested runs in memory.
+    fn sieved_read(&self, regions: &[Region], total: u64) -> Vec<u8> {
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        let me = self.comm.rank();
+        let sieve = self.hints.sieve_buffer_size.max(1);
+        let mem_bw = self.comm.mem_bw();
+        let regions = regions.to_vec();
+        self.comm.io(move |t, net| {
+            let mut fs = fs.lock();
+            let mut out = vec![0u8; total as usize];
+            let span_start = regions.first().map(|r| r.0).unwrap_or(0);
+            let span_end = regions.iter().map(|(o, l)| o + l).max().unwrap_or(0);
+            let mut cur = t;
+            let mut win = span_start;
+            let mut ri = 0usize; // first region not fully before the window
+            let mut out_pos: Vec<u64> = Vec::with_capacity(regions.len());
+            let mut acc = 0;
+            for (_, l) in &regions {
+                out_pos.push(acc);
+                acc += l;
+            }
+            while win < span_end {
+                let wlen = sieve.min(span_end - win);
+                // Skip holes: jump to the next region if none intersects.
+                while ri < regions.len() && regions[ri].0 + regions[ri].1 <= win {
+                    ri += 1;
+                }
+                if ri >= regions.len() {
+                    break;
+                }
+                if regions[ri].0 >= win + wlen {
+                    win = regions[ri].0;
+                    continue;
+                }
+                let (done, data) = fs.read_at(me, net, fid, win, wlen, cur);
+                cur = done;
+                // Copy intersecting pieces out; charge memcpy.
+                let mut copied = 0u64;
+                for (i, (off, len)) in regions.iter().enumerate().skip(ri) {
+                    if *off >= win + wlen {
+                        break;
+                    }
+                    let s = (*off).max(win);
+                    let e = (off + len).min(win + wlen);
+                    if e > s {
+                        let dst = (out_pos[i] + (s - off)) as usize;
+                        let src = (s - win) as usize;
+                        out[dst..dst + (e - s) as usize]
+                            .copy_from_slice(&data[src..src + (e - s) as usize]);
+                        copied += e - s;
+                    }
+                }
+                cur += SimDur::transfer(copied, mem_bw)
+                    + SimDur(PER_REGION_CPU.0 * (regions.len().min(64)) as u64 / 8);
+                win += wlen;
+            }
+            (cur, out)
+        })
+    }
+
+    /// Data sieving write: read-modify-write each sieve window.
+    fn sieved_write(&self, regions: &[Region], buf: &[u8]) {
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        let me = self.comm.rank();
+        let sieve = self.hints.sieve_buffer_size.max(1);
+        let mem_bw = self.comm.mem_bw();
+        let regions = regions.to_vec();
+        let buf = buf.to_vec();
+        self.comm.io(move |t, net| {
+            let mut fs = fs.lock();
+            let span_start = regions.first().map(|r| r.0).unwrap_or(0);
+            let span_end = regions.iter().map(|(o, l)| o + l).max().unwrap_or(0);
+            let mut in_pos: Vec<u64> = Vec::with_capacity(regions.len());
+            let mut acc = 0;
+            for (_, l) in &regions {
+                in_pos.push(acc);
+                acc += l;
+            }
+            let mut cur = t;
+            let mut win = span_start;
+            let mut ri = 0usize;
+            while win < span_end {
+                let wlen = sieve.min(span_end - win);
+                while ri < regions.len() && regions[ri].0 + regions[ri].1 <= win {
+                    ri += 1;
+                }
+                if ri >= regions.len() {
+                    break;
+                }
+                if regions[ri].0 >= win + wlen {
+                    win = regions[ri].0;
+                    continue;
+                }
+                // Read-modify-write the window.
+                let (done, mut data) = fs.read_at(me, net, fid, win, wlen, cur);
+                cur = done;
+                let mut copied = 0u64;
+                for (i, (off, len)) in regions.iter().enumerate().skip(ri) {
+                    if *off >= win + wlen {
+                        break;
+                    }
+                    let s = (*off).max(win);
+                    let e = (off + len).min(win + wlen);
+                    if e > s {
+                        let src = (in_pos[i] + (s - off)) as usize;
+                        let dst = (s - win) as usize;
+                        data[dst..dst + (e - s) as usize]
+                            .copy_from_slice(&buf[src..src + (e - s) as usize]);
+                        copied += e - s;
+                    }
+                }
+                cur += SimDur::transfer(copied, mem_bw);
+                cur = fs.write_at(me, net, fid, win, &data, cur);
+                win += wlen;
+            }
+            (cur, ())
+        });
+    }
+}

@@ -1,0 +1,371 @@
+//! The cooperative virtual-time engine.
+//!
+//! Each simulated processor ("rank") runs as a real OS thread carrying a
+//! *virtual clock*. Pure local work runs in parallel and just advances the
+//! rank's own clock. Whenever a rank needs to interact with shared
+//! simulation state (mailboxes, disks, NIC ports, ...) it enters an
+//! [`Ctx::ordered`] section, which the scheduler grants strictly in
+//! `(clock, rank)` priority order: a rank may enter only when no other
+//! live, unparked rank could still produce an earlier-priority event.
+//! Because every contended resource is only touched inside ordered
+//! sections, resource queues observe requests in nondecreasing virtual
+//! time and the whole run is deterministic regardless of how the OS
+//! schedules the threads.
+//!
+//! Blocking (e.g. a receive with no matching message) uses
+//! [`Ctx::park`] / [`Ctx::unpark`] with one-shot permit semantics, so a
+//! wake that races ahead of the sleep is never lost. Parked ranks are
+//! excluded from the priority minimum; this is safe because a parked rank
+//! can only be woken from inside another rank's ordered section, which
+//! itself obeys the priority order, so the wakee's next event can never
+//! travel back before events already granted.
+
+use crate::time::{SimDur, SimTime};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A processor index in `0..nranks`.
+pub type Rank = usize;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RankState {
+    /// Running local work (or not yet at a yield point).
+    Free,
+    /// Waiting to be granted an ordered section.
+    WaitingOrdered,
+    /// Inside an ordered section (exactly one rank at a time).
+    OrderedRunning,
+    /// Parked until another rank calls `unpark`.
+    Parked,
+    /// The rank closure returned (or panicked).
+    Done,
+}
+
+struct Sched {
+    clocks: Vec<SimTime>,
+    state: Vec<RankState>,
+    /// One-shot wake permits: `Some(t)` means a pending `unpark` at time `t`.
+    permits: Vec<Option<SimTime>>,
+    /// True while some rank is inside an ordered closure.
+    ordered_busy: bool,
+    /// Set when a rank panicked; everyone else unwinds promptly.
+    poisoned: bool,
+}
+
+impl Sched {
+    /// The highest-priority live rank: smallest `(clock, rank)` among ranks
+    /// that are Free, WaitingOrdered or OrderedRunning. Parked and Done
+    /// ranks cannot produce events until acted upon by someone else.
+    fn min_priority(&self) -> Option<(SimTime, Rank)> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                matches!(
+                    s,
+                    RankState::Free | RankState::WaitingOrdered | RankState::OrderedRunning
+                )
+            })
+            .map(|(r, _)| (self.clocks[r], r))
+            .min()
+    }
+
+    fn dump(&self) -> String {
+        let mut s = String::new();
+        for r in 0..self.state.len() {
+            s.push_str(&format!(
+                "  rank {r}: {:?} at {:?} permit={:?}\n",
+                self.state[r], self.clocks[r], self.permits[r]
+            ));
+        }
+        s
+    }
+}
+
+struct Shared {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    ordered_ops: AtomicU64,
+}
+
+/// Per-rank handle passed to the rank closure; all engine services go
+/// through it.
+pub struct Ctx {
+    rank: Rank,
+    nranks: usize,
+    shared: Arc<Shared>,
+}
+
+/// Raised (via panic payload) when the engine detects that every live rank
+/// is parked, i.e. the simulated program deadlocked.
+#[derive(Debug)]
+pub struct Deadlock(pub String);
+
+impl Ctx {
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// This rank's current virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.shared.sched.lock().clocks[self.rank]
+    }
+
+    /// Charge `d` of local computation to this rank.
+    pub fn advance(&self, d: SimDur) {
+        if d == SimDur::ZERO {
+            return;
+        }
+        let mut g = self.shared.sched.lock();
+        self.check_poison(&g);
+        g.clocks[self.rank] += d;
+        // Our clock moving forward may make another rank the unique minimum.
+        drop(g);
+        self.shared.cv.notify_all();
+    }
+
+    /// Move this rank's clock forward to at least `t` (no-op if already
+    /// past). Used when an interaction's effect completes at `t`.
+    pub fn advance_to(&self, t: SimTime) {
+        let mut g = self.shared.sched.lock();
+        self.check_poison(&g);
+        if g.clocks[self.rank] < t {
+            g.clocks[self.rank] = t;
+            drop(g);
+            self.shared.cv.notify_all();
+        }
+    }
+
+    fn check_poison(&self, g: &Sched) {
+        if g.poisoned {
+            panic!("peer rank panicked; unwinding rank {}", self.rank);
+        }
+    }
+
+    /// Run `f` when this rank holds the global `(clock, rank)` minimum among
+    /// live unparked ranks and no other ordered section is in flight.
+    ///
+    /// `f` receives the rank's clock on entry and returns the clock the rank
+    /// should hold afterwards together with a result; typically the
+    /// completion time of the interaction. Shared simulation state must only
+    /// be touched from inside ordered sections.
+    pub fn ordered<R>(&self, f: impl FnOnce(SimTime) -> (SimTime, R)) -> R {
+        let me = self.rank;
+        let mut g = self.shared.sched.lock();
+        self.check_poison(&g);
+        debug_assert_eq!(g.state[me], RankState::Free, "nested ordered section");
+        g.state[me] = RankState::WaitingOrdered;
+        loop {
+            self.check_poison(&g);
+            let min = g.min_priority().expect("no live ranks in ordered wait");
+            if !g.ordered_busy && min == (g.clocks[me], me) {
+                break;
+            }
+            self.shared.cv.wait(&mut g);
+        }
+        g.state[me] = RankState::OrderedRunning;
+        g.ordered_busy = true;
+        let t0 = g.clocks[me];
+        drop(g);
+
+        self.shared.ordered_ops.fetch_add(1, Ordering::Relaxed);
+        let out = catch_unwind(AssertUnwindSafe(|| f(t0)));
+
+        let mut g = self.shared.sched.lock();
+        g.ordered_busy = false;
+        g.state[me] = RankState::Free;
+        match out {
+            Ok((t1, r)) => {
+                assert!(t1 >= t0, "ordered section moved time backwards");
+                g.clocks[me] = t1;
+                drop(g);
+                self.shared.cv.notify_all();
+                r
+            }
+            Err(payload) => {
+                g.poisoned = true;
+                drop(g);
+                self.shared.cv.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Convenience: an ordered section that leaves the clock unchanged.
+    pub fn ordered_read<R>(&self, f: impl FnOnce(SimTime) -> R) -> R {
+        self.ordered(|t| (t, f(t)))
+    }
+
+    /// Park this rank until some other rank calls [`Ctx::unpark`] on it.
+    /// Returns the rank's clock after waking (at least the wake time the
+    /// waker supplied). A permit posted before `park` is consumed
+    /// immediately, so wake-ups are never lost.
+    pub fn park(&self) -> SimTime {
+        let me = self.rank;
+        let mut g = self.shared.sched.lock();
+        self.check_poison(&g);
+        if let Some(t) = g.permits[me].take() {
+            if g.clocks[me] < t {
+                g.clocks[me] = t;
+            }
+            let now = g.clocks[me];
+            drop(g);
+            self.shared.cv.notify_all();
+            return now;
+        }
+        g.state[me] = RankState::Parked;
+        // Our parking may unblock an ordered waiter.
+        self.shared.cv.notify_all();
+        loop {
+            // Deadlock check: nobody can make progress if every live rank
+            // is parked.
+            if g
+                .state
+                .iter()
+                .all(|s| matches!(s, RankState::Parked | RankState::Done))
+            {
+                let dump = g.dump();
+                g.poisoned = true;
+                drop(g);
+                self.shared.cv.notify_all();
+                panic!("simulated deadlock: all live ranks parked\n{dump}");
+            }
+            self.shared.cv.wait(&mut g);
+            self.check_poison(&g);
+            if g.state[me] == RankState::Free {
+                break;
+            }
+        }
+        let now = g.clocks[me];
+        drop(g);
+        self.shared.cv.notify_all();
+        now
+    }
+
+    /// Wake `target` (or post a permit if it has not parked yet), with its
+    /// clock raised to at least `at`. Call this from inside an ordered
+    /// section so wakes obey the global event order.
+    pub fn unpark(&self, target: Rank, at: SimTime) {
+        let mut g = self.shared.sched.lock();
+        match g.state[target] {
+            RankState::Parked => {
+                if g.clocks[target] < at {
+                    g.clocks[target] = at;
+                }
+                g.state[target] = RankState::Free;
+                drop(g);
+                self.shared.cv.notify_all();
+            }
+            RankState::Done => panic!("unpark of finished rank {target}"),
+            _ => {
+                let p = g.permits[target].get_or_insert(at);
+                if *p < at {
+                    *p = at;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug)]
+pub struct SimReport<T> {
+    /// Per-rank results, indexed by rank.
+    pub results: Vec<T>,
+    /// The largest final clock over all ranks — the simulated makespan.
+    pub makespan: SimTime,
+    /// Number of ordered sections executed (a proxy for event count).
+    pub ordered_ops: u64,
+}
+
+/// Run `nranks` copies of `f` (one per rank) to completion under the
+/// virtual-time scheduler and collect their results.
+///
+/// Panics if any rank panics (including simulated deadlock), propagating
+/// the first panic payload.
+pub fn run<T, F>(nranks: usize, f: F) -> SimReport<T>
+where
+    T: Send,
+    F: Fn(&Ctx) -> T + Sync,
+{
+    assert!(nranks > 0, "need at least one rank");
+    let shared = Arc::new(Shared {
+        sched: Mutex::new(Sched {
+            clocks: vec![SimTime::ZERO; nranks],
+            state: vec![RankState::Free; nranks],
+            permits: vec![None; nranks],
+            ordered_busy: false,
+            poisoned: false,
+        }),
+        cv: Condvar::new(),
+        ordered_ops: AtomicU64::new(0),
+    });
+
+    let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let ctx = Ctx {
+                rank,
+                nranks,
+                shared: Arc::clone(&shared),
+            };
+            let f = &f;
+            handles.push(s.spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                let mut g = ctx.shared.sched.lock();
+                g.state[rank] = RankState::Done;
+                if out.is_err() {
+                    g.poisoned = true;
+                }
+                drop(g);
+                ctx.shared.cv.notify_all();
+                out
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join().expect("rank thread itself must not die") {
+                Ok(v) => results[rank] = Some(v),
+                Err(p) => {
+                    // Prefer the root-cause panic over the secondary
+                    // "peer rank panicked" unwinds it triggers in peers.
+                    let secondary = p
+                        .downcast_ref::<String>()
+                        .is_some_and(|m| m.contains("peer rank panicked"));
+                    if (first_panic.is_none() || !secondary)
+                        && first_panic
+                            .as_ref()
+                            .map(|q| {
+                                q.downcast_ref::<String>()
+                                    .is_some_and(|m| m.contains("peer rank panicked"))
+                            })
+                            .unwrap_or(true)
+                        {
+                            first_panic = Some(p);
+                        }
+                }
+            }
+        }
+    });
+
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+
+    let g = shared.sched.lock();
+    let makespan = g.clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
+    drop(g);
+    SimReport {
+        results: results.into_iter().map(|r| r.unwrap()).collect(),
+        makespan,
+        ordered_ops: shared.ordered_ops.load(Ordering::Relaxed),
+    }
+}

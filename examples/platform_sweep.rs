@@ -1,0 +1,41 @@
+//! Run the same simulation + checkpoint on all four platform models of
+//! the paper and see how the user-level I/O pattern interacts with each
+//! file system (the paper's central observation).
+//!
+//! ```sh
+//! cargo run --release --example platform_sweep
+//! ```
+
+use amrio::enzo::{driver, Hdf4Serial, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+
+fn main() {
+    let nranks = 8;
+    let platforms = [
+        Platform::origin2000(nranks),
+        Platform::ibm_sp2(nranks),
+        Platform::chiba_pvfs(nranks),
+        Platform::chiba_local(nranks),
+    ];
+    let cfg = SimConfig::new(ProblemSize::Custom(48), nranks);
+
+    println!(
+        "{:<26} {:>14} {:>10} {:>10}",
+        "platform", "strategy", "write[s]", "read[s]"
+    );
+    for platform in &platforms {
+        for strategy in [
+            &Hdf4Serial as &dyn amrio::enzo::IoStrategy,
+            &MpiIoOptimized,
+        ] {
+            let r = driver::run_experiment(platform, &cfg, strategy, 2);
+            assert!(r.verified);
+            println!(
+                "{:<26} {:>14} {:>10.3} {:>10.3}",
+                r.platform, r.strategy, r.write_time, r.read_time
+            );
+        }
+    }
+    println!("\nNote how the same MPI-IO optimization helps on the Origin2000");
+    println!("and the local disks, but not against GPFS's large fixed stripes");
+    println!("or across Chiba City's Fast Ethernet (paper sections 4.1-4.4).");
+}

@@ -1,0 +1,18 @@
+//! `amrio` — umbrella crate for the CLUSTER 2002 "I/O Analysis and
+//! Optimization for an AMR Cosmology Application" reproduction.
+//!
+//! Re-exports every layer of the stack; see the README for the
+//! architecture and `amrio_enzo` (re-exported as [`enzo`]) for the
+//! application-level entry points. The `examples/` directory shows the
+//! intended usage; `tests/` holds the cross-crate integration suite.
+
+pub use amrio_amr as amr;
+pub use amrio_disk as disk;
+pub use amrio_enzo as enzo;
+pub use amrio_hdf4 as hdf4;
+pub use amrio_hdf5 as hdf5;
+pub use amrio_mdms as mdms;
+pub use amrio_mpi as mpi;
+pub use amrio_mpiio as mpiio;
+pub use amrio_net as net;
+pub use amrio_simt as simt;

@@ -1,0 +1,138 @@
+//! Cross-crate integration: every I/O strategy on every platform must
+//! produce a checkpoint that restores to the exact same simulation.
+
+use amrio::enzo::{
+    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    SimConfig,
+};
+
+fn cfg(nranks: usize) -> SimConfig {
+    let mut c = SimConfig::new(ProblemSize::Custom(16), nranks);
+    c.particle_fraction = 0.5;
+    c.refine_threshold = 3.0;
+    c
+}
+
+fn verify(platform: Platform, strategy: &dyn IoStrategy, nranks: usize) {
+    let r = driver::run_experiment(&platform, &cfg(nranks), strategy, 1);
+    assert!(
+        r.verified,
+        "{} on {} failed restart verification",
+        r.strategy, r.platform
+    );
+    assert!(r.write_time > 0.0 && r.read_time > 0.0);
+}
+
+#[test]
+fn hdf4_on_origin2000() {
+    verify(Platform::origin2000(4), &Hdf4Serial, 4);
+}
+
+#[test]
+fn mpiio_on_origin2000() {
+    verify(Platform::origin2000(4), &MpiIoOptimized, 4);
+}
+
+#[test]
+fn hdf5_on_origin2000() {
+    verify(Platform::origin2000(4), &Hdf5Parallel::default(), 4);
+}
+
+#[test]
+fn hdf4_on_sp2() {
+    verify(Platform::ibm_sp2(8), &Hdf4Serial, 8);
+}
+
+#[test]
+fn mpiio_on_sp2() {
+    verify(Platform::ibm_sp2(8), &MpiIoOptimized, 8);
+}
+
+#[test]
+fn hdf5_on_sp2() {
+    verify(Platform::ibm_sp2(8), &Hdf5Parallel::default(), 8);
+}
+
+#[test]
+fn hdf4_on_chiba_pvfs() {
+    verify(Platform::chiba_pvfs(8), &Hdf4Serial, 8);
+}
+
+#[test]
+fn mpiio_on_chiba_pvfs() {
+    verify(Platform::chiba_pvfs(8), &MpiIoOptimized, 8);
+}
+
+#[test]
+fn hdf5_on_chiba_pvfs() {
+    verify(Platform::chiba_pvfs(8), &Hdf5Parallel::default(), 8);
+}
+
+#[test]
+fn hdf4_on_local_disks() {
+    verify(Platform::chiba_local(4), &Hdf4Serial, 4);
+}
+
+#[test]
+fn mpiio_on_local_disks() {
+    verify(Platform::chiba_local(4), &MpiIoOptimized, 4);
+}
+
+#[test]
+fn mpiio_with_odd_rank_count() {
+    // Non-power-of-two processor meshes exercise uneven block bounds.
+    verify(Platform::origin2000(6), &MpiIoOptimized, 6);
+}
+
+#[test]
+fn hdf5_modern_model_also_roundtrips() {
+    let strat = Hdf5Parallel {
+        model: amrio_hdf5::OverheadModel::modern(),
+    };
+    verify(Platform::origin2000(4), &strat, 4);
+}
+
+#[test]
+fn mdms_advised_on_origin2000() {
+    verify(Platform::origin2000(4), &amrio::enzo::MdmsAdvised, 4);
+}
+
+#[test]
+fn mdms_advised_on_chiba_pvfs() {
+    verify(Platform::chiba_pvfs(8), &amrio::enzo::MdmsAdvised, 8);
+}
+
+#[test]
+fn naive_reader_on_origin2000() {
+    verify(Platform::origin2000(4), &amrio::enzo::MpiIoNaive, 4);
+}
+
+#[test]
+fn multifile_on_origin2000() {
+    verify(Platform::origin2000(4), &amrio::enzo::MpiIoMultiFile, 4);
+}
+
+#[test]
+fn multifile_on_local_disks() {
+    verify(Platform::chiba_local(4), &amrio::enzo::MpiIoMultiFile, 4);
+}
+
+#[test]
+fn app_striped_on_sp2() {
+    verify(Platform::ibm_sp2(8), &amrio::enzo::MpiIoAppStriped, 8);
+}
+
+#[test]
+fn app_striped_on_origin2000() {
+    verify(Platform::origin2000(4), &amrio::enzo::MpiIoAppStriped, 4);
+}
+
+#[test]
+fn write_behind_on_origin2000() {
+    verify(Platform::origin2000(4), &amrio::enzo::MpiIoWriteBehind, 4);
+}
+
+#[test]
+fn write_behind_on_sp2() {
+    verify(Platform::ibm_sp2(8), &amrio::enzo::MpiIoWriteBehind, 8);
+}

@@ -1,0 +1,261 @@
+//! Property-based tests over the core data structures and invariants.
+
+use amrio_amr::{block_bounds, cluster, factor3, ClusterParams, ParticleSet, PARTICLE_ARRAYS};
+use amrio_disk::ExtentStore;
+use amrio_mpiio::{normalize, Datatype};
+use proptest::prelude::*;
+
+proptest! {
+    /// Flattening a subarray selects exactly the row-major elements a
+    /// naive triple loop selects.
+    #[test]
+    fn subarray_flatten_matches_naive(
+        dims in prop::array::uniform3(1u64..12),
+        frac in prop::array::uniform3(0.0f64..1.0),
+        frac2 in prop::array::uniform3(0.0f64..1.0),
+        elem in prop::sample::select(vec![1u64, 4, 8]),
+    ) {
+        let mut starts = [0u64; 3];
+        let mut subs = [0u64; 3];
+        for d in 0..3 {
+            starts[d] = (frac[d] * dims[d] as f64) as u64;
+            let room = dims[d] - starts[d];
+            subs[d] = 1 + (frac2[d] * (room.max(1) - 1) as f64) as u64;
+        }
+        let t = Datatype::subarray3(dims, starts, subs, elem);
+        // Naive: enumerate selected element offsets, then coalesce.
+        let mut naive: Vec<(u64, u64)> = Vec::new();
+        for z in starts[0]..starts[0] + subs[0] {
+            for y in starts[1]..starts[1] + subs[1] {
+                for x in starts[2]..starts[2] + subs[2] {
+                    let off = ((z * dims[1] + y) * dims[2] + x) * elem;
+                    naive.push((off, elem));
+                }
+            }
+        }
+        normalize(&mut naive);
+        prop_assert_eq!(t.flatten(), naive);
+    }
+
+    /// `normalize` output is sorted, disjoint, and preserves coverage.
+    #[test]
+    fn normalize_invariants(regions in prop::collection::vec((0u64..1000, 1u64..50), 0..40)) {
+        let mut r = regions.clone();
+        normalize(&mut r);
+        // Sorted and non-adjacent.
+        for w in r.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 < w[1].0);
+        }
+        // Same byte coverage.
+        let covered = |rs: &[(u64, u64)], x: u64| rs.iter().any(|&(o, l)| x >= o && x < o + l);
+        for &(o, l) in &regions {
+            prop_assert!(covered(&r, o));
+            prop_assert!(covered(&r, o + l - 1));
+        }
+        let total: u64 = r.iter().map(|(_, l)| l).sum();
+        let max_end = regions.iter().map(|&(o, l)| o + l).max().unwrap_or(0);
+        prop_assert!(total <= max_end);
+    }
+
+    /// ExtentStore behaves like a big zero-initialized Vec<u8>.
+    #[test]
+    fn extent_store_matches_vec_model(
+        ops in prop::collection::vec((0usize..5000, prop::collection::vec(any::<u8>(), 1..300)), 1..25)
+    ) {
+        let mut store = ExtentStore::new();
+        let mut model = vec![0u8; 8192];
+        for (off, data) in &ops {
+            store.write(*off as u64, data);
+            model[*off..*off + data.len()].copy_from_slice(data);
+        }
+        let got = store.read_vec(0, 8192);
+        let len = store.len() as usize;
+        prop_assert_eq!(&got[..len.min(8192)], &model[..len.min(8192)]);
+        // Beyond the written length everything reads zero.
+        prop_assert!(got[len.min(8192)..].iter().all(|b| *b == 0));
+    }
+
+    /// block_bounds tiles [0, n) exactly for any p.
+    #[test]
+    fn block_bounds_tile(n in 0u64..10_000, p in 1u64..64) {
+        let mut prev = 0;
+        for i in 0..p {
+            let (s, e) = block_bounds(n, p, i);
+            prop_assert_eq!(s, prev);
+            prop_assert!(e >= s);
+            // Even split: sizes differ by at most 1.
+            prop_assert!(e - s <= n / p + 1);
+            prev = e;
+        }
+        prop_assert_eq!(prev, n);
+    }
+
+    /// factor3 really factors and stays reasonably balanced.
+    #[test]
+    fn factor3_factors(p in 1usize..512) {
+        let f = factor3(p);
+        prop_assert_eq!(f.iter().product::<u64>(), p as u64);
+        prop_assert!(f[0] >= f[1] && f[1] >= f[2]);
+    }
+
+    /// Clustering always covers every flagged cell, for any parameters.
+    #[test]
+    fn cluster_covers_all_flags(
+        flags in prop::collection::vec(prop::array::uniform3(0u64..40), 1..120),
+        eff in 0.05f64..0.95,
+        min_width in 1u64..6,
+    ) {
+        let params = ClusterParams { min_efficiency: eff, min_width, max_boxes: 64 };
+        let boxes = cluster(&flags, &params);
+        prop_assert!(boxes.len() <= 64);
+        for f in &flags {
+            prop_assert!(boxes.iter().any(|b| b.contains(*f)), "uncovered flag {f:?}");
+        }
+    }
+
+    /// Particle array byte serialization round-trips every array.
+    #[test]
+    fn particle_bytes_roundtrip(
+        n in 1usize..60,
+        seed in any::<u32>(),
+    ) {
+        let mut ps = ParticleSet::new();
+        let mut s = seed as u64;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); (s >> 33) as f64 / (1u64 << 31) as f64 };
+        for i in 0..n {
+            ps.push(
+                (i as i64) * 3 - 7,
+                [next(), next(), next()],
+                [next() as f32, next() as f32, next() as f32],
+                next() as f32,
+                [next() as f32, next() as f32],
+            );
+        }
+        let mut q = ParticleSet::new();
+        for (name, width) in PARTICLE_ARRAYS {
+            let b = ps.array_bytes(name);
+            prop_assert_eq!(b.len() as u64, n as u64 * width);
+            q.set_array_bytes(name, &b);
+        }
+        q.validate();
+        prop_assert_eq!(q, ps);
+    }
+
+    /// sort_by_id yields ascending ids and is a permutation.
+    #[test]
+    fn sort_by_id_permutes(ids in prop::collection::vec(any::<i32>(), 1..80)) {
+        let mut ps = ParticleSet::new();
+        for (i, id) in ids.iter().enumerate() {
+            ps.push(*id as i64, [i as f64 * 1e-3; 3], [0.0; 3], 1.0, [i as f32, 0.0]);
+        }
+        let mut sorted = ps.clone();
+        sorted.sort_by_id();
+        prop_assert!(sorted.id.windows(2).all(|w| w[0] <= w[1]));
+        let mut a = ps.id.clone();
+        let mut b = sorted.id.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Payload follows its particle.
+        for i in 0..sorted.len() {
+            let orig = sorted.attrs[0][i] as usize;
+            prop_assert_eq!(ps.id[orig], sorted.id[i]);
+        }
+    }
+
+    /// Vector datatype size/extent/flatten are mutually consistent.
+    #[test]
+    fn vector_type_consistency(count in 1u64..20, blocklen in 1u64..8, gap in 0u64..8, child in 1u64..16) {
+        let stride = blocklen + gap;
+        let t = Datatype::Vector { count, blocklen, stride, child: Box::new(Datatype::Bytes(child)) };
+        let flat = t.flatten();
+        let sum: u64 = flat.iter().map(|(_, l)| l).sum();
+        prop_assert_eq!(sum, t.size());
+        let end = flat.last().map(|(o, l)| o + l).unwrap_or(0);
+        prop_assert!(end <= t.extent());
+    }
+}
+
+mod collective_model {
+    use amrio_disk::{DiskParams, FsConfig, Placement};
+    use amrio_mpi::World;
+    use amrio_mpiio::{Datatype, Mode, MpiIo};
+    use amrio_simt::SimDur;
+    use proptest::prelude::*;
+
+    fn fs(nservers: usize, stripe: u64) -> FsConfig {
+        FsConfig {
+            label: "prop".into(),
+            stripe,
+            nservers,
+            disk: DiskParams::new(50, 1, 200.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Random disjoint per-rank region sets written collectively must
+        /// land exactly where an in-memory model says, for any stripe
+        /// size, server count and aggregator count.
+        #[test]
+        fn two_phase_write_matches_memory_model(
+            seed in any::<u64>(),
+            nservers in 1usize..5,
+            stripe_log in 6u32..14,
+            cb_nodes in prop::option::of(1usize..5),
+        ) {
+            let nranks = 4usize;
+            let file_len = 1usize << 14; // 16 KiB playground
+            // Deterministically carve disjoint regions from slots.
+            let mut rng = seed;
+            let mut next = move || {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (rng >> 33) as usize
+            };
+            let slot = 256usize;
+            let mut model = vec![0u8; file_len];
+            let mut per_rank: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nranks];
+            for s in 0..file_len / slot {
+                let r = next() % (nranks + 1); // some slots unwritten
+                if r == nranks {
+                    continue;
+                }
+                let off = (s * slot + next() % 64) as u64;
+                // Keep each region inside its slot so regions never
+                // overlap (overlapping writes are UB in MPI-IO anyway).
+                let len = (32 + next() % (slot - 96)) as u64;
+                per_rank[r].push((off, len));
+                for i in 0..len {
+                    model[(off + i) as usize] = (r + 1) as u8;
+                }
+            }
+            let world = World::new(nranks, amrio_net::NetConfig::ccnuma(nranks));
+            let io = MpiIo::new(fs(nservers, 1 << stripe_log));
+            let fsh = io.fs();
+            world.run(|c| {
+                let mut f = io.open(c, "m", Mode::Create);
+                f.set_hints(amrio_mpiio::Hints {
+                    cb_nodes,
+                    ..amrio_mpiio::Hints::default()
+                });
+                let mine = per_rank[c.rank()].clone();
+                let total: u64 = mine.iter().map(|(_, l)| l).sum();
+                f.set_view(0, Datatype::Hindexed { blocks: mine });
+                f.write_all_view(&vec![(c.rank() + 1) as u8; total as usize]);
+                c.barrier();
+                // And read back through the same view.
+                let got = f.read_all_view();
+                assert_eq!(got, vec![(c.rank() + 1) as u8; total as usize]);
+            });
+            let g = fsh.lock();
+            let bytes = g.peek(0, 0, file_len);
+            prop_assert_eq!(bytes, model);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration of the I/O stack layers (mpi + mpiio + disk + net) without
+//! the application: collective views against every platform file system.
+
+use amrio_disk::Pfs;
+use amrio_enzo::Platform;
+use amrio_mpi::World;
+use amrio_mpiio::{Datatype, Hints, Mode, MpiIo};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn write_read_bbb(platform: Platform, nranks: usize, n: u64) {
+    let world = World::new(nranks, platform.net.clone());
+    let io = MpiIo::new(platform.fs.clone());
+    let fs: Arc<Mutex<Pfs>> = io.fs();
+    let ok = world.run(|c| {
+        let mut f = io.open(c, "array", Mode::Create);
+        // Slab decomposition along z only (works for any rank count).
+        let per = n / nranks as u64;
+        let start = c.rank() as u64 * per;
+        let count = if c.rank() == nranks - 1 {
+            n - start
+        } else {
+            per
+        };
+        let view = Datatype::subarray3([n, n, n], [start, 0, 0], [count, n, n], 4);
+        f.set_view(0, view);
+        let buf: Vec<u8> = (0..count * n * n)
+            .flat_map(|i| (((start * n * n) + i) as u32).to_le_bytes())
+            .collect();
+        f.write_all_view(&buf);
+        c.barrier();
+        let got = f.read_all_view();
+        got == buf
+    });
+    assert!(ok.results.iter().all(|x| *x));
+    // Whole-file contents are the global array in order.
+    let g = fs.lock();
+    let bytes = g.peek(0, 0, (n * n * n * 4) as usize);
+    for i in 0..(n * n * n) as u32 {
+        let v = u32::from_le_bytes(bytes[i as usize * 4..][..4].try_into().unwrap());
+        assert_eq!(v, i);
+    }
+}
+
+#[test]
+fn collective_io_on_xfs() {
+    write_read_bbb(Platform::origin2000(4), 4, 16);
+}
+
+#[test]
+fn collective_io_on_gpfs() {
+    write_read_bbb(Platform::ibm_sp2(8), 8, 16);
+}
+
+#[test]
+fn collective_io_on_pvfs() {
+    write_read_bbb(Platform::chiba_pvfs(8), 8, 16);
+}
+
+#[test]
+fn collective_io_on_local_disks() {
+    write_read_bbb(Platform::chiba_local(4), 4, 16);
+}
+
+#[test]
+fn gpfs_tokens_punish_unaligned_interleaved_writes() {
+    // Writers interleaving small unaligned blocks into the same GPFS lock
+    // blocks must be slower than writers with disjoint aligned halves.
+    let time_with_layout = |interleaved: bool| {
+        let platform = Platform::ibm_sp2(8);
+        let world = World::new(8, platform.net.clone());
+        let io = MpiIo::new(platform.fs.clone());
+        let r = world.run(|c| {
+            let f = io.open(c, "t", Mode::Create);
+            let chunk = 64 * 1024u64; // much smaller than the 512 KiB stripe
+            for k in 0..8u64 {
+                let off = if interleaved {
+                    (k * 8 + c.rank() as u64) * chunk
+                } else {
+                    (c.rank() as u64 * 8 + k) * chunk
+                };
+                f.write_at(off, &vec![1u8; chunk as usize]);
+            }
+            c.barrier();
+            c.now()
+        });
+        r.makespan
+    };
+    let inter = time_with_layout(true);
+    let disjoint = time_with_layout(false);
+    assert!(
+        inter > disjoint,
+        "interleaved {inter:?} must exceed disjoint {disjoint:?}"
+    );
+}
+
+#[test]
+fn hints_cb_nodes_does_not_change_contents() {
+    let platform = Platform::origin2000(8);
+    let contents = |cb: Option<usize>| {
+        let world = World::new(8, platform.net.clone());
+        let io = MpiIo::new(platform.fs.clone());
+        let fs = io.fs();
+        world.run(|c| {
+            let mut f = io.open(c, "x", Mode::Create);
+            f.set_hints(Hints {
+                cb_nodes: cb,
+                ..Hints::default()
+            });
+            let view = Datatype::subarray3([8, 8, 8], [c.rank() as u64, 0, 0], [1, 8, 8], 4);
+            f.set_view(0, view);
+            f.write_all_view(&vec![c.rank() as u8; 256]);
+            c.barrier();
+        });
+        let g = fs.lock();
+        g.peek(0, 0, 8 * 8 * 8 * 4)
+    };
+    assert_eq!(contents(None), contents(Some(2)));
+}
