@@ -96,8 +96,7 @@ impl Array3 {
             for y in 0..size[1] {
                 let src0 = self.idx(start[0] + z, start[1] + y, start[2]);
                 let dst0 = (z * size[1] + y) * size[2];
-                out.data[dst0..dst0 + size[2]]
-                    .copy_from_slice(&self.data[src0..src0 + size[2]]);
+                out.data[dst0..dst0 + size[2]].copy_from_slice(&self.data[src0..src0 + size[2]]);
             }
         }
         out
@@ -110,8 +109,7 @@ impl Array3 {
             for y in 0..size[1] {
                 let dst0 = self.idx(start[0] + z, start[1] + y, start[2]);
                 let src0 = (z * size[1] + y) * size[2];
-                self.data[dst0..dst0 + size[2]]
-                    .copy_from_slice(&sub.data[src0..src0 + size[2]]);
+                self.data[dst0..dst0 + size[2]].copy_from_slice(&sub.data[src0..src0 + size[2]]);
             }
         }
     }

@@ -174,11 +174,7 @@ mod tests {
         let n = [16, 16, 16];
         for &(x, y, z) in &[(0.1, 0.2, 0.3), (0.9, 0.9, 0.05), (0.5, 0.5, 0.5)] {
             let pos = [z, y, x];
-            let cell = [
-                (z * 16.0) as u64,
-                (y * 16.0) as u64,
-                (x * 16.0) as u64,
-            ];
+            let cell = [(z * 16.0) as u64, (y * 16.0) as u64, (x * 16.0) as u64];
             assert_eq!(d.owner_of_pos(pos, n), d.owner_of_cell(cell));
         }
     }

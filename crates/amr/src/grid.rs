@@ -204,7 +204,9 @@ mod tests {
         let c = CellBox::new([2, 0, 0], [6, 4, 6]);
         let i = b.intersect(&c).unwrap();
         assert_eq!(i, CellBox::new([2, 2, 4], [4, 4, 6]));
-        assert!(b.intersect(&CellBox::new([10, 10, 10], [11, 11, 11])).is_none());
+        assert!(b
+            .intersect(&CellBox::new([10, 10, 10], [11, 11, 11]))
+            .is_none());
     }
 
     #[test]

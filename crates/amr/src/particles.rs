@@ -62,7 +62,14 @@ impl ParticleSet {
         self.id.is_empty()
     }
 
-    pub fn push(&mut self, id: i64, pos: [f64; 3], vel: [f32; 3], mass: f32, attrs: [f32; NUM_ATTRS]) {
+    pub fn push(
+        &mut self,
+        id: i64,
+        pos: [f64; 3],
+        vel: [f32; 3],
+        mass: f32,
+        attrs: [f32; NUM_ATTRS],
+    ) {
         self.id.push(id);
         for d in 0..3 {
             self.pos[d].push(pos[d]);

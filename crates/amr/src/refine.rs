@@ -129,8 +129,7 @@ fn choose_cut(flags: &[[u64; 3]], bbox: &CellBox, min_width: u64) -> Option<(usi
             if i + 1 >= n || i < 1 {
                 continue;
             }
-            let lap =
-                |j: usize| -> i64 { sig[j + 1] - 2 * sig[j] + sig[j - 1] };
+            let lap = |j: usize| -> i64 { sig[j + 1] - 2 * sig[j] + sig[j - 1] };
             if i + 1 < n - 1 {
                 let d = lap(i) - lap(i + 1);
                 let mag = d.abs();
@@ -225,7 +224,9 @@ mod tests {
 
     #[test]
     fn max_boxes_is_respected() {
-        let flags: Vec<[u64; 3]> = (0..64).map(|i| [i * 7 % 61, i * 13 % 61, i * 29 % 61]).collect();
+        let flags: Vec<[u64; 3]> = (0..64)
+            .map(|i| [i * 7 % 61, i * 13 % 61, i * 29 % 61])
+            .collect();
         let params = ClusterParams {
             min_efficiency: 0.99,
             min_width: 1,

@@ -15,11 +15,7 @@ use crate::particles::ParticleSet;
 
 /// Gravitational attractors in normalized domain coordinates (z, y, x):
 /// the proto-cluster seeds.
-pub const ATTRACTORS: [[f64; 3]; 3] = [
-    [0.30, 0.32, 0.28],
-    [0.68, 0.62, 0.70],
-    [0.25, 0.70, 0.65],
-];
+pub const ATTRACTORS: [[f64; 3]; 3] = [[0.30, 0.32, 0.28], [0.68, 0.62, 0.70], [0.25, 0.70, 0.65]];
 
 /// Indices into `GridPatch::fields` (see `BARYON_FIELDS`).
 pub const DENSITY: usize = 0;

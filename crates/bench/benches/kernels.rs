@@ -1,48 +1,72 @@
-//! Criterion microbenchmarks of the hot kernels behind the experiment
-//! harness: datatype flattening, subarray packing, refinement clustering,
-//! particle sorting, and a whole two-phase collective write on the
-//! simulated stack (host wall-time, complementing the virtual-time
-//! figures).
+//! Microbenchmarks of the hot kernels behind the experiment harness:
+//! datatype flattening, subarray packing, refinement clustering, particle
+//! sorting, and a whole two-phase collective write on the simulated stack
+//! (host wall-time, complementing the virtual-time figures).
+//!
+//! Uses a small self-contained harness (`harness = false`) instead of an
+//! external bench framework so the workspace builds without network
+//! access. Run with `cargo bench -p amrio-bench`.
 
 use amrio_amr::{cluster, Array3, ClusterParams, ParticleSet};
-use amrio_disk::{DiskParams, FsConfig, Placement, Pfs};
+use amrio_disk::{DiskParams, FsConfig, Pfs, Placement};
 use amrio_mpi::World;
 use amrio_mpiio::{Datatype, Mode, MpiIo};
 use amrio_net::{Net, NetConfig};
 use amrio_simt::{SimDur, SimTime};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_flatten(c: &mut Criterion) {
-    let mut g = c.benchmark_group("datatype_flatten");
+/// Time `f` over enough iterations to smooth noise and print the mean
+/// per-iteration cost. `min_iters` bounds below for very slow bodies.
+fn bench<R>(name: &str, min_iters: u32, mut f: impl FnMut() -> R) {
+    // Warm up and estimate the per-iteration cost.
+    let t0 = Instant::now();
+    black_box(f());
+    let est = t0.elapsed();
+    // Aim for ~50ms of total measurement.
+    let target = std::time::Duration::from_millis(50);
+    let iters = if est.is_zero() {
+        10_000
+    } else {
+        ((target.as_nanos() / est.as_nanos().max(1)) as u32).clamp(min_iters, 100_000)
+    };
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = t1.elapsed().as_nanos() as f64 / iters as f64;
+    let (val, unit) = if per >= 1e6 {
+        (per / 1e6, "ms")
+    } else if per >= 1e3 {
+        (per / 1e3, "us")
+    } else {
+        (per, "ns")
+    };
+    println!("{name:<44} {val:>10.2} {unit}/iter  ({iters} iters)");
+}
+
+fn bench_flatten() {
     for n in [32u64, 64, 128] {
         let t = Datatype::subarray3([n, n, n], [n / 4, n / 4, n / 4], [n / 2, n / 2, n / 2], 4);
-        g.bench_function(format!("subarray_{n}cubed"), |b| {
-            b.iter(|| black_box(&t).flatten())
+        bench(&format!("datatype_flatten/subarray_{n}cubed"), 5, || {
+            black_box(&t).flatten()
         });
     }
-    g.finish();
 }
 
-fn bench_pack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("subarray_pack");
+fn bench_pack() {
     let a = Array3::from_fn([64, 64, 64], |z, y, x| (z + y + x) as f32);
-    g.bench_function("extract_32cubed_of_64cubed", |b| {
-        b.iter(|| black_box(&a).extract([16, 16, 16], [32, 32, 32]))
+    bench("subarray_pack/extract_32cubed_of_64cubed", 5, || {
+        black_box(&a).extract([16, 16, 16], [32, 32, 32])
     });
     let sub = a.extract([16, 16, 16], [32, 32, 32]);
-    g.bench_function("insert_32cubed_into_64cubed", |b| {
-        b.iter_batched(
-            || a.clone(),
-            |mut dst| dst.insert([16, 16, 16], black_box(&sub)),
-            BatchSize::SmallInput,
-        )
+    let mut dst = a.clone();
+    bench("subarray_pack/insert_32cubed_into_64cubed", 5, || {
+        dst.insert([16, 16, 16], black_box(&sub))
     });
-    g.finish();
 }
 
-fn bench_cluster(c: &mut Criterion) {
-    let mut g = c.benchmark_group("berger_rigoutsos");
+fn bench_cluster() {
     for nblobs in [2usize, 8] {
         let mut flags = Vec::new();
         for b in 0..nblobs {
@@ -55,28 +79,26 @@ fn bench_cluster(c: &mut Criterion) {
                 }
             }
         }
-        g.bench_function(format!("{nblobs}_blobs"), |b| {
-            b.iter(|| cluster(black_box(&flags), &ClusterParams::default()))
+        bench(&format!("berger_rigoutsos/{nblobs}_blobs"), 5, || {
+            cluster(black_box(&flags), &ClusterParams::default())
         });
     }
-    g.finish();
 }
 
-fn bench_particle_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("particle_sort");
+fn bench_particle_sort() {
     let mut ps = ParticleSet::new();
     for i in 0..50_000u64 {
         let id = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 20) as i64;
         ps.push(id, [0.5; 3], [0.0; 3], 1.0, [0.0, 0.0]);
     }
-    g.bench_function("sort_by_id_50k", |b| {
-        b.iter_batched(|| ps.clone(), |mut p| p.sort_by_id(), BatchSize::LargeInput)
+    bench("particle_sort/sort_by_id_50k", 3, || {
+        let mut p = ps.clone();
+        p.sort_by_id();
+        p
     });
-    g.finish();
 }
 
-fn bench_disk_model(c: &mut Criterion) {
-    let mut g = c.benchmark_group("disk_model");
+fn bench_disk_model() {
     let cfg = FsConfig {
         label: "bench".into(),
         stripe: 64 * 1024,
@@ -89,24 +111,16 @@ fn bench_disk_model(c: &mut Criterion) {
         client_queue_cost: None,
         single_stream_bw: None,
     };
-    g.bench_function("write_1mb_striped", |b| {
-        b.iter_batched(
-            || {
-                let mut fs = Pfs::new(cfg.clone());
-                let mut net = Net::new(NetConfig::ccnuma(4));
-                let (f, _) = fs.create(0, &mut net, "x", SimTime::ZERO);
-                (fs, net, f, vec![7u8; 1 << 20])
-            },
-            |(mut fs, mut net, f, data)| fs.write_at(0, &mut net, f, 0, &data, SimTime::ZERO),
-            BatchSize::SmallInput,
-        )
+    let data = vec![7u8; 1 << 20];
+    bench("disk_model/write_1mb_striped", 3, || {
+        let mut fs = Pfs::new(cfg.clone());
+        let mut net = Net::new(NetConfig::ccnuma(4));
+        let (f, _) = fs.create(0, &mut net, "x", SimTime::ZERO);
+        fs.write_at(0, &mut net, f, 0, &data, SimTime::ZERO)
     });
-    g.finish();
 }
 
-fn bench_two_phase(c: &mut Criterion) {
-    let mut g = c.benchmark_group("two_phase_collective");
-    g.sample_size(10);
+fn bench_two_phase() {
     let cfg = FsConfig {
         label: "bench".into(),
         stripe: 64 * 1024,
@@ -119,39 +133,31 @@ fn bench_two_phase(c: &mut Criterion) {
         client_queue_cost: None,
         single_stream_bw: None,
     };
-    g.bench_function("write_all_8ranks_32cubed", |b| {
-        b.iter(|| {
-            let world = World::new(8, NetConfig::ccnuma(8));
-            let io = MpiIo::new(cfg.clone());
-            world.run(|comm| {
-                let mut f = io.open(comm, "g", Mode::Create);
-                let n = 32u64;
-                let pz = comm.rank() as u64 / 4;
-                let py = (comm.rank() as u64 / 2) % 2;
-                let px = comm.rank() as u64 % 2;
-                let sub = [n / 2, n / 2, n / 2];
-                let t = Datatype::subarray3(
-                    [n, n, n],
-                    [pz * sub[0], py * sub[1], px * sub[2]],
-                    sub,
-                    4,
-                );
-                f.set_view(0, t);
-                f.write_all_view(&vec![1u8; (sub.iter().product::<u64>() * 4) as usize]);
-                comm.barrier();
-            })
+    bench("two_phase_collective/write_all_8ranks_32cubed", 1, || {
+        let world = World::new(8, NetConfig::ccnuma(8));
+        let io = MpiIo::new(cfg.clone());
+        world.run(|comm| {
+            let mut f = io.open(comm, "g", Mode::Create);
+            let n = 32u64;
+            let pz = comm.rank() as u64 / 4;
+            let py = (comm.rank() as u64 / 2) % 2;
+            let px = comm.rank() as u64 % 2;
+            let sub = [n / 2, n / 2, n / 2];
+            let t = Datatype::subarray3([n, n, n], [pz * sub[0], py * sub[1], px * sub[2]], sub, 4);
+            f.set_view(0, t);
+            f.write_all_view(&vec![1u8; (sub.iter().product::<u64>() * 4) as usize]);
+            comm.barrier();
         })
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_flatten,
-    bench_pack,
-    bench_cluster,
-    bench_particle_sort,
-    bench_disk_model,
-    bench_two_phase
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+    // `--test-threads`, filters); accept and ignore them.
+    bench_flatten();
+    bench_pack();
+    bench_cluster();
+    bench_particle_sort();
+    bench_disk_model();
+    bench_two_phase();
+}

@@ -11,7 +11,7 @@ use amrio_disk::Pfs;
 use amrio_enzo::{MpiIoMultiFile, MpiIoOptimized, MpiIoWriteBehind, Platform, ProblemSize};
 use amrio_mpi::World;
 use amrio_mpiio::{Datatype, Hints, Mode, MpiIo};
-use parking_lot::Mutex;
+use amrio_simt::sync::Mutex;
 use std::sync::Arc;
 
 /// Time one strided field write with the chosen access method.
@@ -76,7 +76,10 @@ fn main() {
         reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
         reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoMultiFile));
     }
-    print_reports("shared vs multi-file (restart read is the interesting column)", &reports);
+    print_reports(
+        "shared vs multi-file (restart read is the interesting column)",
+        &reports,
+    );
     write_csv("ablation_files", &reports);
 
     // --- 2b. Write-behind buffering of the independent writes. ---
@@ -85,7 +88,12 @@ fn main() {
     for p in [4usize, 8] {
         let platform = Platform::origin2000(p);
         wb_reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
-        wb_reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoWriteBehind));
+        wb_reports.push(run_cell(
+            &platform,
+            ProblemSize::Amr64,
+            p,
+            &MpiIoWriteBehind,
+        ));
     }
     print_reports("independent writes: direct vs write-behind", &wb_reports);
     write_csv("ablation_write_behind", &wb_reports);

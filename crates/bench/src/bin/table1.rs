@@ -11,7 +11,9 @@
 
 use amrio_bench::{default_cfg, EVOLVE_CYCLES};
 use amrio_enzo::evolve::{evolve_step, rebuild_refinement};
-use amrio_enzo::{driver::timed, wire, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimState};
+use amrio_enzo::{
+    driver::timed, wire, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimState,
+};
 use amrio_mpi::coll::ReduceOp;
 use amrio_mpi::World;
 use amrio_mpiio::MpiIo;
@@ -41,10 +43,7 @@ fn run_size(problem: ProblemSize, nranks: usize, measure: bool) -> Row {
             evolve_step(c, &mut st, 1.0);
         }
         rebuild_refinement(c, &mut st);
-        let payload: u64 = st
-            .owned_patches()
-            .map(|p| p.payload_bytes())
-            .sum();
+        let payload: u64 = st.owned_patches().map(|p| p.payload_bytes()).sum();
         let total = c.allreduce_u64(payload, ReduceOp::Sum) + framing_bytes(&st);
         if measure {
             let (_, ()) = timed(c, || strategy.write_checkpoint(c, &io, &st, 0));
@@ -101,8 +100,12 @@ fn main() {
             "{},{:.1},{},{},{}",
             problem.label(),
             row.analytic_mb,
-            row.measured_read_mb.map(|x| format!("{x:.1}")).unwrap_or_default(),
-            row.measured_write_mb.map(|x| format!("{x:.1}")).unwrap_or_default(),
+            row.measured_read_mb
+                .map(|x| format!("{x:.1}"))
+                .unwrap_or_default(),
+            row.measured_write_mb
+                .map(|x| format!("{x:.1}"))
+                .unwrap_or_default(),
             row.grids
         )
         .unwrap();

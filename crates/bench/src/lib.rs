@@ -28,7 +28,15 @@ pub fn print_reports(title: &str, reports: &[RunReport]) {
     println!("\n== {title} ==");
     println!(
         "{:<24} {:>8} {:>6} {:>14} {:>12} {:>12} {:>10} {:>10} {:>6}",
-        "platform", "problem", "procs", "strategy", "write[s]", "read[s]", "MB-write", "MB-read", "ok"
+        "platform",
+        "problem",
+        "procs",
+        "strategy",
+        "write[s]",
+        "read[s]",
+        "MB-write",
+        "MB-read",
+        "ok"
     );
     for r in reports {
         println!(

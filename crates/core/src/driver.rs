@@ -7,9 +7,11 @@ use crate::io::IoStrategy;
 use crate::platform::Platform;
 use crate::problem::SimConfig;
 use crate::state::{global_digest, SimState};
+use amrio_check::{CheckMode, CheckReport, Checker};
 use amrio_mpi::{Comm, World};
 use amrio_mpiio::MpiIo;
 use amrio_simt::SimDur;
+use std::sync::Arc;
 
 /// Result of one experiment run (virtual seconds).
 #[derive(Clone, Debug)]
@@ -51,6 +53,32 @@ pub fn run_experiment(
     strategy: &dyn IoStrategy,
     evolve_cycles: u32,
 ) -> RunReport {
+    run_with(platform, cfg, strategy, evolve_cycles, None).0
+}
+
+/// [`run_experiment`] with an `amrio-check` correctness checker
+/// attached: every collective is cross-checked, the file system is
+/// traced, and the returned [`CheckReport`] lists any violations
+/// (under [`CheckMode::Strict`] the run panics on the first one).
+pub fn run_experiment_checked(
+    platform: &Platform,
+    cfg: &SimConfig,
+    strategy: &dyn IoStrategy,
+    evolve_cycles: u32,
+    mode: CheckMode,
+) -> (RunReport, CheckReport) {
+    let checker = Arc::new(Checker::new(mode, cfg.nranks));
+    let (report, check) = run_with(platform, cfg, strategy, evolve_cycles, Some(checker));
+    (report, check.expect("checker was attached"))
+}
+
+fn run_with(
+    platform: &Platform,
+    cfg: &SimConfig,
+    strategy: &dyn IoStrategy,
+    evolve_cycles: u32,
+    checker: Option<Arc<Checker>>,
+) -> (RunReport, Option<CheckReport>) {
     assert_eq!(cfg.nranks, {
         // Compute endpoints precede any I/O server endpoints.
         let eps = platform.net.node_of.len();
@@ -62,8 +90,12 @@ pub fn run_experiment(
             .unwrap_or(0);
         eps - servers
     });
-    let world = World::new(cfg.nranks, platform.net.clone());
+    let mut world = World::new(cfg.nranks, platform.net.clone());
     let io = MpiIo::new(platform.fs.clone());
+    if let Some(ck) = &checker {
+        world = world.with_checker(Arc::clone(ck));
+        io.attach_checker(ck);
+    }
 
     let report = world.run(|comm| {
         let mut st = SimState::init(comm, cfg.clone());
@@ -94,18 +126,22 @@ pub fn run_experiment(
         let s = fs.lock().stats;
         s
     };
-    RunReport {
-        platform: platform.name,
-        strategy: strategy.name(),
-        problem: cfg.problem.label(),
-        nranks: cfg.nranks,
-        write_time: wt.as_secs_f64(),
-        read_time: rt.as_secs_f64(),
-        bytes_written: stats.bytes_written,
-        bytes_read: stats.bytes_read,
-        grids,
-        max_level,
-        verified,
-        makespan: report.makespan.as_secs_f64(),
-    }
+    let check = checker.map(|ck| ck.finalize());
+    (
+        RunReport {
+            platform: platform.name,
+            strategy: strategy.name(),
+            problem: cfg.problem.label(),
+            nranks: cfg.nranks,
+            write_time: wt.as_secs_f64(),
+            read_time: rt.as_secs_f64(),
+            bytes_written: stats.bytes_written,
+            bytes_read: stats.bytes_read,
+            grids,
+            max_level,
+            verified,
+            makespan: report.makespan.as_secs_f64(),
+        },
+        check,
+    )
 }

@@ -47,7 +47,8 @@ pub fn migrate_particles(comm: &Comm, st: &mut SimState) {
     let p = comm.size();
     let mut outbound: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
     let mut keep_top = ParticleSet::new();
-    let mut keep_sub: Vec<ParticleSet> = st.my_subgrids.iter().map(|_| ParticleSet::new()).collect();
+    let mut keep_sub: Vec<ParticleSet> =
+        st.my_subgrids.iter().map(|_| ParticleSet::new()).collect();
 
     let classify = |st: &SimState, ps: &ParticleSet, i: usize| -> (u64, usize) {
         let pos = [ps.pos[0][i], ps.pos[1][i], ps.pos[2][i]];

@@ -63,7 +63,12 @@ pub fn write_initial_conditions(comm: &Comm, io: &MpiIo, cfg: &SimConfig) {
         let mut f = H4File::create(io, comm, ic_path());
         f.write_attr("hierarchy", &wire::encode_hierarchy(&h, 0.0, 0));
         for (i, name) in BARYON_FIELDS.iter().enumerate() {
-            f.write_sds(name, amrio_mpiio::NumType::F32, &[n, n, n], &top.fields[i].to_bytes());
+            f.write_sds(
+                name,
+                amrio_mpiio::NumType::F32,
+                &[n, n, n],
+                &top.fields[i].to_bytes(),
+            );
         }
         for (a, (name, _)) in PARTICLE_ARRAYS.iter().enumerate() {
             f.write_sds(

@@ -152,9 +152,7 @@ impl IoStrategy for Hdf4Serial {
             }
             ps.validate();
             comm.compute(SimDur::from_nanos(ps.len() as u64 * 20));
-            let split = ps.partition_by(comm.size(), |pos| {
-                decomp.owner_of_pos(pos, [n, n, n])
-            });
+            let split = ps.partition_by(comm.size(), |pos| decomp.owner_of_pos(pos, [n, n, n]));
             split
                 .iter()
                 .map(|s| {

@@ -18,7 +18,6 @@ pub struct Hdf5Parallel {
     pub model: OverheadModel,
 }
 
-
 fn ds_field(gid: u64, name: &str) -> String {
     format!("g{gid:06}_{name}")
 }

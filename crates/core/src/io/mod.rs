@@ -80,7 +80,11 @@ pub fn assemble_global(comm: &Comm, decomp: &BlockDecomp, n: u64, parts: &[Vec<u
         let dims = [s[0] as usize, s[1] as usize, s[2] as usize];
         let sub = Array3::from_bytes(dims, bytes);
         global.insert(
-            [slab.lo[0] as usize, slab.lo[1] as usize, slab.lo[2] as usize],
+            [
+                slab.lo[0] as usize,
+                slab.lo[1] as usize,
+                slab.lo[2] as usize,
+            ],
             &sub,
         );
         runs += s[0] * s[1];
@@ -101,7 +105,11 @@ pub fn extract_slabs(comm: &Comm, decomp: &BlockDecomp, global: &Array3) -> Vec<
         let s = slab.size();
         runs += s[0] * s[1];
         let sub = global.extract(
-            [slab.lo[0] as usize, slab.lo[1] as usize, slab.lo[2] as usize],
+            [
+                slab.lo[0] as usize,
+                slab.lo[1] as usize,
+                slab.lo[2] as usize,
+            ],
             [s[0] as usize, s[1] as usize, s[2] as usize],
         );
         out.push(sub.to_bytes());

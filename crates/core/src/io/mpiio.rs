@@ -7,8 +7,8 @@
 
 use super::*;
 use crate::sort::parallel_sort_by_id;
-use amrio_amr::{GridPatch, Hierarchy, ParticleSet, PARTICLE_ARRAYS};
 use amrio_amr::block_bounds;
+use amrio_amr::{GridPatch, Hierarchy, ParticleSet, PARTICLE_ARRAYS};
 use amrio_mpiio::{Datatype, Mode};
 
 /// The optimized parallel strategy: everything in one shared file
@@ -100,7 +100,13 @@ fn slab_view(n: u64, slab: &amrio_amr::CellBox) -> Datatype {
 }
 
 impl MpiIoOptimized {
-    pub(crate) fn write_impl(comm: &Comm, io: &MpiIo, st: &SimState, dump: u32, write_behind: bool) {
+    pub(crate) fn write_impl(
+        comm: &Comm,
+        io: &MpiIo,
+        st: &SimState,
+        dump: u32,
+        write_behind: bool,
+    ) {
         let n = st.cfg.root_n();
         let layout = Layout::new(&st.hierarchy);
         let mut f = io.open(comm, &shared_path(dump, "cpio"), Mode::Create);

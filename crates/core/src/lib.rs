@@ -21,8 +21,11 @@ pub mod sort;
 pub mod state;
 pub mod wire;
 
-pub use driver::{run_experiment, RunReport};
-pub use io::{Hdf4Serial, Hdf5Parallel, IoStrategy, MdmsAdvised, MpiIoAppStriped, MpiIoMultiFile, MpiIoNaive, MpiIoOptimized, MpiIoWriteBehind};
+pub use driver::{run_experiment, run_experiment_checked, RunReport};
+pub use io::{
+    Hdf4Serial, Hdf5Parallel, IoStrategy, MdmsAdvised, MpiIoAppStriped, MpiIoMultiFile, MpiIoNaive,
+    MpiIoOptimized, MpiIoWriteBehind,
+};
 pub use platform::Platform;
 pub use problem::{ProblemSize, SimConfig};
 pub use state::{global_digest, SimState, TOP_GRID};
@@ -54,7 +57,9 @@ mod tests {
             let st2 = strategy.read_checkpoint(c, &io, &st.cfg, 0);
             let d1 = global_digest(c, &st2);
             // Scalars must also survive.
-            d0 == d1 && st2.time == st.time && st2.cycle == st.cycle
+            d0 == d1
+                && st2.time == st.time
+                && st2.cycle == st.cycle
                 && st2.hierarchy.grids.len() == st.hierarchy.grids.len()
         });
         r.results.iter().all(|x| *x)

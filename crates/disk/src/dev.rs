@@ -70,7 +70,11 @@ impl BlockDev {
         let sequential = off == self.head;
         let mut cost = self.params.per_request;
         if !sequential {
-            cost += if write { self.params.write_seek } else { self.params.seek };
+            cost += if write {
+                self.params.write_seek
+            } else {
+                self.params.seek
+            };
         } else {
             self.stats.sequential_requests += 1;
         }

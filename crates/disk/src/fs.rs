@@ -128,9 +128,7 @@ impl Pfs {
         if let Some(eps) = &cfg.server_endpoints {
             assert_eq!(eps.len(), cfg.nservers, "one endpoint per server");
         }
-        let servers = (0..cfg.nservers)
-            .map(|_| BlockDev::new(cfg.disk))
-            .collect();
+        let servers = (0..cfg.nservers).map(|_| BlockDev::new(cfg.disk)).collect();
         Pfs {
             cfg,
             servers,
@@ -153,7 +151,13 @@ impl Pfs {
     }
 
     /// Create (or truncate) a file; charges one metadata round trip.
-    pub fn create(&mut self, client: Endpoint, net: &mut Net, path: &str, t: SimTime) -> (FileId, SimTime) {
+    pub fn create(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        path: &str,
+        t: SimTime,
+    ) -> (FileId, SimTime) {
         let id = *self.names.entry(path.to_string()).or_insert_with(|| {
             self.files.push(FileData::default());
             self.files.len() - 1
@@ -164,7 +168,13 @@ impl Pfs {
     }
 
     /// Open an existing file; charges one metadata round trip.
-    pub fn open(&mut self, client: Endpoint, net: &mut Net, path: &str, t: SimTime) -> (FileId, SimTime) {
+    pub fn open(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        path: &str,
+        t: SimTime,
+    ) -> (FileId, SimTime) {
         let id = *self
             .names
             .get(path)
@@ -276,7 +286,10 @@ impl Pfs {
         match self.cfg.single_stream_bw {
             None => t,
             Some(bw) => {
-                let free = self.client_stream_free.entry(client).or_insert(SimTime::ZERO);
+                let free = self
+                    .client_stream_free
+                    .entry(client)
+                    .or_insert(SimTime::ZERO);
                 let start = t.max(*free);
                 *free = start + SimDur::transfer(bytes, bw);
                 *free
@@ -363,7 +376,10 @@ impl Pfs {
                 }
             }
             let acked = match &self.cfg.server_endpoints {
-                Some(eps) => net.transfer(eps[p.server], client, REQ_MSG, disk_done).arrival,
+                Some(eps) => {
+                    net.transfer(eps[p.server], client, REQ_MSG, disk_done)
+                        .arrival
+                }
                 None => disk_done,
             };
             completion = completion.max(acked);
@@ -410,7 +426,10 @@ impl Pfs {
             };
             let disk_done = self.servers[p.server].access(p.dev_off, p.len, arrival, false);
             let back = match &self.cfg.server_endpoints {
-                Some(eps) => net.transfer(eps[p.server], client, p.len + REQ_MSG, disk_done).arrival,
+                Some(eps) => {
+                    net.transfer(eps[p.server], client, p.len + REQ_MSG, disk_done)
+                        .arrival
+                }
                 None => disk_done,
             };
             completion = completion.max(back);
@@ -597,8 +616,8 @@ mod tests {
         for c in 0..4 {
             times.push(fs.write_at(c, &mut net, f, (c as u64) << 20, &data, SimTime::ZERO));
         }
-        let spread = times.iter().max().unwrap().as_secs_f64()
-            - times.iter().min().unwrap().as_secs_f64();
+        let spread =
+            times.iter().max().unwrap().as_secs_f64() - times.iter().min().unwrap().as_secs_f64();
         assert!(spread < 1e-9, "local disks must not contend: {times:?}");
     }
 
@@ -783,14 +802,7 @@ mod app_striping_tests {
             for k in 0..8u64 {
                 for client in 0..2usize {
                     let off = (k * 2 + client as u64) * 64 * 1024;
-                    done = done.max(fs.write_at(
-                        client,
-                        &mut net,
-                        f,
-                        off,
-                        &[1u8; 64 * 1024],
-                        t0,
-                    ));
+                    done = done.max(fs.write_at(client, &mut net, f, off, &[1u8; 64 * 1024], t0));
                 }
             }
             (done, fs.stats.token_steals)

@@ -48,7 +48,7 @@ pub fn gpfs_sp2(server_endpoints: Vec<Endpoint>) -> FsConfig {
         lock_block: Some(512 * 1024),
         token_cost: SimDur::from_micros(600),
         client_queue_cost: Some(SimDur::from_micros(350)),
-            single_stream_bw: None,
+        single_stream_bw: None,
     }
 }
 
@@ -66,7 +66,7 @@ pub fn pvfs_chiba(server_endpoints: Vec<Endpoint>) -> FsConfig {
         lock_block: None,
         token_cost: SimDur::ZERO,
         client_queue_cost: None,
-            single_stream_bw: None,
+        single_stream_bw: None,
     }
 }
 
@@ -84,7 +84,7 @@ pub fn pvfs_local_disks(nclients: usize) -> FsConfig {
         lock_block: None,
         token_cost: SimDur::ZERO,
         client_queue_cost: None,
-            single_stream_bw: None,
+        single_stream_bw: None,
     }
 }
 

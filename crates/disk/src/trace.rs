@@ -219,9 +219,9 @@ mod tests {
     #[test]
     fn report_counts_and_buckets() {
         let events = vec![
-            ev(0, 0, 100, true, 0, 10),         // <1K
-            ev(0, 100, 2048, true, 10, 20),     // 1-4K, sequential
-            ev(1, 0, 100_000, false, 5, 25),    // 64K-1M
+            ev(0, 0, 100, true, 0, 10),             // <1K
+            ev(0, 100, 2048, true, 10, 20),         // 1-4K, sequential
+            ev(1, 0, 100_000, false, 5, 25),        // 64K-1M
             ev(1, 100_000, 2 << 20, false, 25, 50), // >=1M, sequential
         ];
         let r = TraceReport::from_events(&events);

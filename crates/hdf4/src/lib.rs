@@ -189,7 +189,9 @@ impl<'c, 'w> H4File<'c, 'w> {
     /// Read a contiguous element range `[first, first+count)` of a
     /// dataset (used by the restart path to stream large arrays).
     pub fn read_sds_range(&self, name: &str, first: u64, count: u64) -> Vec<u8> {
-        let info = self.info(name).unwrap_or_else(|| panic!("no dataset {name:?}"));
+        let info = self
+            .info(name)
+            .unwrap_or_else(|| panic!("no dataset {name:?}"));
         let esz = info.numtype.size();
         assert!((first + count) * esz <= info.data_len);
         self.file.read_at(info.data_off + first * esz, count * esz)
@@ -224,7 +226,9 @@ mod tests {
         let w = World::new(1, NetConfig::ccnuma(1));
         let io = MpiIo::new(fs());
         w.run(|c| {
-            let density: Vec<u8> = (0..4096u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+            let density: Vec<u8> = (0..4096u32)
+                .flat_map(|i| (i as f32).to_le_bytes())
+                .collect();
             {
                 let mut f = H4File::create(&io, c, "grid0000");
                 f.write_sds("density", NumType::F32, &[16, 16, 16], &density);
@@ -241,6 +245,27 @@ mod tests {
             assert_eq!(pinfo.numtype, NumType::I64);
             assert_eq!(pdata, vec![7u8; 800]);
         });
+    }
+
+    #[test]
+    fn strict_checker_stays_clean_on_serial_roundtrip() {
+        use amrio_check::{CheckMode, Checker};
+        use std::sync::Arc;
+        let ck = Arc::new(Checker::new(CheckMode::Strict, 1));
+        let w = World::new(1, NetConfig::ccnuma(1)).with_checker(Arc::clone(&ck));
+        let io = MpiIo::new(fs());
+        io.attach_checker(&ck);
+        w.run(|c| {
+            let data = vec![3u8; 1024];
+            {
+                let mut f = H4File::create(&io, c, "ck4");
+                f.write_sds("v", NumType::F32, &[256], &data);
+            }
+            let f = H4File::open(&io, c, "ck4");
+            assert_eq!(f.read_sds("v").1, data);
+        });
+        let rep = ck.finalize();
+        assert!(rep.is_clean(), "unexpected violations:\n{rep}");
     }
 
     #[test]

@@ -400,7 +400,8 @@ impl<'c, 'w> H5File<'c, 'w> {
         let header_len = 64 + name.len() as u64 + dims.len() as u64 * 16;
         let header_addr = self.alloc(header_len, false);
         if self.comm.rank() == 0 {
-            self.file.write_at(header_addr, &vec![0u8; header_len as usize]);
+            self.file
+                .write_at(header_addr, &vec![0u8; header_len as usize]);
         }
         let chunk_elems: u64 = chunk_dims.iter().product();
         let chunk_bytes = chunk_elems * numtype.size();
@@ -483,11 +484,7 @@ impl<'c, 'w> H5File<'c, 'w> {
     /// Piece list for a chunked dataset: (absolute file offset, buffer
     /// offset, length) per contiguous run, plus the number of chunks
     /// touched (for the B-tree lookup charge).
-    fn chunked_pieces(
-        &self,
-        ds: Dataset,
-        slab: &Hyperslab,
-    ) -> (Vec<(u64, usize, usize)>, u64) {
+    fn chunked_pieces(&self, ds: Dataset, slab: &Hyperslab) -> (Vec<(u64, usize, usize)>, u64) {
         let m = &self.datasets[ds.0];
         let esz = m.numtype.size();
         let rank = m.dims.len();
@@ -555,9 +552,7 @@ impl<'c, 'w> H5File<'c, 'w> {
 
     /// Per-chunk B-tree index traversal cost.
     fn charge_chunk_index(&self, chunks: u64) {
-        self.comm
-            .ctx()
-            .advance(SimDur::from_nanos(chunks * 2_000));
+        self.comm.ctx().advance(SimDur::from_nanos(chunks * 2_000));
     }
 
     fn slab_type(&self, ds: Dataset, slab: &Hyperslab) -> (Datatype, u64) {
@@ -614,8 +609,7 @@ impl<'c, 'w> H5File<'c, 'w> {
         if self.datasets[ds.0].is_chunked() {
             let (pieces, chunks) = self.chunked_pieces(ds, slab);
             self.charge_chunk_index(chunks);
-            let blocks: Vec<(u64, u64)> =
-                pieces.iter().map(|(f, _, l)| (*f, *l as u64)).collect();
+            let blocks: Vec<(u64, u64)> = pieces.iter().map(|(f, _, l)| (*f, *l as u64)).collect();
             self.file.set_view(0, Datatype::Hindexed { blocks });
             let data = match xfer {
                 Xfer::Collective => self.file.read_all_view(),
@@ -747,6 +741,32 @@ mod tests {
     }
 
     #[test]
+    fn strict_checker_stays_clean_on_parallel_roundtrip() {
+        use amrio_check::{CheckMode, Checker};
+        use std::sync::Arc;
+        let ck = Arc::new(Checker::new(CheckMode::Strict, 4));
+        let w = World::new(4, NetConfig::ccnuma(4)).with_checker(Arc::clone(&ck));
+        let io = MpiIo::new(fs());
+        io.attach_checker(&ck);
+        let r = w.run(|c| {
+            let n = 8u64;
+            let mut f = H5File::create(&io, c, "ck.h5", OverheadModel::default());
+            let ds = f.create_dataset("density", NumType::F32, &[n, n, n]);
+            let slab = slab_for(c.rank(), n);
+            let buf = vec![c.rank() as u8 + 1; (slab.elements() * 4) as usize];
+            f.write_hyperslab(ds, &slab, Xfer::Collective, &buf);
+            f.close_dataset(ds);
+            f.close();
+            let mut f = H5File::open(&io, c, "ck.h5", OverheadModel::default());
+            let ds = f.open_dataset("density");
+            f.read_hyperslab(ds, &slab, Xfer::Collective) == buf
+        });
+        assert!(r.results.iter().all(|x| *x));
+        let rep = ck.finalize();
+        assert!(rep.is_clean(), "unexpected violations:\n{rep}");
+    }
+
+    #[test]
     fn independent_transfer_same_contents_as_collective() {
         let contents = |xfer: Xfer| {
             let w = World::new(4, NetConfig::ccnuma(4));
@@ -777,8 +797,7 @@ mod tests {
                 let mut f = H5File::create(&io, c, "t.h5", model);
                 for i in 0..4 {
                     let ds = f.create_dataset(&format!("d{i}"), NumType::F32, &[n, n, n]);
-                    let slab =
-                        Hyperslab::new(&[c.rank() as u64 * (n / 8), 0, 0], &[n / 8, n, n]);
+                    let slab = Hyperslab::new(&[c.rank() as u64 * (n / 8), 0, 0], &[n / 8, n, n]);
                     let buf = vec![1u8; (slab.elements() * 4) as usize];
                     f.write_hyperslab(ds, &slab, Xfer::Collective, &buf);
                     f.close_dataset(ds);

@@ -343,7 +343,10 @@ mod tests {
         assert!(b.sieve_reads);
 
         let c = db.advise("hierarchy", 32, 4).unwrap();
-        assert!(c.root_and_broadcast, "tiny sequential data: read once, broadcast");
+        assert!(
+            c.root_and_broadcast,
+            "tiny sequential data: read once, broadcast"
+        );
 
         assert!(db.advise("nope", 32, 4).is_none());
     }

@@ -8,6 +8,7 @@
 //! exchange rounds for alltoallv.
 
 use crate::Comm;
+use amrio_check::{CollDesc, CollKind};
 use amrio_net::Net;
 use amrio_simt::{Rank, SimDur, SimTime};
 
@@ -20,6 +21,14 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        }
+    }
+
     fn apply(self, acc: &mut [f64], v: &[f64]) {
         assert_eq!(acc.len(), v.len(), "reduce length mismatch");
         for (a, b) in acc.iter_mut().zip(v) {
@@ -51,7 +60,16 @@ fn binomial_bcast_times(net: &mut Net, clocks: &mut [SimTime], root: Rank, bytes
                 continue;
             }
             let (src, dst) = (abs(relsrc), abs(reldst));
-            debug_assert!(have[src] && !have[dst]);
+            // A broken tree schedule silently corrupts every downstream
+            // timing figure, so this invariant stays on in release builds.
+            assert!(
+                have[src] && !have[dst],
+                "binomial bcast schedule broken at round k={k}: \
+                 src rank {src} (has payload: {}) -> dst rank {dst} (has payload: {}), \
+                 root {root}, {n} ranks",
+                have[src],
+                have[dst]
+            );
             let x = net.transfer(src, dst, bytes, clocks[src]);
             clocks[src] = x.sender_free;
             clocks[dst] = clocks[dst].max(x.arrival) + unpack_cost(net, bytes);
@@ -84,22 +102,44 @@ fn binomial_reduce_times(net: &mut Net, clocks: &mut [SimTime], root: Rank, byte
 
 impl<'a> Comm<'a> {
     /// Synchronize all ranks; every rank leaves at the same instant.
+    ///
+    /// A barrier is also the MPI-IO *sync point*: with a checker
+    /// attached, it closes the current file-consistency epoch.
     pub fn barrier(&self) {
-        self.rendezvous((), |net, inputs| {
+        let desc = CollDesc {
+            kind: CollKind::Barrier,
+            root: None,
+            op: None,
+            bytes: 0,
+            uniform_bytes: true,
+        };
+        self.rendezvous(desc, (), |net, inputs| {
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
             // Reduce-then-broadcast with empty payloads.
             binomial_reduce_times(net, &mut clocks, 0, 8);
             binomial_bcast_times(net, &mut clocks, 0, 8);
             let release = clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
             clocks.iter().map(|_| (release, ())).collect()
-        })
+        });
+        if let Some(ck) = self.checker() {
+            // All ranks leave at the same release instant, so every rank
+            // reports the same boundary and the checker dedupes.
+            ck.sync_point(self.now());
+        }
     }
 
     /// Broadcast `data` from `root`; every rank returns the payload.
     pub fn bcast(&self, root: Rank, data: Vec<u8>) -> Vec<u8> {
         let me = self.rank();
         let input = if me == root { data } else { Vec::new() };
-        self.rendezvous(input, move |net, inputs| {
+        let desc = CollDesc {
+            kind: CollKind::Bcast,
+            root: Some(root),
+            op: None,
+            bytes: input.len() as u64,
+            uniform_bytes: false,
+        };
+        self.rendezvous(desc, input, move |net, inputs| {
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
             let payload = inputs
                 .into_iter()
@@ -108,10 +148,7 @@ impl<'a> Comm<'a> {
                 .map(|(_, (_, d))| d)
                 .expect("root present");
             binomial_bcast_times(net, &mut clocks, root, payload.len() as u64);
-            clocks
-                .iter()
-                .map(|ct| (*ct, payload.clone()))
-                .collect()
+            clocks.iter().map(|ct| (*ct, payload.clone())).collect()
         })
     }
 
@@ -121,7 +158,14 @@ impl<'a> Comm<'a> {
     /// The root drains the messages serially (flat tree), which is what
     /// makes processor-0 collection scale poorly with P.
     pub fn gatherv(&self, root: Rank, data: Vec<u8>) -> Vec<Vec<u8>> {
-        self.rendezvous(data, move |net, inputs| {
+        let desc = CollDesc {
+            kind: CollKind::Gatherv,
+            root: Some(root),
+            op: None,
+            bytes: data.len() as u64,
+            uniform_bytes: false,
+        };
+        self.rendezvous(desc, data, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
             let payloads: Vec<Vec<u8>> = inputs.into_iter().map(|(_, d)| d).collect();
@@ -138,7 +182,11 @@ impl<'a> Comm<'a> {
             clocks[root] = root_clock;
             (0..n)
                 .map(|r| {
-                    let out = if r == root { payloads.clone() } else { Vec::new() };
+                    let out = if r == root {
+                        payloads.clone()
+                    } else {
+                        Vec::new()
+                    };
                     (clocks[r], out)
                 })
                 .collect()
@@ -150,7 +198,14 @@ impl<'a> Comm<'a> {
     pub fn scatterv(&self, root: Rank, data: Vec<Vec<u8>>) -> Vec<u8> {
         let me = self.rank();
         let input = if me == root { data } else { Vec::new() };
-        self.rendezvous(input, move |net, inputs| {
+        let desc = CollDesc {
+            kind: CollKind::Scatterv,
+            root: Some(root),
+            op: None,
+            bytes: input.iter().map(|p| p.len() as u64).sum(),
+            uniform_bytes: false,
+        };
+        self.rendezvous(desc, input, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
             let parts = inputs
@@ -183,7 +238,14 @@ impl<'a> Comm<'a> {
     /// Allreduce over `f64` vectors (binomial reduce + binomial bcast).
     pub fn allreduce_f64(&self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
         let input = vals.to_vec();
-        self.rendezvous(input, move |net, inputs| {
+        let desc = CollDesc {
+            kind: CollKind::Allreduce,
+            root: None,
+            op: Some(op.name()),
+            bytes: (input.len() * 8) as u64,
+            uniform_bytes: true,
+        };
+        self.rendezvous(desc, input, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
             let bytes = (inputs[0].1.len() * 8) as u64;
@@ -207,7 +269,14 @@ impl<'a> Comm<'a> {
     /// All-gather variable-size payloads; everyone returns all payloads
     /// indexed by rank. Implemented as gather-to-0 plus broadcast.
     pub fn allgatherv(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
-        self.rendezvous(data, move |net, inputs| {
+        let desc = CollDesc {
+            kind: CollKind::Allgatherv,
+            root: None,
+            op: None,
+            bytes: data.len() as u64,
+            uniform_bytes: false,
+        };
+        self.rendezvous(desc, data, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
             let payloads: Vec<Vec<u8>> = inputs.into_iter().map(|(_, d)| d).collect();
@@ -230,7 +299,14 @@ impl<'a> Comm<'a> {
     /// rank i sends to (i+k) mod P and receives from (i-k) mod P.
     pub fn alltoallv(&self, data: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         assert_eq!(data.len(), self.size(), "one payload per destination");
-        self.rendezvous(data, move |net, inputs| {
+        let desc = CollDesc {
+            kind: CollKind::Alltoallv,
+            root: None,
+            op: None,
+            bytes: data.iter().map(|p| p.len() as u64).sum(),
+            uniform_bytes: false,
+        };
+        self.rendezvous(desc, data, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
             let payloads: Vec<Vec<Vec<u8>>> = inputs.into_iter().map(|(_, d)| d).collect();
@@ -263,11 +339,7 @@ impl<'a> Comm<'a> {
                     clocks[dst] = clocks[dst].max(arr) + unpack_cost(net, bytes);
                 }
             }
-            clocks
-                .iter()
-                .zip(out)
-                .map(|(ct, o)| (*ct, o))
-                .collect()
+            clocks.iter().zip(out).map(|(ct, o)| (*ct, o)).collect()
         })
     }
 }
@@ -297,7 +369,11 @@ mod tests {
     fn bcast_delivers_payload_everywhere() {
         let w = World::new(5, NetConfig::fast_ethernet(5));
         let r = w.run(|c| {
-            let data = if c.rank() == 2 { vec![9u8; 1000] } else { vec![] };
+            let data = if c.rank() == 2 {
+                vec![9u8; 1000]
+            } else {
+                vec![]
+            };
             c.bcast(2, data)
         });
         for d in &r.results {
@@ -411,9 +487,7 @@ mod tests {
         let go = || {
             let w = World::new(9, NetConfig::smp_cluster(9, 4));
             let r = w.run(|c| {
-                c.compute(amrio_simt::SimDur::from_micros(
-                    (c.rank() as u64 * 37) % 11,
-                ));
+                c.compute(amrio_simt::SimDur::from_micros((c.rank() as u64 * 37) % 11));
                 let all = c.allgatherv(vec![c.rank() as u8; 64]);
                 c.barrier();
                 let x = c.allreduce_f64(&[all.len() as f64], ReduceOp::Sum)[0];

@@ -18,9 +18,10 @@
 
 pub mod coll;
 
+use amrio_check::{Checker, CollDesc};
 use amrio_net::{Net, NetConfig};
+use amrio_simt::sync::Mutex;
 use amrio_simt::{Ctx, Rank, SimDur, SimReport, SimTime};
-use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -93,6 +94,7 @@ struct WorldShared {
 pub struct World {
     shared: Arc<WorldShared>,
     nranks: usize,
+    checker: Option<Arc<Checker>>,
 }
 
 impl World {
@@ -115,7 +117,25 @@ impl World {
                 stats: Mutex::new(MpiStats::default()),
             }),
             nranks,
+            checker: None,
         }
+    }
+
+    /// Attach an `amrio-check` correctness checker: collective matching,
+    /// point-to-point balancing and deadlock backtraces are recorded for
+    /// every [`Comm`] this world hands out.
+    pub fn with_checker(mut self, checker: Arc<Checker>) -> World {
+        assert_eq!(
+            checker.nranks(),
+            self.nranks,
+            "checker must be sized for this world"
+        );
+        self.checker = Some(checker);
+        self
+    }
+
+    pub fn checker(&self) -> Option<&Arc<Checker>> {
+        self.checker.as_ref()
     }
 
     pub fn nranks(&self) -> usize {
@@ -123,20 +143,45 @@ impl World {
     }
 
     /// Run the per-rank program to completion.
+    ///
+    /// With a checker attached, a simulated deadlock panic is re-raised
+    /// enriched with every rank's recent-call backtrace.
     pub fn run<T, F>(&self, f: F) -> SimReport<T>
     where
         T: Send,
         F: Fn(&Comm) -> T + Sync,
     {
-        amrio_simt::run(self.nranks, |ctx| {
-            let comm = Comm {
-                ctx,
-                shared: Arc::clone(&self.shared),
-                nranks: self.nranks,
-                coll_seq: Cell::new(0),
-            };
-            f(&comm)
-        })
+        let go = || {
+            amrio_simt::run(self.nranks, |ctx| {
+                let comm = Comm {
+                    ctx,
+                    shared: Arc::clone(&self.shared),
+                    nranks: self.nranks,
+                    coll_seq: Cell::new(0),
+                    checker: self.checker.clone(),
+                };
+                f(&comm)
+            })
+        };
+        let Some(ck) = &self.checker else {
+            return go();
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(go)) {
+            Ok(report) => report,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()));
+                match msg {
+                    Some(m) if m.contains("simulated deadlock") => panic!(
+                        "{m}\namrio-check deadlock report — per-rank recent calls:\n{}",
+                        ck.ledger_dump()
+                    ),
+                    _ => std::panic::resume_unwind(payload),
+                }
+            }
+        }
     }
 
     pub fn stats(&self) -> MpiStats {
@@ -160,6 +205,7 @@ pub struct Comm<'a> {
     shared: Arc<WorldShared>,
     nranks: usize,
     coll_seq: Cell<u64>,
+    checker: Option<Arc<Checker>>,
 }
 
 impl<'a> Comm<'a> {
@@ -173,6 +219,12 @@ impl<'a> Comm<'a> {
 
     pub fn ctx(&self) -> &Ctx {
         self.ctx
+    }
+
+    /// The attached correctness checker, if any. I/O layers use this to
+    /// feed their own detectors (view tiling, sync epochs).
+    pub fn checker(&self) -> Option<&Arc<Checker>> {
+        self.checker.as_ref()
     }
 
     pub fn now(&self) -> SimTime {
@@ -204,6 +256,9 @@ impl<'a> Comm<'a> {
     pub fn send(&self, dst: Rank, tag: Tag, data: &[u8]) {
         assert!(dst < self.nranks, "send to invalid rank {dst}");
         let me = self.rank();
+        if let Some(ck) = &self.checker {
+            ck.on_send(me, dst, tag, data.len() as u64);
+        }
         self.ctx.ordered(|t| {
             let mut net = self.shared.net.lock();
             let x = net.transfer(me, dst, data.len() as u64, t);
@@ -240,11 +295,14 @@ impl<'a> Comm<'a> {
     /// The receiver pays an unpack charge of `len / memory-bandwidth`.
     pub fn recv_match(&self, src: Option<Rank>, tag: Option<Tag>) -> Message {
         let me = self.rank();
+        if let Some(ck) = &self.checker {
+            ck.on_recv_post(me, src, tag);
+        }
         let got = self.ctx.ordered(|t| {
             let mut mail = self.shared.mail.lock();
-            let pos = mail.queues[me].iter().position(|m| {
-                src.is_none_or(|s| s == m.src) && tag.is_none_or(|wt| wt == m.tag)
-            });
+            let pos = mail.queues[me]
+                .iter()
+                .position(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|wt| wt == m.tag));
             match pos {
                 Some(i) => {
                     let m = mail.queues[me].remove(i);
@@ -271,6 +329,9 @@ impl<'a> Comm<'a> {
         // Unpack cost at memory bandwidth.
         let copy = SimDur::transfer(msg.data.len() as u64, self.mem_bw());
         self.ctx.advance(copy);
+        if let Some(ck) = &self.checker {
+            ck.on_recv(me, msg.src, msg.tag, msg.data.len() as u64);
+        }
         Message {
             src: msg.src,
             tag: msg.tag,
@@ -298,6 +359,7 @@ impl<'a> Comm<'a> {
     /// (rank, arrival-time, input), returning per-rank (completion, output).
     pub(crate) fn rendezvous<I, O>(
         &self,
+        desc: CollDesc,
         input: I,
         pattern: impl FnOnce(&mut Net, Vec<(SimTime, I)>) -> Vec<(SimTime, O)>,
     ) -> O
@@ -310,6 +372,9 @@ impl<'a> Comm<'a> {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
         self.shared.stats.lock().collectives += 1;
+        if let Some(ck) = &self.checker {
+            ck.on_collective(me, seq, desc);
+        }
 
         if n == 1 {
             // Degenerate single-rank world: run the pattern directly.
@@ -340,7 +405,10 @@ impl<'a> Comm<'a> {
                 .iter_mut()
                 .map(|slot| {
                     let (at, b) = slot.take().expect("all arrived");
-                    (at, *b.downcast::<I>().expect("uniform collective input type"))
+                    (
+                        at,
+                        *b.downcast::<I>().expect("uniform collective input type"),
+                    )
                 })
                 .collect();
             let mut net = self.shared.net.lock();
@@ -508,7 +576,6 @@ mod tests {
         let w = World::new(2, NetConfig::fast_ethernet(2));
         let r = w.run(|c| {
             if c.rank() == 0 {
-                
                 c.io(|t, net| {
                     let x = net.transfer(0, 1, 1 << 20, t);
                     (x.sender_free, x.arrival)

@@ -25,16 +25,51 @@ fn encode_regions(regions: &[Region]) -> Vec<u8> {
     out
 }
 
-fn decode_regions(data: &[u8]) -> Vec<Region> {
-    assert_eq!(data.len() % 16, 0);
-    data.chunks_exact(16)
+/// Malformed wire data in the two-phase exchange. Payloads come from
+/// peer ranks, so a framing bug anywhere in the encode path surfaces
+/// here — report what is wrong instead of slicing out of bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CodecError {
+    /// Region stream length is not a multiple of the 16-byte record.
+    Misaligned { len: usize },
+    /// Stream ended inside a record header or payload.
+    Truncated { need: usize, have: usize },
+    /// A piece header declares a length that cannot fit in memory.
+    Oversized { len: u64 },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Misaligned { len } => {
+                write!(f, "region stream of {len} bytes is not a multiple of 16")
+            }
+            CodecError::Truncated { need, have } => {
+                write!(
+                    f,
+                    "stream truncated: record needs {need} bytes, {have} remain"
+                )
+            }
+            CodecError::Oversized { len } => {
+                write!(f, "piece header declares unrepresentable length {len}")
+            }
+        }
+    }
+}
+
+fn decode_regions(data: &[u8]) -> Result<Vec<Region>, CodecError> {
+    if !data.len().is_multiple_of(16) {
+        return Err(CodecError::Misaligned { len: data.len() });
+    }
+    Ok(data
+        .chunks_exact(16)
         .map(|c| {
             (
                 u64::from_le_bytes(c[..8].try_into().unwrap()),
                 u64::from_le_bytes(c[8..].try_into().unwrap()),
             )
         })
-        .collect()
+        .collect())
 }
 
 /// Pieces exchanged between ranks: (file offset, data bytes).
@@ -49,15 +84,31 @@ fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
     out
 }
 
-fn decode_pieces(mut data: &[u8]) -> Vec<(u64, Vec<u8>)> {
+fn decode_pieces(mut data: &[u8]) -> Result<Vec<(u64, Vec<u8>)>, CodecError> {
     let mut out = Vec::new();
     while !data.is_empty() {
+        if data.len() < 16 {
+            return Err(CodecError::Truncated {
+                need: 16,
+                have: data.len(),
+            });
+        }
         let off = u64::from_le_bytes(data[..8].try_into().unwrap());
-        let len = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
-        out.push((off, data[16..16 + len].to_vec()));
-        data = &data[16 + len..];
+        let len64 = u64::from_le_bytes(data[8..16].try_into().unwrap());
+        let len = usize::try_from(len64).map_err(|_| CodecError::Oversized { len: len64 })?;
+        let need = 16usize
+            .checked_add(len)
+            .ok_or(CodecError::Oversized { len: len64 })?;
+        if data.len() < need {
+            return Err(CodecError::Truncated {
+                need,
+                have: data.len(),
+            });
+        }
+        out.push((off, data[16..need].to_vec()));
+        data = &data[need..];
     }
-    out
+    Ok(out)
 }
 
 /// The per-aggregator file domains covering `[lo, hi)`.
@@ -117,9 +168,14 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let my_lo = regions.first().map(|(o, _)| *o).unwrap_or(u64::MAX);
         let my_hi = regions.iter().map(|(o, l)| o + l).max().unwrap_or(0);
         use amrio_mpi::coll::ReduceOp;
-        let lo = self
-            .comm
-            .allreduce_f64(&[if my_lo == u64::MAX { f64::MAX } else { my_lo as f64 }], ReduceOp::Min)[0];
+        let lo = self.comm.allreduce_f64(
+            &[if my_lo == u64::MAX {
+                f64::MAX
+            } else {
+                my_lo as f64
+            }],
+            ReduceOp::Min,
+        )[0];
         let hi = self.comm.allreduce_f64(&[my_hi as f64], ReduceOp::Max)[0];
         if lo == f64::MAX || hi as u64 == 0 {
             return (0, 0);
@@ -151,6 +207,12 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         // Phase 0: agree on the covered file range (like ROMIO's
         // st_offset/end_offset exchange — the pieces themselves carry
         // their offsets, so full lists are not needed for a write).
+        if let Some(ck) = self.comm.checker() {
+            // The write view is a contract between ranks: report ranks
+            // whose tiles overlap before the exchange scrambles them.
+            ck.on_view_write(self.fid, self.comm.rank(), self.comm.size(), &regions);
+        }
+
         let (lo, hi) = self.exchange_bounds(&regions);
         if hi == lo {
             return;
@@ -182,8 +244,11 @@ impl<'c, 'w> MpiFile<'c, 'w> {
             if de > ds {
                 let mut dom = vec![0u8; (de - ds) as usize];
                 let mut covered: Vec<Region> = Vec::new();
-                for per_src in &received {
-                    for (off, data) in decode_pieces(per_src) {
+                for (src, per_src) in received.iter().enumerate() {
+                    let pieces = decode_pieces(per_src).unwrap_or_else(|e| {
+                        panic!("two-phase write: corrupt piece stream from rank {src}: {e}")
+                    });
+                    for (off, data) in pieces {
                         let p = (off - ds) as usize;
                         dom[p..p + data.len()].copy_from_slice(&data);
                         covered.push((off, data.len() as u64));
@@ -197,8 +262,8 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 self.comm.io(move |t, net| {
                     let mut fs = fs.lock();
                     let mut cur = t + SimDur::transfer(dom.len() as u64, mem_bw); // assemble
-                    // Holes inside the domain must not be clobbered: write
-                    // only the covered spans (they are large and few).
+                                                                                  // Holes inside the domain must not be clobbered: write
+                                                                                  // only the covered spans (they are large and few).
                     for (off, len) in &covered {
                         let mut o = *off;
                         let end = off + len;
@@ -253,7 +318,12 @@ impl<'c, 'w> MpiFile<'c, 'w> {
             .comm
             .alltoallv(req_payloads)
             .iter()
-            .map(|d| decode_regions(d))
+            .enumerate()
+            .map(|(src, d)| {
+                decode_regions(d).unwrap_or_else(|e| {
+                    panic!("two-phase read: corrupt request list from rank {src}: {e}")
+                })
+            })
             .collect();
 
         // Phase 1 (I/O): aggregators read the covered parts of their
@@ -317,8 +387,11 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         // Assemble my buffer from the pieces.
         let mut out = vec![0u8; total as usize];
         let buf_pos = buffer_positions(&regions);
-        for per_src in &received {
-            for (off, data) in decode_pieces(per_src) {
+        for (src, per_src) in received.iter().enumerate() {
+            let pieces = decode_pieces(per_src).unwrap_or_else(|e| {
+                panic!("two-phase read: corrupt piece stream from rank {src}: {e}")
+            });
+            for (off, data) in pieces {
                 // Find the region containing this piece.
                 let i = regions
                     .partition_point(|&(o, l)| o + l <= off)
@@ -371,14 +444,56 @@ mod unit_tests {
         let a = vec![1u8, 2, 3];
         let b = vec![9u8; 10];
         let enc = encode_pieces(&[(5, &a), (100, &b)]);
-        let dec = decode_pieces(&enc);
+        let dec = decode_pieces(&enc).unwrap();
         assert_eq!(dec, vec![(5, a), (100, b)]);
     }
 
     #[test]
     fn regions_encode_decode_roundtrip() {
         let r = vec![(0u64, 5u64), (1 << 40, 123)];
-        assert_eq!(decode_regions(&encode_regions(&r)), r);
+        assert_eq!(decode_regions(&encode_regions(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_regions_rejects_misaligned_stream() {
+        let mut enc = encode_regions(&[(7, 9)]);
+        enc.pop();
+        assert_eq!(
+            decode_regions(&enc),
+            Err(CodecError::Misaligned { len: 15 })
+        );
+        assert_eq!(
+            decode_regions(&[0u8; 3]),
+            Err(CodecError::Misaligned { len: 3 })
+        );
+    }
+
+    #[test]
+    fn decode_pieces_rejects_truncated_header() {
+        // 10 bytes cannot hold the 16-byte (offset, len) header.
+        let err = decode_pieces(&[0u8; 10]).unwrap_err();
+        assert_eq!(err, CodecError::Truncated { need: 16, have: 10 });
+    }
+
+    #[test]
+    fn decode_pieces_rejects_truncated_payload() {
+        let body = vec![1u8, 2, 3, 4];
+        let mut enc = encode_pieces(&[(42, &body)]);
+        enc.truncate(enc.len() - 2); // header says 4 bytes, only 2 remain
+        let err = decode_pieces(&enc).unwrap_err();
+        assert_eq!(err, CodecError::Truncated { need: 20, have: 18 });
+    }
+
+    #[test]
+    fn decode_pieces_rejects_absurd_length() {
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&0u64.to_le_bytes());
+        enc.extend_from_slice(&u64::MAX.to_le_bytes()); // claimed payload len
+        let err = decode_pieces(&enc).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::Truncated { .. } | CodecError::Oversized { .. }
+        ));
     }
 
     #[test]

@@ -43,12 +43,7 @@ pub enum Datatype {
 
 impl Datatype {
     /// A 3-D subarray helper (the shape ENZO's baryon fields use).
-    pub fn subarray3(
-        dims: [u64; 3],
-        starts: [u64; 3],
-        subsizes: [u64; 3],
-        elem: u64,
-    ) -> Datatype {
+    pub fn subarray3(dims: [u64; 3], starts: [u64; 3], subsizes: [u64; 3], elem: u64) -> Datatype {
         Datatype::Subarray {
             dims: dims.to_vec(),
             starts: starts.to_vec(),
@@ -68,9 +63,7 @@ impl Datatype {
                 child,
                 ..
             } => count * blocklen * child.size(),
-            Datatype::Subarray { subsizes, elem, .. } => {
-                subsizes.iter().product::<u64>() * elem
-            }
+            Datatype::Subarray { subsizes, elem, .. } => subsizes.iter().product::<u64>() * elem,
             Datatype::Hindexed { blocks } => blocks.iter().map(|(_, l)| l).sum(),
         }
     }
@@ -93,11 +86,7 @@ impl Datatype {
                 }
             }
             Datatype::Subarray { dims, elem, .. } => dims.iter().product::<u64>() * elem,
-            Datatype::Hindexed { blocks } => blocks
-                .iter()
-                .map(|(o, l)| o + l)
-                .max()
-                .unwrap_or(0),
+            Datatype::Hindexed { blocks } => blocks.iter().map(|(o, l)| o + l).max().unwrap_or(0),
         }
     }
 

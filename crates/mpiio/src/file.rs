@@ -4,8 +4,8 @@
 use crate::datatype::{Datatype, Region};
 use amrio_disk::{FileId, FsConfig, Pfs};
 use amrio_mpi::Comm;
+use amrio_simt::sync::Mutex;
 use amrio_simt::SimDur;
-use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -72,6 +72,13 @@ impl MpiIo {
     /// the serial HDF4 path on the same simulated volume).
     pub fn fs(&self) -> Arc<Mutex<Pfs>> {
         Arc::clone(&self.fs)
+    }
+
+    /// Register this volume with a correctness checker: enables I/O
+    /// tracing so the checker's conflict analyzer can scan accesses
+    /// between sync points. Call before any file is opened.
+    pub fn attach_checker(&self, checker: &amrio_check::Checker) {
+        checker.watch_fs(Arc::clone(&self.fs));
     }
 
     /// Collectively open `path`. With [`Mode::Create`], rank 0 creates the

@@ -20,8 +20,8 @@
 //! itself obeys the priority order, so the wakee's next event can never
 //! travel back before events already granted.
 
+use crate::sync::{Condvar, Mutex};
 use crate::time::{SimDur, SimTime};
-use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -225,8 +225,7 @@ impl Ctx {
         loop {
             // Deadlock check: nobody can make progress if every live rank
             // is parked.
-            if g
-                .state
+            if g.state
                 .iter()
                 .all(|s| matches!(s, RankState::Parked | RankState::Done))
             {
@@ -348,9 +347,9 @@ where
                                     .is_some_and(|m| m.contains("peer rank panicked"))
                             })
                             .unwrap_or(true)
-                        {
-                            first_panic = Some(p);
-                        }
+                    {
+                        first_panic = Some(p);
+                    }
                 }
             }
         }

@@ -18,6 +18,7 @@
 //! ```
 
 pub mod engine;
+pub mod sync;
 pub mod time;
 
 pub use engine::{run, Ctx, Rank, SimReport};
@@ -128,11 +129,11 @@ mod tests {
                 ctx.park();
             })
         });
-        let err = match res { Err(e) => e, Ok(_) => panic!("deadlock must panic") };
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let err = match res {
+            Err(e) => e,
+            Ok(_) => panic!("deadlock must panic"),
+        };
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
     }
 

@@ -38,7 +38,10 @@ impl SimDur {
     pub const ZERO: SimDur = SimDur(0);
 
     pub fn from_secs_f64(s: f64) -> SimDur {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative: {s}");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative: {s}"
+        );
         SimDur((s * 1e9).round() as u64)
     }
 
@@ -94,7 +97,11 @@ impl AddAssign for SimDur {
 impl Sub for SimTime {
     type Output = SimDur;
     fn sub(self, o: SimTime) -> SimDur {
-        SimDur(self.0.checked_sub(o.0).expect("SimTime subtraction underflow"))
+        SimDur(
+            self.0
+                .checked_sub(o.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 

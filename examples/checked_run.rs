@@ -1,0 +1,59 @@
+//! The `amrio-check` correctness checker in action: a clean
+//! checkpoint→restart pipeline under strict checking, then two seeded
+//! bugs caught in logging mode.
+//!
+//! ```sh
+//! cargo run --release --example checked_run
+//! ```
+
+use amrio::check::{CheckMode, Checker};
+use amrio::enzo::{run_experiment_checked, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio::mpi::World;
+use amrio::mpiio::{Mode, MpiIo};
+use amrio::net::NetConfig;
+use std::sync::Arc;
+
+fn main() {
+    // 1. The real pipeline, strict mode: any collective mismatch or
+    //    file-consistency violation would panic with a full report.
+    let nranks = 4;
+    let mut cfg = SimConfig::new(ProblemSize::Custom(16), nranks);
+    cfg.particle_fraction = 0.5;
+    cfg.refine_threshold = 3.0;
+    let platform = Platform::origin2000(nranks);
+    let (rep, check) =
+        run_experiment_checked(&platform, &cfg, &MpiIoOptimized, 1, CheckMode::Strict);
+    println!(
+        "clean pipeline: strategy={} verified={} write={:.3}s read={:.3}s -> {}",
+        rep.strategy,
+        rep.verified,
+        rep.write_time,
+        rep.read_time,
+        if check.is_clean() {
+            "0 violations"
+        } else {
+            "VIOLATIONS?!"
+        }
+    );
+
+    // 2. A seeded collective bug, logging mode: every rank nominates
+    //    itself as bcast root. The run survives — only the checker sees.
+    let ck = Arc::new(Checker::new(CheckMode::Log, 2));
+    let w = World::new(2, NetConfig::ccnuma(2)).with_checker(Arc::clone(&ck));
+    w.run(|c| {
+        c.bcast(c.rank(), vec![0xAB; 64]);
+    });
+    println!("\nseeded self-root bcast:\n{}", ck.finalize());
+
+    // 3. A seeded file race, logging mode: two ranks write overlapping
+    //    byte ranges with no barrier between them.
+    let ck = Arc::new(Checker::new(CheckMode::Log, 2));
+    let w = World::new(2, NetConfig::ccnuma(2)).with_checker(Arc::clone(&ck));
+    let io = MpiIo::new(platform.fs.clone());
+    io.attach_checker(&ck);
+    w.run(|c| {
+        let f = io.open(c, "race", Mode::Create);
+        f.write_at(c.rank() as u64 * 64, &[c.rank() as u8; 128]);
+    });
+    println!("seeded overlapping writes:\n{}", ck.finalize());
+}

@@ -64,6 +64,11 @@ fn main() {
         );
     }
     let end: SimTime = report.results.iter().map(|(_, t)| *t).max().unwrap();
-    println!("\nsimulated wall time of the whole run: {:.2}s", end.as_secs_f64());
-    println!("(the refined region tracks the clustering matter — compare L1/L2 cells across dumps)");
+    println!(
+        "\nsimulated wall time of the whole run: {:.2}s",
+        end.as_secs_f64()
+    );
+    println!(
+        "(the refined region tracks the clustering matter — compare L1/L2 cells across dumps)"
+    );
 }

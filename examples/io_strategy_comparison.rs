@@ -11,8 +11,7 @@
 //! overheads (paper §4.5).
 
 use amrio::enzo::{
-    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
-    SimConfig,
+    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
 };
 
 fn main() {

@@ -23,10 +23,7 @@ fn main() {
         "platform", "strategy", "write[s]", "read[s]"
     );
     for platform in &platforms {
-        for strategy in [
-            &Hdf4Serial as &dyn amrio::enzo::IoStrategy,
-            &MpiIoOptimized,
-        ] {
+        for strategy in [&Hdf4Serial as &dyn amrio::enzo::IoStrategy, &MpiIoOptimized] {
             let r = driver::run_experiment(platform, &cfg, strategy, 2);
             assert!(r.verified);
             println!(

@@ -23,7 +23,10 @@ fn main() {
     println!("platform      : {}", report.platform);
     println!("problem       : {}", report.problem);
     println!("processors    : {}", report.nranks);
-    println!("grids at dump : {} (deepest level {})", report.grids, report.max_level);
+    println!(
+        "grids at dump : {} (deepest level {})",
+        report.grids, report.max_level
+    );
     println!(
         "checkpoint    : wrote {:.1} MB in {:.3} simulated seconds",
         report.bytes_written as f64 / 1e6,
@@ -36,7 +39,11 @@ fn main() {
     );
     println!(
         "verification  : restart state {} the dumped state",
-        if report.verified { "MATCHES" } else { "DOES NOT MATCH" }
+        if report.verified {
+            "MATCHES"
+        } else {
+            "DOES NOT MATCH"
+        }
     );
     assert!(report.verified);
 }

@@ -9,7 +9,9 @@
 
 use amrio::enzo::evolve::rebuild_refinement;
 use amrio::enzo::io::mpiio::Layout;
-use amrio::enzo::{IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig, SimState, TOP_GRID};
+use amrio::enzo::{
+    IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig, SimState, TOP_GRID,
+};
 use amrio_mpi::World;
 use amrio_mpiio::{Datatype, Mode, MpiIo};
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-2 lint gate: formatting and clippy across the whole workspace.
+# Run from the repo root. Fails on the first violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "lint: OK"

@@ -7,6 +7,7 @@
 //! intended usage; `tests/` holds the cross-crate integration suite.
 
 pub use amrio_amr as amr;
+pub use amrio_check as check;
 pub use amrio_disk as disk;
 pub use amrio_enzo as enzo;
 pub use amrio_hdf4 as hdf4;

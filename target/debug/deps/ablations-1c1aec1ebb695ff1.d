@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1c1aec1ebb695ff1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1c1aec1ebb695ff1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

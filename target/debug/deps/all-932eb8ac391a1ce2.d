@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-932eb8ac391a1ce2.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-932eb8ac391a1ce2: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

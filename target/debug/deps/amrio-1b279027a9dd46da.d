@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio-1b279027a9dd46da.d: src/lib.rs
+
+/root/repo/target/debug/deps/libamrio-1b279027a9dd46da.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libamrio-1b279027a9dd46da.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio-22e95a0709402851.d: src/lib.rs
+
+/root/repo/target/debug/deps/amrio-22e95a0709402851: src/lib.rs
+
+src/lib.rs:

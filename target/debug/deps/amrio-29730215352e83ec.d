@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio-29730215352e83ec.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio-29730215352e83ec.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/amrio_amr-919a580ce128d42e.d: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_amr-919a580ce128d42e.rmeta: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs Cargo.toml
+
+crates/amr/src/lib.rs:
+crates/amr/src/array.rs:
+crates/amr/src/balance.rs:
+crates/amr/src/decomp.rs:
+crates/amr/src/grid.rs:
+crates/amr/src/particles.rs:
+crates/amr/src/refine.rs:
+crates/amr/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amrio_amr-bb9442e718c2339d.d: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+/root/repo/target/debug/deps/amrio_amr-bb9442e718c2339d: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/array.rs:
+crates/amr/src/balance.rs:
+crates/amr/src/decomp.rs:
+crates/amr/src/grid.rs:
+crates/amr/src/particles.rs:
+crates/amr/src/refine.rs:
+crates/amr/src/solver.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/amrio_amr-bc69a82d1016b14b.d: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+/root/repo/target/debug/deps/libamrio_amr-bc69a82d1016b14b.rlib: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+/root/repo/target/debug/deps/libamrio_amr-bc69a82d1016b14b.rmeta: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/array.rs:
+crates/amr/src/balance.rs:
+crates/amr/src/decomp.rs:
+crates/amr/src/grid.rs:
+crates/amr/src/particles.rs:
+crates/amr/src/refine.rs:
+crates/amr/src/solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio_bench-24185c41f36c9a37.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_bench-24185c41f36c9a37.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

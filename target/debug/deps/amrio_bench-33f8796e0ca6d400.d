@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio_bench-33f8796e0ca6d400.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/amrio_bench-33f8796e0ca6d400: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

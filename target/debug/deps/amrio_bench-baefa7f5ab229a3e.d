@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio_bench-baefa7f5ab229a3e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_bench-baefa7f5ab229a3e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_bench-baefa7f5ab229a3e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

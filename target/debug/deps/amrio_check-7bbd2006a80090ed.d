@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio_check-7bbd2006a80090ed.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/amrio_check-7bbd2006a80090ed: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

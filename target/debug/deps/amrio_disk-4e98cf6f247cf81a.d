@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amrio_disk-4e98cf6f247cf81a.d: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+/root/repo/target/debug/deps/libamrio_disk-4e98cf6f247cf81a.rlib: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+/root/repo/target/debug/deps/libamrio_disk-4e98cf6f247cf81a.rmeta: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/dev.rs:
+crates/disk/src/fs.rs:
+crates/disk/src/presets.rs:
+crates/disk/src/store.rs:
+crates/disk/src/trace.rs:

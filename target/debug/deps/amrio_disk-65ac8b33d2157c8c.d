@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/amrio_disk-65ac8b33d2157c8c.d: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+/root/repo/target/debug/deps/amrio_disk-65ac8b33d2157c8c: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/dev.rs:
+crates/disk/src/fs.rs:
+crates/disk/src/presets.rs:
+crates/disk/src/store.rs:
+crates/disk/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/amrio_disk-b3bccd933c64eb97.d: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_disk-b3bccd933c64eb97.rmeta: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs Cargo.toml
+
+crates/disk/src/lib.rs:
+crates/disk/src/dev.rs:
+crates/disk/src/fs.rs:
+crates/disk/src/presets.rs:
+crates/disk/src/store.rs:
+crates/disk/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

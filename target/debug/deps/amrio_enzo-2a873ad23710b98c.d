@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/amrio_enzo-2a873ad23710b98c.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libamrio_enzo-2a873ad23710b98c.rlib: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libamrio_enzo-2a873ad23710b98c.rmeta: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/evolve.rs:
+crates/core/src/ic.rs:
+crates/core/src/io/mod.rs:
+crates/core/src/io/hdf4.rs:
+crates/core/src/io/hdf5.rs:
+crates/core/src/io/mdms.rs:
+crates/core/src/io/mpiio.rs:
+crates/core/src/platform.rs:
+crates/core/src/problem.rs:
+crates/core/src/sort.rs:
+crates/core/src/state.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/amrio_enzo-b4b4960086684da7.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_enzo-b4b4960086684da7.rmeta: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/evolve.rs:
+crates/core/src/ic.rs:
+crates/core/src/io/mod.rs:
+crates/core/src/io/hdf4.rs:
+crates/core/src/io/hdf5.rs:
+crates/core/src/io/mdms.rs:
+crates/core/src/io/mpiio.rs:
+crates/core/src/platform.rs:
+crates/core/src/problem.rs:
+crates/core/src/sort.rs:
+crates/core/src/state.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio_hdf4-7e2df0bc8dd95b7a.d: crates/hdf4/src/lib.rs
+
+/root/repo/target/debug/deps/amrio_hdf4-7e2df0bc8dd95b7a: crates/hdf4/src/lib.rs
+
+crates/hdf4/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio_hdf4-8f3e7bf419d48193.d: crates/hdf4/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_hdf4-8f3e7bf419d48193.rmeta: crates/hdf4/src/lib.rs Cargo.toml
+
+crates/hdf4/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio_hdf4-f4d81576a8df036d.d: crates/hdf4/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_hdf4-f4d81576a8df036d.rlib: crates/hdf4/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_hdf4-f4d81576a8df036d.rmeta: crates/hdf4/src/lib.rs
+
+crates/hdf4/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio_hdf5-0d64a68332f5e559.d: crates/hdf5/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_hdf5-0d64a68332f5e559.rlib: crates/hdf5/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_hdf5-0d64a68332f5e559.rmeta: crates/hdf5/src/lib.rs
+
+crates/hdf5/src/lib.rs:

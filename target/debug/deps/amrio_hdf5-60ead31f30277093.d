@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio_hdf5-60ead31f30277093.d: crates/hdf5/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_hdf5-60ead31f30277093.rmeta: crates/hdf5/src/lib.rs Cargo.toml
+
+crates/hdf5/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio_hdf5-e9248781b5a2a502.d: crates/hdf5/src/lib.rs
+
+/root/repo/target/debug/deps/amrio_hdf5-e9248781b5a2a502: crates/hdf5/src/lib.rs
+
+crates/hdf5/src/lib.rs:

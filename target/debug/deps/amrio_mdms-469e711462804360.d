@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio_mdms-469e711462804360.d: crates/mdms/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_mdms-469e711462804360.rmeta: crates/mdms/src/lib.rs Cargo.toml
+
+crates/mdms/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio_mdms-77fe389712f0c42b.d: crates/mdms/src/lib.rs
+
+/root/repo/target/debug/deps/amrio_mdms-77fe389712f0c42b: crates/mdms/src/lib.rs
+
+crates/mdms/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio_mdms-d274f04b2b3c9d54.d: crates/mdms/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_mdms-d274f04b2b3c9d54.rlib: crates/mdms/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_mdms-d274f04b2b3c9d54.rmeta: crates/mdms/src/lib.rs
+
+crates/mdms/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/amrio_mpi-253ef4722ae2b760.d: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+/root/repo/target/debug/deps/amrio_mpi-253ef4722ae2b760: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coll.rs:

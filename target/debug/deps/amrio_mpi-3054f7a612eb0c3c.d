@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/amrio_mpi-3054f7a612eb0c3c.d: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+/root/repo/target/debug/deps/libamrio_mpi-3054f7a612eb0c3c.rlib: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+/root/repo/target/debug/deps/libamrio_mpi-3054f7a612eb0c3c.rmeta: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coll.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/amrio_mpi-ee163c63e896ebf6.d: crates/mpi/src/lib.rs crates/mpi/src/coll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_mpi-ee163c63e896ebf6.rmeta: crates/mpi/src/lib.rs crates/mpi/src/coll.rs Cargo.toml
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

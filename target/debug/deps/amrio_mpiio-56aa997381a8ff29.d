@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amrio_mpiio-56aa997381a8ff29.d: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_mpiio-56aa997381a8ff29.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs Cargo.toml
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

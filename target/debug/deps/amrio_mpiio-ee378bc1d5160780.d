@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/amrio_mpiio-ee378bc1d5160780.d: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+/root/repo/target/debug/deps/amrio_mpiio-ee378bc1d5160780: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/file.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/amrio_mpiio-f403c87596eb6d00.d: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+/root/repo/target/debug/deps/libamrio_mpiio-f403c87596eb6d00.rlib: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+/root/repo/target/debug/deps/libamrio_mpiio-f403c87596eb6d00.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/file.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio_net-8aa1a2d7c39de1e3.d: crates/net/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_net-8aa1a2d7c39de1e3.rlib: crates/net/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_net-8aa1a2d7c39de1e3.rmeta: crates/net/src/lib.rs
+
+crates/net/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio_net-c29d3b0c072737bf.d: crates/net/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_net-c29d3b0c072737bf.rmeta: crates/net/src/lib.rs Cargo.toml
+
+crates/net/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

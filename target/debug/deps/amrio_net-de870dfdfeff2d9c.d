@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio_net-de870dfdfeff2d9c.d: crates/net/src/lib.rs
+
+/root/repo/target/debug/deps/amrio_net-de870dfdfeff2d9c: crates/net/src/lib.rs
+
+crates/net/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker-ef1f0b86b32d4fd7.d: tests/checker.rs
+
+/root/repo/target/debug/deps/checker-ef1f0b86b32d4fd7: tests/checker.rs
+
+tests/checker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_equivalence-bcafaf8665481fae.d: tests/checkpoint_equivalence.rs
+
+/root/repo/target/debug/deps/checkpoint_equivalence-bcafaf8665481fae: tests/checkpoint_equivalence.rs
+
+tests/checkpoint_equivalence.rs:

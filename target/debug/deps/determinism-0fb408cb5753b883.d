@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0fb408cb5753b883.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0fb408cb5753b883: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-54c4f6fdcb96b9d3.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-54c4f6fdcb96b9d3: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f9d236e73e0f8208.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f9d236e73e0f8208: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-be18ff085b1521a4.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-be18ff085b1521a4: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-f8bf885fb340b537.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-f8bf885fb340b537: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

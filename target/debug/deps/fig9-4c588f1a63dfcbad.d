@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-4c588f1a63dfcbad.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-4c588f1a63dfcbad: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

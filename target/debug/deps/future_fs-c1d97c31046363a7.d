@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_fs-c1d97c31046363a7.d: crates/bench/src/bin/future_fs.rs
+
+/root/repo/target/debug/deps/future_fs-c1d97c31046363a7: crates/bench/src/bin/future_fs.rs
+
+crates/bench/src/bin/future_fs.rs:

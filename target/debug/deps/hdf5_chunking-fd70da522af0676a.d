@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdf5_chunking-fd70da522af0676a.d: crates/bench/src/bin/hdf5_chunking.rs
+
+/root/repo/target/debug/deps/hdf5_chunking-fd70da522af0676a: crates/bench/src/bin/hdf5_chunking.rs
+
+crates/bench/src/bin/hdf5_chunking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_analysis-31fd417f09b09589.d: crates/bench/src/bin/io_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_analysis-31fd417f09b09589.rmeta: crates/bench/src/bin/io_analysis.rs Cargo.toml
+
+crates/bench/src/bin/io_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

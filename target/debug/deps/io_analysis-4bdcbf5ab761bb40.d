@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_analysis-4bdcbf5ab761bb40.d: crates/bench/src/bin/io_analysis.rs
+
+/root/repo/target/debug/deps/io_analysis-4bdcbf5ab761bb40: crates/bench/src/bin/io_analysis.rs
+
+crates/bench/src/bin/io_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdms_demo-2d6dbfbb5b67a542.d: crates/bench/src/bin/mdms_demo.rs
+
+/root/repo/target/debug/deps/mdms_demo-2d6dbfbb5b67a542: crates/bench/src/bin/mdms_demo.rs
+
+crates/bench/src/bin/mdms_demo.rs:

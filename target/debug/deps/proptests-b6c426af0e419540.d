@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b6c426af0e419540.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b6c426af0e419540: tests/proptests.rs
+
+tests/proptests.rs:

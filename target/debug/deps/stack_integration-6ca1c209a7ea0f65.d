@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_integration-6ca1c209a7ea0f65.d: tests/stack_integration.rs
+
+/root/repo/target/debug/deps/stack_integration-6ca1c209a7ea0f65: tests/stack_integration.rs
+
+tests/stack_integration.rs:

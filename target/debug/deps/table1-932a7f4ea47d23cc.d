@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-932a7f4ea47d23cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-932a7f4ea47d23cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

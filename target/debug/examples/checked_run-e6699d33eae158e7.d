@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checked_run-e6699d33eae158e7.d: examples/checked_run.rs
+
+/root/repo/target/debug/examples/checked_run-e6699d33eae158e7: examples/checked_run.rs
+
+examples/checked_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cosmology_run-754d747db655a48a.d: examples/cosmology_run.rs
+
+/root/repo/target/debug/examples/cosmology_run-754d747db655a48a: examples/cosmology_run.rs
+
+examples/cosmology_run.rs:

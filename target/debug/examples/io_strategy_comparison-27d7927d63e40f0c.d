@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/io_strategy_comparison-27d7927d63e40f0c.d: examples/io_strategy_comparison.rs
+
+/root/repo/target/debug/examples/io_strategy_comparison-27d7927d63e40f0c: examples/io_strategy_comparison.rs
+
+examples/io_strategy_comparison.rs:

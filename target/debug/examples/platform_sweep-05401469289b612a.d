@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/platform_sweep-05401469289b612a.d: examples/platform_sweep.rs
+
+/root/repo/target/debug/examples/platform_sweep-05401469289b612a: examples/platform_sweep.rs
+
+examples/platform_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f30edbc87b7f5f10.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f30edbc87b7f5f10: examples/quickstart.rs
+
+examples/quickstart.rs:

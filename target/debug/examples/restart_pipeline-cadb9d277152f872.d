@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restart_pipeline-cadb9d277152f872.d: examples/restart_pipeline.rs
+
+/root/repo/target/debug/examples/restart_pipeline-cadb9d277152f872: examples/restart_pipeline.rs
+
+examples/restart_pipeline.rs:

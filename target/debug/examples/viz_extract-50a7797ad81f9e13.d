@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/viz_extract-50a7797ad81f9e13.d: examples/viz_extract.rs Cargo.toml
+
+/root/repo/target/debug/examples/libviz_extract-50a7797ad81f9e13.rmeta: examples/viz_extract.rs Cargo.toml
+
+examples/viz_extract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/viz_extract-aef581cb865c99d8.d: examples/viz_extract.rs
+
+/root/repo/target/debug/examples/viz_extract-aef581cb865c99d8: examples/viz_extract.rs
+
+examples/viz_extract.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3dd6dcaf6f1cd2c8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-3dd6dcaf6f1cd2c8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-73e5b5b3cf6988a9.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-73e5b5b3cf6988a9: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-4231325cf60918dc.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-4231325cf60918dc: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-a471fcd1255bebce.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-a471fcd1255bebce: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio-39e084847a83748f.d: src/lib.rs
+
+/root/repo/target/release/deps/libamrio-39e084847a83748f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libamrio-39e084847a83748f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/amrio_amr-31cb43f3e57d6552.d: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+/root/repo/target/release/deps/libamrio_amr-31cb43f3e57d6552.rlib: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+/root/repo/target/release/deps/libamrio_amr-31cb43f3e57d6552.rmeta: crates/amr/src/lib.rs crates/amr/src/array.rs crates/amr/src/balance.rs crates/amr/src/decomp.rs crates/amr/src/grid.rs crates/amr/src/particles.rs crates/amr/src/refine.rs crates/amr/src/solver.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/array.rs:
+crates/amr/src/balance.rs:
+crates/amr/src/decomp.rs:
+crates/amr/src/grid.rs:
+crates/amr/src/particles.rs:
+crates/amr/src/refine.rs:
+crates/amr/src/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amrio_bench-78188733231af0fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/amrio_bench-78188733231af0fa: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

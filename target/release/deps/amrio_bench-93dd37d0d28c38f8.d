@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio_bench-93dd37d0d28c38f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_bench-93dd37d0d28c38f8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_bench-93dd37d0d28c38f8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

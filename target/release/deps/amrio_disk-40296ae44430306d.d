@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/amrio_disk-40296ae44430306d.d: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+/root/repo/target/release/deps/libamrio_disk-40296ae44430306d.rlib: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+/root/repo/target/release/deps/libamrio_disk-40296ae44430306d.rmeta: crates/disk/src/lib.rs crates/disk/src/dev.rs crates/disk/src/fs.rs crates/disk/src/presets.rs crates/disk/src/store.rs crates/disk/src/trace.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/dev.rs:
+crates/disk/src/fs.rs:
+crates/disk/src/presets.rs:
+crates/disk/src/store.rs:
+crates/disk/src/trace.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/amrio_enzo-c0e4b6d676c44903.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libamrio_enzo-c0e4b6d676c44903.rlib: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libamrio_enzo-c0e4b6d676c44903.rmeta: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/evolve.rs crates/core/src/ic.rs crates/core/src/io/mod.rs crates/core/src/io/hdf4.rs crates/core/src/io/hdf5.rs crates/core/src/io/mdms.rs crates/core/src/io/mpiio.rs crates/core/src/platform.rs crates/core/src/problem.rs crates/core/src/sort.rs crates/core/src/state.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/evolve.rs:
+crates/core/src/ic.rs:
+crates/core/src/io/mod.rs:
+crates/core/src/io/hdf4.rs:
+crates/core/src/io/hdf5.rs:
+crates/core/src/io/mdms.rs:
+crates/core/src/io/mpiio.rs:
+crates/core/src/platform.rs:
+crates/core/src/problem.rs:
+crates/core/src/sort.rs:
+crates/core/src/state.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio_hdf4-16dccd0f50bc2ee5.d: crates/hdf4/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_hdf4-16dccd0f50bc2ee5.rlib: crates/hdf4/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_hdf4-16dccd0f50bc2ee5.rmeta: crates/hdf4/src/lib.rs
+
+crates/hdf4/src/lib.rs:

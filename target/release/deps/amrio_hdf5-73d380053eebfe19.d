@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio_hdf5-73d380053eebfe19.d: crates/hdf5/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_hdf5-73d380053eebfe19.rlib: crates/hdf5/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_hdf5-73d380053eebfe19.rmeta: crates/hdf5/src/lib.rs
+
+crates/hdf5/src/lib.rs:

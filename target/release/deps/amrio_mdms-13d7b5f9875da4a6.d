@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio_mdms-13d7b5f9875da4a6.d: crates/mdms/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_mdms-13d7b5f9875da4a6.rlib: crates/mdms/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_mdms-13d7b5f9875da4a6.rmeta: crates/mdms/src/lib.rs
+
+crates/mdms/src/lib.rs:

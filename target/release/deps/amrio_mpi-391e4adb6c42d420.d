@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/amrio_mpi-391e4adb6c42d420.d: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+/root/repo/target/release/deps/libamrio_mpi-391e4adb6c42d420.rlib: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+/root/repo/target/release/deps/libamrio_mpi-391e4adb6c42d420.rmeta: crates/mpi/src/lib.rs crates/mpi/src/coll.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/coll.rs:

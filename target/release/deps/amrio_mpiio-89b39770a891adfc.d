@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/amrio_mpiio-89b39770a891adfc.d: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+/root/repo/target/release/deps/libamrio_mpiio-89b39770a891adfc.rlib: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+/root/repo/target/release/deps/libamrio_mpiio-89b39770a891adfc.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/collective.rs crates/mpiio/src/datatype.rs crates/mpiio/src/file.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/collective.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/file.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio_net-b8652f3a234e752a.d: crates/net/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_net-b8652f3a234e752a.rlib: crates/net/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_net-b8652f3a234e752a.rmeta: crates/net/src/lib.rs
+
+crates/net/src/lib.rs:

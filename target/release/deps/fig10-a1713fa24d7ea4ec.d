@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-a1713fa24d7ea4ec.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-a1713fa24d7ea4ec: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

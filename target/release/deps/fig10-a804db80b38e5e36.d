@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-a804db80b38e5e36.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-a804db80b38e5e36: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

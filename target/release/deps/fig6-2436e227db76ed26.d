@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-2436e227db76ed26.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-2436e227db76ed26: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-5604cff5cb6c15e8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-5604cff5cb6c15e8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5137e712a29b74b3.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5137e712a29b74b3: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

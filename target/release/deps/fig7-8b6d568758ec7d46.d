@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-8b6d568758ec7d46.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-8b6d568758ec7d46: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-d59d3cd9cebfbb0c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-d59d3cd9cebfbb0c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

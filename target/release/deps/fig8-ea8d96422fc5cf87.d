@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ea8d96422fc5cf87.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ea8d96422fc5cf87: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-1be1e4c0d9135b70.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-1be1e4c0d9135b70: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-4b2b925dfd30da48.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-4b2b925dfd30da48: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_fs-70f49fda7c6914c8.d: crates/bench/src/bin/future_fs.rs
+
+/root/repo/target/release/deps/future_fs-70f49fda7c6914c8: crates/bench/src/bin/future_fs.rs
+
+crates/bench/src/bin/future_fs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_fs-ed05b77c3d8b0b97.d: crates/bench/src/bin/future_fs.rs
+
+/root/repo/target/release/deps/future_fs-ed05b77c3d8b0b97: crates/bench/src/bin/future_fs.rs
+
+crates/bench/src/bin/future_fs.rs:

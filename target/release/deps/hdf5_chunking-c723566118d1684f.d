@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdf5_chunking-c723566118d1684f.d: crates/bench/src/bin/hdf5_chunking.rs
+
+/root/repo/target/release/deps/hdf5_chunking-c723566118d1684f: crates/bench/src/bin/hdf5_chunking.rs
+
+crates/bench/src/bin/hdf5_chunking.rs:

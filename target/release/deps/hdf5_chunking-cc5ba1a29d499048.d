@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdf5_chunking-cc5ba1a29d499048.d: crates/bench/src/bin/hdf5_chunking.rs
+
+/root/repo/target/release/deps/hdf5_chunking-cc5ba1a29d499048: crates/bench/src/bin/hdf5_chunking.rs
+
+crates/bench/src/bin/hdf5_chunking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io_analysis-8937c0433f5360f8.d: crates/bench/src/bin/io_analysis.rs
+
+/root/repo/target/release/deps/io_analysis-8937c0433f5360f8: crates/bench/src/bin/io_analysis.rs
+
+crates/bench/src/bin/io_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io_analysis-e9063f45ee739a15.d: crates/bench/src/bin/io_analysis.rs
+
+/root/repo/target/release/deps/io_analysis-e9063f45ee739a15: crates/bench/src/bin/io_analysis.rs
+
+crates/bench/src/bin/io_analysis.rs:

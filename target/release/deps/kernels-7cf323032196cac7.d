@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-7cf323032196cac7.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-7cf323032196cac7: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mdms_demo-5a8028b1b3aa378a.d: crates/bench/src/bin/mdms_demo.rs
+
+/root/repo/target/release/deps/mdms_demo-5a8028b1b3aa378a: crates/bench/src/bin/mdms_demo.rs
+
+crates/bench/src/bin/mdms_demo.rs:

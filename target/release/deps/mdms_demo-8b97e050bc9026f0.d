@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mdms_demo-8b97e050bc9026f0.d: crates/bench/src/bin/mdms_demo.rs
+
+/root/repo/target/release/deps/mdms_demo-8b97e050bc9026f0: crates/bench/src/bin/mdms_demo.rs
+
+crates/bench/src/bin/mdms_demo.rs:

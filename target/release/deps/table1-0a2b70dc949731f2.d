@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0a2b70dc949731f2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0a2b70dc949731f2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

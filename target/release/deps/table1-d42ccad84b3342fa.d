@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d42ccad84b3342fa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d42ccad84b3342fa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

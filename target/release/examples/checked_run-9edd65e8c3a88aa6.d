@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checked_run-9edd65e8c3a88aa6.d: examples/checked_run.rs
+
+/root/repo/target/release/examples/checked_run-9edd65e8c3a88aa6: examples/checked_run.rs
+
+examples/checked_run.rs:

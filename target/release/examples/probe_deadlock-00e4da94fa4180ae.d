@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_deadlock-00e4da94fa4180ae.d: examples/probe_deadlock.rs
+
+/root/repo/target/release/examples/probe_deadlock-00e4da94fa4180ae: examples/probe_deadlock.rs
+
+examples/probe_deadlock.rs:

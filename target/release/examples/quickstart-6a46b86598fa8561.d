@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6a46b86598fa8561.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6a46b86598fa8561: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/restart_pipeline-5f87ca83774a2418.d: examples/restart_pipeline.rs
+
+/root/repo/target/release/examples/restart_pipeline-5f87ca83774a2418: examples/restart_pipeline.rs
+
+examples/restart_pipeline.rs:

@@ -1,0 +1,198 @@
+//! Seeded-violation tests for the `amrio-check` correctness checker:
+//! each test plants one bug in an otherwise working program and asserts
+//! the checker names it — plus one clean end-to-end run proving the
+//! checker stays silent on correct code.
+
+use amrio_check::{CheckMode, Checker, Violation};
+use amrio_disk::{DiskParams, FsConfig, Placement};
+use amrio_enzo::{run_experiment_checked, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio_mpi::coll::ReduceOp;
+use amrio_mpi::World;
+use amrio_mpiio::{Datatype, Mode, MpiIo};
+use amrio_net::NetConfig;
+use amrio_simt::SimDur;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn checked_world(nranks: usize, mode: CheckMode) -> (World, Arc<Checker>) {
+    let ck = Arc::new(Checker::new(mode, nranks));
+    let w = World::new(nranks, NetConfig::ccnuma(nranks)).with_checker(Arc::clone(&ck));
+    (w, ck)
+}
+
+fn fs_cfg() -> FsConfig {
+    FsConfig {
+        label: "t".into(),
+        stripe: 64 * 1024,
+        nservers: 2,
+        disk: DiskParams::new(100, 2, 100.0),
+        server_endpoints: None,
+        placement: Placement::Striped,
+        lock_block: None,
+        token_cost: SimDur::ZERO,
+        client_queue_cost: None,
+        single_stream_bw: None,
+    }
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(|s| s.as_str())
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
+}
+
+#[test]
+fn mismatched_bcast_root_is_reported() {
+    let (w, ck) = checked_world(2, CheckMode::Log);
+    w.run(|c| {
+        // Every rank nominates itself as root — a classic rank-dependent
+        // argument bug. Execution survives (someone's payload wins), so
+        // only the checker can see it.
+        c.bcast(c.rank(), vec![1, 2, 3]);
+    });
+    let rep = ck.finalize();
+    assert_eq!(
+        rep.count(|v| matches!(v, Violation::CollectiveRootMismatch { .. })),
+        1,
+        "report was:\n{rep}"
+    );
+}
+
+#[test]
+fn length_mismatched_allreduce_panics_in_strict_mode() {
+    let (w, _ck) = checked_world(2, CheckMode::Strict);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        w.run(|c| {
+            // Rank 1 contributes one extra element.
+            let vals = vec![1.0; 1 + c.rank()];
+            c.allreduce_f64(&vals, ReduceOp::Sum);
+        });
+    }))
+    .expect_err("strict mode must panic on the seeded mismatch");
+    let msg = panic_msg(&*err);
+    assert!(msg.contains("amrio-check violation"), "got: {msg}");
+    assert!(msg.contains("allreduce length mismatch"), "got: {msg}");
+    // The structured report carries the per-rank backtrace.
+    assert!(msg.contains("per-rank recent calls"), "got: {msg}");
+}
+
+#[test]
+fn deadlock_report_carries_per_rank_backtrace() {
+    let (w, _ck) = checked_world(2, CheckMode::Log);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        w.run(|c| {
+            // Both ranks receive first; nobody ever sends.
+            c.recv(1 - c.rank(), 7);
+        });
+    }))
+    .expect_err("cross receives with no sends must deadlock");
+    let msg = panic_msg(&*err);
+    assert!(msg.contains("simulated deadlock"), "got: {msg}");
+    assert!(msg.contains("amrio-check deadlock report"), "got: {msg}");
+    assert!(
+        msg.contains("recv(src=0, tag=7) posted") || msg.contains("recv(src=1, tag=7) posted"),
+        "ledger should show the posted receives, got: {msg}"
+    );
+}
+
+#[test]
+fn unmatched_send_is_reported_at_finalize() {
+    let (w, ck) = checked_world(2, CheckMode::Log);
+    w.run(|c| {
+        if c.rank() == 0 {
+            c.send(1, 9, &[5u8; 16]);
+        }
+    });
+    let rep = ck.finalize();
+    assert_eq!(
+        rep.count(|v| matches!(
+            v,
+            Violation::UnmatchedSend {
+                src: 0,
+                dst: 1,
+                tag: 9,
+                bytes: 16
+            }
+        )),
+        1,
+        "report was:\n{rep}"
+    );
+}
+
+#[test]
+fn overlapping_independent_writes_are_reported() {
+    let ck = Arc::new(Checker::new(CheckMode::Log, 2));
+    let w = World::new(2, NetConfig::ccnuma(2)).with_checker(Arc::clone(&ck));
+    let io = MpiIo::new(fs_cfg());
+    io.attach_checker(&ck);
+    w.run(|c| {
+        let f = io.open(c, "clash", Mode::Create);
+        // Rank 0 writes [0, 128), rank 1 writes [64, 192): the middle 64
+        // bytes race inside one sync epoch.
+        f.write_at(c.rank() as u64 * 64, &[c.rank() as u8; 128]);
+    });
+    let rep = ck.finalize();
+    assert!(
+        rep.count(|v| matches!(v, Violation::WriteWriteConflict { .. })) >= 1,
+        "report was:\n{rep}"
+    );
+}
+
+#[test]
+fn barrier_separated_writes_are_clean() {
+    let ck = Arc::new(Checker::new(CheckMode::Strict, 2));
+    let w = World::new(2, NetConfig::ccnuma(2)).with_checker(Arc::clone(&ck));
+    let io = MpiIo::new(fs_cfg());
+    io.attach_checker(&ck);
+    w.run(|c| {
+        let f = io.open(c, "takeover", Mode::Create);
+        // Same overlapping ranges as above, but an ownership handoff
+        // through a barrier makes them well-defined.
+        if c.rank() == 0 {
+            f.write_at(0, &[1u8; 128]);
+        }
+        c.barrier();
+        if c.rank() == 1 {
+            f.write_at(64, &[2u8; 128]);
+        }
+    });
+    let rep = ck.finalize();
+    assert!(rep.is_clean(), "report was:\n{rep}");
+}
+
+#[test]
+fn overlapping_collective_views_are_reported() {
+    let ck = Arc::new(Checker::new(CheckMode::Log, 2));
+    let w = World::new(2, NetConfig::ccnuma(2)).with_checker(Arc::clone(&ck));
+    let io = MpiIo::new(fs_cfg());
+    io.attach_checker(&ck);
+    w.run(|c| {
+        let mut f = io.open(c, "tiles", Mode::Create);
+        let n = 8u64;
+        // Both ranks claim rows [0, 5) — rows 0..5 of rank 1 overlap
+        // rows 0..5 of rank 0 instead of tiling the array.
+        let view = Datatype::subarray3([n, n, n], [0, 0, 0], [5, n, n], 4);
+        f.set_view(0, view);
+        let buf = vec![c.rank() as u8; (5 * n * n * 4) as usize];
+        f.write_all_view(&buf);
+    });
+    let rep = ck.finalize();
+    assert!(
+        rep.count(|v| matches!(v, Violation::ViewOverlap { .. })) >= 1,
+        "report was:\n{rep}"
+    );
+}
+
+#[test]
+fn checkpoint_restart_pipeline_is_clean_under_strict() {
+    let mut cfg = SimConfig::new(ProblemSize::Custom(16), 4);
+    cfg.particle_fraction = 0.5;
+    cfg.refine_threshold = 3.0;
+    let platform = Platform::origin2000(4);
+    let (rep, check) =
+        run_experiment_checked(&platform, &cfg, &MpiIoOptimized, 1, CheckMode::Strict);
+    assert!(rep.verified, "restart must verify");
+    assert!(check.is_clean(), "report was:\n{check}");
+}

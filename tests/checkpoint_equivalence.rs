@@ -2,8 +2,7 @@
 //! produce a checkpoint that restores to the exact same simulation.
 
 use amrio::enzo::{
-    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
-    SimConfig,
+    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
 };
 
 fn cfg(nranks: usize) -> SimConfig {

@@ -2,7 +2,9 @@
 //! bit-identical timings, bytes, and content digests across repeated
 //! runs, regardless of host thread scheduling.
 
-use amrio::enzo::{driver, Hdf4Serial, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio::enzo::{
+    driver, Hdf4Serial, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
+};
 
 fn one(strategy: &dyn IoStrategy) -> (u64, u64, u64, u64) {
     let nranks = 6;

@@ -5,7 +5,7 @@ use amrio_disk::Pfs;
 use amrio_enzo::Platform;
 use amrio_mpi::World;
 use amrio_mpiio::{Datatype, Hints, Mode, MpiIo};
-use parking_lot::Mutex;
+use amrio_simt::sync::Mutex;
 use std::sync::Arc;
 
 fn write_read_bbb(platform: Platform, nranks: usize, n: u64) {
