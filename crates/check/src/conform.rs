@@ -1,0 +1,329 @@
+//! Pure plan↔trace conformance primitives.
+//!
+//! `amrio-plan` derives a symbolic access plan (collective schedule +
+//! file-byte footprints) for a checkpoint phase; this module holds the
+//! backend-agnostic diff machinery that compares such a plan against
+//! what a checked run actually recorded — the [`Checker`] collective log
+//! and the `amrio-disk` I/O trace. Everything here is a pure function
+//! over plain data, so the planner stays decoupled from the runtime and
+//! the diffs are unit-testable in isolation.
+//!
+//! [`Checker`]: crate::Checker
+
+use crate::CollDesc;
+use crate::CollKind;
+use std::fmt;
+
+/// A byte region `(offset, len)` within one file.
+pub type Region = (u64, u64);
+
+/// What the plan expects of one collective step. `bytes` is `Some` only
+/// when the payload is data-independent (reductions, fixed-size
+/// broadcasts); `None` steps match any byte count, since v-collective
+/// payloads legitimately depend on evolved data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollExpect {
+    pub kind: CollKind,
+    pub root: Option<usize>,
+    pub op: Option<&'static str>,
+    /// Expected payload bytes of the rank whose log is diffed (rank 0),
+    /// when statically known.
+    pub bytes: Option<u64>,
+    /// Whether all ranks must agree on the byte count.
+    pub uniform: bool,
+    /// Human-readable origin of the step, e.g. `"field density: two-phase
+    /// exchange"`.
+    pub label: &'static str,
+}
+
+impl CollExpect {
+    pub fn matches(&self, d: &CollDesc) -> bool {
+        self.kind == d.kind
+            && self.root == d.root
+            && self.op == d.op
+            && self.bytes.map(|b| b == d.bytes).unwrap_or(true)
+    }
+}
+
+impl fmt::Display for CollExpect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(root={:?}, op={:?}", self.kind, self.root, self.op)?;
+        match self.bytes {
+            Some(b) => write!(f, ", {b}B)")?,
+            None => write!(f, ", *B)")?,
+        }
+        write!(f, " [{}]", self.label)
+    }
+}
+
+/// One divergence between the static plan and the observed run.
+#[derive(Clone, Debug)]
+pub enum ConformanceIssue {
+    /// Planned and observed collective counts differ for a phase.
+    SeqLength {
+        phase: &'static str,
+        expected: usize,
+        observed: usize,
+    },
+    /// A collective step differs from the plan.
+    SeqStep {
+        phase: &'static str,
+        step: usize,
+        expected: String,
+        observed: String,
+    },
+    /// Bytes the plan proves written that the run never wrote.
+    WriteGap { file: String, missing: Vec<Region> },
+    /// Bytes the run wrote that the plan does not account for.
+    WriteExtra { file: String, extra: Vec<Region> },
+    /// Bytes the plan requires read that the run never read.
+    ReadMissing { file: String, missing: Vec<Region> },
+    /// The run touched a file the plan knows nothing about.
+    UnplannedFile { file: String },
+}
+
+impl fmt::Display for ConformanceIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceIssue::SeqLength {
+                phase,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "{phase} phase: planned {expected} collectives, observed {observed}"
+            ),
+            ConformanceIssue::SeqStep {
+                phase,
+                step,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "{phase} phase, collective #{step}: planned {expected}, observed {observed}"
+            ),
+            ConformanceIssue::WriteGap { file, missing } => {
+                write!(f, "{file}: planned bytes never written: {missing:?}")
+            }
+            ConformanceIssue::WriteExtra { file, extra } => {
+                write!(f, "{file}: unplanned bytes written: {extra:?}")
+            }
+            ConformanceIssue::ReadMissing { file, missing } => {
+                write!(f, "{file}: planned bytes never read: {missing:?}")
+            }
+            ConformanceIssue::UnplannedFile { file } => {
+                write!(f, "unplanned file accessed: {file}")
+            }
+        }
+    }
+}
+
+/// Sort and merge adjacent/overlapping regions, dropping empty ones.
+pub fn normalize_regions(regions: &mut Vec<Region>) {
+    regions.retain(|(_, l)| *l > 0);
+    regions.sort_unstable();
+    let mut w = 0;
+    for i in 0..regions.len() {
+        if w > 0 && regions[w - 1].0 + regions[w - 1].1 >= regions[i].0 {
+            let end = (regions[i].0 + regions[i].1).max(regions[w - 1].0 + regions[w - 1].1);
+            regions[w - 1].1 = end - regions[w - 1].0;
+        } else {
+            regions[w] = regions[i];
+            w += 1;
+        }
+    }
+    regions.truncate(w);
+}
+
+/// Set difference `a \ b` of two normalized region lists.
+pub fn subtract_regions(a: &[Region], b: &[Region]) -> Vec<Region> {
+    let mut out = Vec::new();
+    let mut bi = 0;
+    for &(off, len) in a {
+        let mut cur = off;
+        let end = off + len;
+        while bi > 0 && b[bi - 1].0 + b[bi - 1].1 > cur {
+            bi -= 1;
+        }
+        while cur < end {
+            // Skip b-regions entirely before `cur`.
+            while bi < b.len() && b[bi].0 + b[bi].1 <= cur {
+                bi += 1;
+            }
+            match b.get(bi) {
+                Some(&(bo, bl)) if bo < end => {
+                    if bo > cur {
+                        out.push((cur, bo - cur));
+                    }
+                    cur = (bo + bl).min(end).max(cur);
+                    if bo + bl >= end {
+                        break;
+                    }
+                }
+                _ => {
+                    out.push((cur, end - cur));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Diff a planned collective schedule against an observed descriptor
+/// sequence (in epoch order). Mismatched steps are reported
+/// individually; a length mismatch is reported once.
+pub fn diff_collectives(
+    phase: &'static str,
+    expected: &[CollExpect],
+    observed: &[CollDesc],
+) -> Vec<ConformanceIssue> {
+    let mut out = Vec::new();
+    if expected.len() != observed.len() {
+        out.push(ConformanceIssue::SeqLength {
+            phase,
+            expected: expected.len(),
+            observed: observed.len(),
+        });
+    }
+    for (step, (e, o)) in expected.iter().zip(observed).enumerate() {
+        if !e.matches(o) {
+            out.push(ConformanceIssue::SeqStep {
+                phase,
+                step,
+                expected: e.to_string(),
+                observed: format!("{}(root={:?}, op={:?}, {}B)", o.kind, o.root, o.op, o.bytes),
+            });
+            if out.len() >= 32 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Require the observed write union to equal the planned one exactly.
+/// Both inputs may be unnormalized.
+pub fn diff_write_union(
+    file: &str,
+    mut planned: Vec<Region>,
+    mut observed: Vec<Region>,
+) -> Vec<ConformanceIssue> {
+    normalize_regions(&mut planned);
+    normalize_regions(&mut observed);
+    let mut out = Vec::new();
+    let missing = subtract_regions(&planned, &observed);
+    if !missing.is_empty() {
+        out.push(ConformanceIssue::WriteGap {
+            file: file.to_string(),
+            missing,
+        });
+    }
+    let extra = subtract_regions(&observed, &planned);
+    if !extra.is_empty() {
+        out.push(ConformanceIssue::WriteExtra {
+            file: file.to_string(),
+            extra,
+        });
+    }
+    out
+}
+
+/// Require every planned read byte to have been observed read (the run
+/// may legitimately over-read: data sieving, format header probing).
+pub fn diff_read_cover(
+    file: &str,
+    mut planned: Vec<Region>,
+    mut observed: Vec<Region>,
+) -> Vec<ConformanceIssue> {
+    normalize_regions(&mut planned);
+    normalize_regions(&mut observed);
+    let missing = subtract_regions(&planned, &observed);
+    if missing.is_empty() {
+        Vec::new()
+    } else {
+        vec![ConformanceIssue::ReadMissing {
+            file: file.to_string(),
+            missing,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtract_carves_holes() {
+        assert_eq!(
+            subtract_regions(&[(0, 100)], &[(10, 10), (50, 10)]),
+            vec![(0, 10), (20, 30), (60, 40)]
+        );
+        assert_eq!(subtract_regions(&[(0, 10)], &[(0, 10)]), vec![]);
+        assert_eq!(subtract_regions(&[(5, 10)], &[]), vec![(5, 10)]);
+        assert_eq!(subtract_regions(&[], &[(0, 10)]), vec![]);
+        // b covering past the end of a.
+        assert_eq!(subtract_regions(&[(10, 10)], &[(0, 100)]), vec![]);
+    }
+
+    #[test]
+    fn write_union_equality() {
+        // Same union spelled differently: clean.
+        assert!(diff_write_union("f", vec![(0, 64), (64, 64)], vec![(0, 128)]).is_empty());
+        let issues = diff_write_union("f", vec![(0, 128)], vec![(0, 64), (100, 64)]);
+        assert_eq!(issues.len(), 2, "{issues:?}");
+        assert!(
+            matches!(&issues[0], ConformanceIssue::WriteGap { missing, .. }
+            if missing == &vec![(64, 36)])
+        );
+        assert!(
+            matches!(&issues[1], ConformanceIssue::WriteExtra { extra, .. }
+            if extra == &vec![(128, 36)])
+        );
+    }
+
+    #[test]
+    fn read_cover_allows_overread() {
+        assert!(diff_read_cover("f", vec![(10, 10)], vec![(0, 512)]).is_empty());
+        let issues = diff_read_cover("f", vec![(10, 10)], vec![(0, 5)]);
+        assert_eq!(issues.len(), 1);
+    }
+
+    #[test]
+    fn collective_diff_matches_and_flags() {
+        let exp = CollExpect {
+            kind: CollKind::Allreduce,
+            root: None,
+            op: Some("min"),
+            bytes: Some(8),
+            uniform: true,
+            label: "t",
+        };
+        let ok = CollDesc {
+            kind: CollKind::Allreduce,
+            root: None,
+            op: Some("min"),
+            bytes: 8,
+            uniform_bytes: true,
+        };
+        assert!(diff_collectives(
+            "write",
+            std::slice::from_ref(&exp),
+            std::slice::from_ref(&ok)
+        )
+        .is_empty());
+        let bad = CollDesc {
+            op: Some("max"),
+            ..ok.clone()
+        };
+        let issues = diff_collectives("write", std::slice::from_ref(&exp), &[bad]);
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        // Data-dependent bytes are not compared.
+        let anyb = CollExpect { bytes: None, ..exp };
+        let other = CollDesc { bytes: 999, ..ok };
+        assert!(diff_collectives("write", &[anyb], &[other]).is_empty());
+        // Length mismatch reported once.
+        let issues = diff_collectives("read", &[], &[]);
+        assert!(issues.is_empty());
+    }
+}

@@ -28,6 +28,8 @@
 //!
 //! [`IoTrace`]: amrio_disk::IoTrace
 
+pub mod conform;
+
 use amrio_disk::{IoEvent, Pfs};
 use amrio_simt::sync::Mutex;
 use amrio_simt::SimTime;
@@ -81,7 +83,7 @@ impl fmt::Display for CollKind {
 }
 
 /// One rank's description of the collective it believes it is executing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CollDesc {
     pub kind: CollKind,
     /// Root rank for rooted collectives.
@@ -343,6 +345,9 @@ struct Inner {
     views: HashMap<(usize, u64), ViewSlot>,
     /// Next collective-write call number per (file, rank).
     view_next: HashMap<(usize, usize), u64>,
+    /// Opt-in log of cross-checked collectives (rank 0's descriptor per
+    /// epoch), for plan↔trace conformance.
+    coll_log: Option<Vec<(u64, CollDesc)>>,
 }
 
 /// The shared checker handle. Attach one to an `amrio-mpi` world and an
@@ -436,9 +441,35 @@ impl Checker {
             .into_iter()
             .map(|d| d.expect("arrived"))
             .collect();
+        if let Some(log) = inner.coll_log.as_mut() {
+            log.push((epoch, descs[0].clone()));
+        }
         for v in cross_check(epoch, &descs) {
             self.emit(&mut inner, v);
         }
+    }
+
+    /// Start recording completed collectives (rank 0's descriptor, keyed
+    /// by epoch). Off by default; the plan↔trace conformance pass turns
+    /// it on so a run's collective sequence can be diffed against the
+    /// static plan.
+    pub fn record_collectives(&self) {
+        if !self.mode.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.coll_log.is_none() {
+            inner.coll_log = Some(Vec::new());
+        }
+    }
+
+    /// The recorded collective log, sorted by epoch. Empty unless
+    /// [`Checker::record_collectives`] was called before the run.
+    pub fn collective_log(&self) -> Vec<(u64, CollDesc)> {
+        let inner = self.inner.lock();
+        let mut log = inner.coll_log.clone().unwrap_or_default();
+        log.sort_by_key(|(e, _)| *e);
+        log
     }
 
     /// Record an injected point-to-point send.

@@ -7,7 +7,9 @@ use crate::io::IoStrategy;
 use crate::platform::Platform;
 use crate::problem::SimConfig;
 use crate::state::{global_digest, SimState};
-use amrio_check::{CheckMode, CheckReport, Checker};
+use amrio_amr::Hierarchy;
+use amrio_check::{CheckMode, CheckReport, Checker, CollDesc};
+use amrio_disk::{FileId, IoEvent};
 use amrio_mpi::{Comm, World};
 use amrio_mpiio::MpiIo;
 use amrio_simt::SimDur;
@@ -70,6 +72,125 @@ pub fn run_experiment_checked(
     let checker = Arc::new(Checker::new(mode, cfg.nranks));
     let (report, check) = run_with(platform, cfg, strategy, evolve_cycles, Some(checker));
     (report, check.expect("checker was attached"))
+}
+
+/// Everything a plan↔trace conformance pass needs from one checked run:
+/// the dump-time state the static planner is derived from, the
+/// collective-epoch windows bracketing the timed write and read phases,
+/// the recorded collective log, and the raw file-system trace.
+#[derive(Clone, Debug)]
+pub struct RunProbe {
+    /// Replicated hierarchy at checkpoint time (what the plan is built
+    /// from).
+    pub hierarchy: Hierarchy,
+    pub time: f64,
+    pub cycle: u64,
+    pub nranks: usize,
+    /// Collective epochs `[start, end)` spent inside
+    /// `write_checkpoint` (excludes the timing barriers around it).
+    pub write_epochs: (u64, u64),
+    /// Collective epochs `[start, end)` spent inside `read_checkpoint`.
+    pub read_epochs: (u64, u64),
+    /// Completed collectives `(epoch, rank-0 descriptor)`, epoch-sorted.
+    pub collectives: Vec<(u64, CollDesc)>,
+    /// Path → file-id map of every file the run touched.
+    pub files: Vec<(String, FileId)>,
+    /// Every file-system request the run issued.
+    pub events: Vec<IoEvent>,
+}
+
+/// [`run_experiment_checked`] plus a [`RunProbe`]: the checker records
+/// the collective log and the file system trace so the caller can diff
+/// the observed run against a statically derived access plan. `mode`
+/// must be enabled ([`CheckMode::Log`] or [`CheckMode::Strict`]) for the
+/// probe to capture collectives.
+pub fn run_experiment_probed(
+    platform: &Platform,
+    cfg: &SimConfig,
+    strategy: &dyn IoStrategy,
+    evolve_cycles: u32,
+    mode: CheckMode,
+) -> (RunReport, CheckReport, RunProbe) {
+    let checker = Arc::new(Checker::new(mode, cfg.nranks));
+    checker.record_collectives();
+    let world = World::new(cfg.nranks, platform.net.clone()).with_checker(Arc::clone(&checker));
+    let io = MpiIo::new(platform.fs.clone());
+    io.attach_checker(&checker);
+
+    let report = world.run(|comm| {
+        let mut st = SimState::init(comm, cfg.clone());
+        rebuild_refinement(comm, &mut st);
+        for _ in 0..evolve_cycles {
+            evolve_step(comm, &mut st, 1.0);
+        }
+        rebuild_refinement(comm, &mut st);
+
+        let (wt, wep) = timed(comm, || {
+            let e0 = comm.coll_epoch();
+            strategy.write_checkpoint(comm, &io, &st, 0);
+            (e0, comm.coll_epoch())
+        });
+        let d0 = global_digest(comm, &st);
+        let (rt, (rep, st2)) = timed(comm, || {
+            let e0 = comm.coll_epoch();
+            let st2 = strategy.read_checkpoint(comm, &io, &st.cfg, 0);
+            ((e0, comm.coll_epoch()), st2)
+        });
+        let d1 = global_digest(comm, &st2);
+        (
+            wt,
+            rt,
+            d0 == d1,
+            st.hierarchy.clone(),
+            st.time,
+            st.cycle,
+            wep,
+            rep,
+        )
+    });
+
+    let makespan = report.makespan.as_secs_f64();
+    let (wt, rt, verified, hierarchy, time, cycle, write_epochs, read_epochs) = report
+        .results
+        .into_iter()
+        .next()
+        .expect("at least one rank");
+    let (stats, files, events) = {
+        let fs = io.fs();
+        let fs = fs.lock();
+        let (files, events) = fs.trace_snapshot();
+        (fs.stats, files, events)
+    };
+    let check = checker.finalize();
+    let probe = RunProbe {
+        nranks: cfg.nranks,
+        write_epochs,
+        read_epochs,
+        collectives: checker.collective_log(),
+        files,
+        events,
+        hierarchy,
+        time,
+        cycle,
+    };
+    (
+        RunReport {
+            platform: platform.name,
+            strategy: strategy.name(),
+            problem: cfg.problem.label(),
+            nranks: cfg.nranks,
+            write_time: wt.as_secs_f64(),
+            read_time: rt.as_secs_f64(),
+            bytes_written: stats.bytes_written,
+            bytes_read: stats.bytes_read,
+            grids: probe.hierarchy.grids.len(),
+            max_level: probe.hierarchy.max_level(),
+            verified,
+            makespan,
+        },
+        check,
+        probe,
+    )
 }
 
 fn run_with(

@@ -18,7 +18,9 @@ pub struct Hdf5Parallel {
     pub model: OverheadModel,
 }
 
-fn ds_field(gid: u64, name: &str) -> String {
+/// Name of the per-grid dataset holding one baryon field or particle
+/// array; shared with the static planner so plans name real datasets.
+pub fn ds_field(gid: u64, name: &str) -> String {
     format!("g{gid:06}_{name}")
 }
 

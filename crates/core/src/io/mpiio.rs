@@ -51,7 +51,7 @@ pub struct Layout {
 }
 
 /// Fixed-size file header: metadata address and length.
-const HEADER: u64 = 64;
+pub const HEADER: u64 = 64;
 
 impl Layout {
     pub fn new(h: &Hierarchy) -> Layout {

@@ -21,7 +21,9 @@ pub mod sort;
 pub mod state;
 pub mod wire;
 
-pub use driver::{run_experiment, run_experiment_checked, RunReport};
+pub use driver::{
+    run_experiment, run_experiment_checked, run_experiment_probed, RunProbe, RunReport,
+};
 pub use io::{
     Hdf4Serial, Hdf5Parallel, IoStrategy, MdmsAdvised, MpiIoAppStriped, MpiIoMultiFile, MpiIoNaive,
     MpiIoOptimized, MpiIoWriteBehind,

@@ -195,6 +195,22 @@ impl Pfs {
         self.names.keys().map(|s| s.as_str())
     }
 
+    /// Resolve a path to its [`FileId`] without any simulated cost —
+    /// post-run analysis (trace export, plan conformance) uses this to
+    /// group [`crate::trace::IoEvent`]s by file name.
+    pub fn file_id(&self, path: &str) -> Option<FileId> {
+        self.names.get(path).copied()
+    }
+
+    /// Snapshot of the recorded trace paired with the path → id map —
+    /// the raw material for plan↔trace conformance checking.
+    pub fn trace_snapshot(&self) -> (Vec<(String, FileId)>, Vec<IoEvent>) {
+        let mut names: Vec<(String, FileId)> =
+            self.names.iter().map(|(p, id)| (p.clone(), *id)).collect();
+        names.sort();
+        (names, self.trace.events.clone())
+    }
+
     /// A small control message to the metadata server (server 0).
     fn meta_op(&mut self, client: Endpoint, net: &mut Net, t: SimTime) -> SimTime {
         self.stats.meta_ops += 1;

@@ -44,6 +44,17 @@ impl SdsInfo {
     }
 }
 
+/// Byte length of the magic prefix every AH4 file starts with.
+pub const MAGIC_LEN: u64 = 4;
+
+/// On-file byte length of one record header, as a pure function of the
+/// record's name and dimensionality — the static planner uses this to
+/// lay out a record stream without writing it.
+pub fn record_header_len(name_len: usize, ndims: usize) -> u64 {
+    // kind + name_len + name + numtype + rank + dims + data_len
+    1 + 2 + name_len as u64 + 1 + 1 + 8 * ndims as u64 + 8
+}
+
 fn encode_header(kind: u8, name: &str, numtype: NumType, dims: &[u64], data_len: u64) -> Vec<u8> {
     let mut h = Vec::with_capacity(16 + name.len() + dims.len() * 8);
     h.push(kind);
@@ -325,5 +336,17 @@ mod tests {
             assert_eq!(f.read_attr("n"), b"attr");
             assert_eq!(f.read_sds("n").1, b"data");
         });
+    }
+
+    #[test]
+    fn record_header_len_matches_encoding() {
+        for (name, dims) in [
+            ("", &[][..]),
+            ("density", &[16u64, 16, 16][..]),
+            ("particle_position_x", &[12345u64][..]),
+        ] {
+            let enc = encode_header(1, name, NumType::F32, dims, 99);
+            assert_eq!(enc.len() as u64, record_header_len(name.len(), dims.len()));
+        }
     }
 }

@@ -264,6 +264,105 @@ fn decode_catalog(data: &[u8]) -> (Vec<DatasetMeta>, Vec<AttrMeta>) {
     (datasets, attrs)
 }
 
+/// Byte length of the fixed superblock at offset 0.
+pub const SUPERBLOCK_LEN: u64 = SUPERBLOCK;
+
+/// File extents one dataset creation reserves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DsExtent {
+    pub header_addr: u64,
+    pub header_len: u64,
+    pub data_addr: u64,
+    pub data_len: u64,
+}
+
+/// A pure replica of the [`H5File`] bump allocator. Dataset creation is
+/// collective and deterministic, so at runtime every rank already holds
+/// an identical catalog replica; this oracle lets the static planner
+/// hold the same replica without a file, a communicator, or a clock.
+/// Replay `create_dataset` / `write_attr` / `close` in the exact order
+/// the application issues them and the returned addresses are
+/// byte-identical to the runtime's.
+#[derive(Clone, Debug)]
+pub struct LayoutOracle {
+    model: OverheadModel,
+    stripe: u64,
+    eof: u64,
+    datasets: Vec<DatasetMeta>,
+    attrs: Vec<AttrMeta>,
+}
+
+impl LayoutOracle {
+    /// `stripe` is the file system stripe the file would live on (used
+    /// only when the model aligns raw data to stripes).
+    pub fn new(model: OverheadModel, stripe: u64) -> LayoutOracle {
+        LayoutOracle {
+            model,
+            stripe,
+            eof: SUPERBLOCK,
+            datasets: Vec::new(),
+            attrs: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, len: u64, align_to_stripe: bool) -> u64 {
+        let addr = if align_to_stripe {
+            let s = self.stripe.max(1);
+            self.eof.div_ceil(s) * s
+        } else {
+            self.eof
+        };
+        self.eof = addr + len;
+        addr
+    }
+
+    /// Mirror of [`H5File::create_dataset`] (contiguous layout).
+    pub fn create_dataset(&mut self, name: &str, numtype: NumType, dims: &[u64]) -> DsExtent {
+        let header_len = 64 + name.len() as u64 + dims.len() as u64 * 8;
+        let header_addr = self.alloc(header_len, false);
+        let data_len = dims.iter().product::<u64>() * numtype.size();
+        let data_addr = self.alloc(data_len, !self.model.metadata_inline);
+        self.datasets.push(DatasetMeta {
+            name: name.to_string(),
+            numtype,
+            dims: dims.to_vec(),
+            data_addr,
+            data_len,
+            chunk_dims: Vec::new(),
+            chunk_addrs: Vec::new(),
+        });
+        DsExtent {
+            header_addr,
+            header_len,
+            data_addr,
+            data_len,
+        }
+    }
+
+    /// Mirror of [`H5File::write_attr`]: the attribute's file address.
+    pub fn write_attr(&mut self, name: &str, len: u64) -> u64 {
+        let addr = self.alloc(len, false);
+        self.attrs.push(AttrMeta {
+            name: name.to_string(),
+            addr,
+            len,
+        });
+        addr
+    }
+
+    /// Mirror of [`H5File::close`]: `(catalog_addr, catalog_len)`.
+    pub fn close(&mut self) -> (u64, u64) {
+        let catalog = encode_catalog(&self.datasets, &self.attrs);
+        let addr = self.alloc(catalog.len() as u64, false);
+        (addr, catalog.len() as u64)
+    }
+
+    /// Current end-of-file of the simulated allocation stream.
+    pub fn eof(&self) -> u64 {
+        self.eof
+    }
+}
+
 impl<'c, 'w> H5File<'c, 'w> {
     /// Collectively create a file (parallel access, MPI-IO driver).
     pub fn create(
@@ -471,6 +570,12 @@ impl<'c, 'w> H5File<'c, 'w> {
 
     pub fn dataset_names(&self) -> Vec<&str> {
         self.datasets.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// File extent `(data_addr, data_len)` of a dataset's raw data.
+    pub fn dataset_extent(&self, ds: Dataset) -> (u64, u64) {
+        let m = &self.datasets[ds.0];
+        (m.data_addr, m.data_len)
     }
 
     /// Charge the recursive hyperslab traversal + pack copy.
@@ -1121,5 +1226,40 @@ mod chunked_tests {
             let rb = f.read_hyperslab(b, &sel, Xfer::Independent);
             assert_eq!(ra, rb);
         });
+    }
+
+    #[test]
+    fn layout_oracle_matches_runtime_allocator() {
+        for model in [OverheadModel::default(), OverheadModel::modern()] {
+            let w = World::new(2, NetConfig::ccnuma(2));
+            let io = MpiIo::new(fs());
+            let r = w.run(move |c| {
+                let mut f = H5File::create(&io, c, "oracle.h5", model);
+                f.write_attr("units", &[7u8; 32]);
+                let a = f.create_dataset("alpha", NumType::F32, &[8, 8, 8]);
+                let b = f.create_dataset("beta", NumType::F64, &[100]);
+                let out = (f.dataset_extent(a), f.dataset_extent(b), f.eof);
+                f.close();
+                out
+            });
+            let mut o = LayoutOracle::new(model, 64 * 1024);
+            o.write_attr("units", 32);
+            let ea = o.create_dataset("alpha", NumType::F32, &[8, 8, 8]);
+            let eb = o.create_dataset("beta", NumType::F64, &[100]);
+            let pre_close_eof = o.eof();
+            let (cat_addr, cat_len) = o.close();
+            for got in &r.results {
+                assert_eq!(
+                    *got,
+                    (
+                        (ea.data_addr, ea.data_len),
+                        (eb.data_addr, eb.data_len),
+                        pre_close_eof
+                    )
+                );
+            }
+            assert_eq!(cat_addr, pre_close_eof);
+            assert!(cat_len > 0);
+        }
     }
 }

@@ -231,6 +231,15 @@ impl<'a> Comm<'a> {
         self.ctx.now()
     }
 
+    /// The index of the next collective this rank will enter. Collective
+    /// epochs are zero-based per run and advance in lockstep on every
+    /// rank; bracketing a phase with two reads yields the half-open epoch
+    /// window its collectives occupy, which is how the static planner's
+    /// schedule is aligned with the runtime checker's collective log.
+    pub fn coll_epoch(&self) -> u64 {
+        self.coll_seq.get()
+    }
+
     /// Charge local computation time.
     pub fn compute(&self, d: SimDur) {
         self.ctx.advance(d);

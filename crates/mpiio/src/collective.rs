@@ -111,8 +111,10 @@ fn decode_pieces(mut data: &[u8]) -> Result<Vec<(u64, Vec<u8>)>, CodecError> {
     Ok(out)
 }
 
-/// The per-aggregator file domains covering `[lo, hi)`.
-fn file_domains(lo: u64, hi: u64, naggs: usize, align: u64) -> Vec<(u64, u64)> {
+/// The per-aggregator file domains covering `[lo, hi)`. Public so the
+/// static planner can reproduce two-phase aggregator assignment when
+/// scoring layout balance.
+pub fn file_domains(lo: u64, hi: u64, naggs: usize, align: u64) -> Vec<(u64, u64)> {
     assert!(naggs > 0);
     let span = hi - lo;
     let raw = span.div_ceil(naggs as u64);

@@ -1,0 +1,192 @@
+//! Planner unit tests, including the degenerate configurations: 1-rank
+//! worlds, zero-particle grids, decompositions wider than the grid, and
+//! the sequential HDF4 path.
+
+use crate::{plan, Backend, PlanInput, Writers};
+use amrio_amr::{CellBox, GridMeta, Hierarchy};
+use amrio_enzo::{Platform, TOP_GRID};
+use amrio_hdf5::OverheadModel;
+
+fn hierarchy(n: u64, np: u64, subgrids: &[(u64, u64, usize, u64)]) -> Hierarchy {
+    let mut h = Hierarchy::new();
+    h.add(GridMeta {
+        id: TOP_GRID,
+        level: 0,
+        bbox: CellBox::cube(n),
+        parent: None,
+        owner: 0,
+        nparticles: np,
+    });
+    for &(id, size, owner, nparticles) in subgrids {
+        h.add(GridMeta {
+            id,
+            level: 1,
+            bbox: CellBox::new([0, 0, 0], [size, size, size]),
+            parent: Some(TOP_GRID),
+            owner,
+            nparticles,
+        });
+    }
+    h
+}
+
+fn input(h: Hierarchy, nranks: usize) -> PlanInput {
+    let platform = Platform::origin2000(nranks);
+    PlanInput::new(h, 1.5, 7, nranks, &platform.fs)
+}
+
+fn backends() -> [Backend; 3] {
+    [
+        Backend::Hdf4,
+        Backend::MpiIo,
+        Backend::Hdf5(OverheadModel::default()),
+    ]
+}
+
+fn assert_clean(input: &PlanInput, backend: Backend) {
+    let p = plan(input, backend);
+    let cov = crate::verify_exact_once(&p);
+    assert!(
+        cov.is_proven(),
+        "{} coverage issues: {:#?}",
+        p.backend,
+        cov.issues
+    );
+    let lock = crate::verify_lockstep(&p);
+    assert!(lock.is_empty(), "{} lockstep issues: {lock:#?}", p.backend);
+    assert_eq!(p.write_schedule.len(), input.nranks);
+    assert_eq!(p.read_schedule.len(), input.nranks);
+}
+
+#[test]
+fn typical_plan_is_proven_for_all_backends() {
+    let h = hierarchy(16, 120, &[(1, 4, 1, 10), (2, 8, 3, 0), (5, 2, 0, 3)]);
+    let inp = input(h, 4);
+    for b in backends() {
+        assert_clean(&inp, b);
+    }
+}
+
+#[test]
+fn single_rank_world_plans_are_proven() {
+    let h = hierarchy(8, 40, &[(1, 4, 0, 5)]);
+    let inp = input(h, 1);
+    for b in backends() {
+        assert_clean(&inp, b);
+    }
+}
+
+#[test]
+fn zero_particle_grids_are_proven() {
+    let h = hierarchy(8, 0, &[(1, 4, 1, 0)]);
+    let inp = input(h, 2);
+    for b in backends() {
+        let p = plan(&inp, b);
+        // Every particle dataset is empty but still planned.
+        let empties = p
+            .files
+            .iter()
+            .flat_map(|f| f.datasets.iter())
+            .filter(|d| d.len == 0)
+            .count();
+        assert!(empties >= 10, "{}: {empties} empty datasets", p.backend);
+        assert_clean(&inp, b);
+    }
+}
+
+#[test]
+fn decomposition_wider_than_grid_is_proven() {
+    // A 2^3 top grid split across 5 ranks: some slabs are empty, yet
+    // coverage and lockstep must still hold.
+    let h = hierarchy(2, 9, &[]);
+    let inp = input(h, 5);
+    for b in backends() {
+        assert_clean(&inp, b);
+    }
+    // Empty slabs contribute no write regions.
+    let p = plan(&inp, Backend::MpiIo);
+    let field = &p.files[0].datasets[0];
+    match &field.writers {
+        Writers::Ranks(ranks) => assert!(ranks.len() < inp.nranks),
+        Writers::Partition => panic!("field must have static writers"),
+    }
+}
+
+#[test]
+fn hdf4_topgrid_has_exactly_one_writer_rank_zero() {
+    let h = hierarchy(8, 33, &[(1, 4, 2, 6)]);
+    let inp = input(h, 4);
+    let p = plan(&inp, Backend::Hdf4);
+    // Sequential path: the combined top-grid file is written by rank 0
+    // alone — every dataset writer and every metadata write.
+    let top = &p.files[0];
+    assert!(top.path.ends_with(".topgrid"));
+    for ds in &top.datasets {
+        match &ds.writers {
+            Writers::Ranks(ranks) => {
+                assert_eq!(ranks.len(), 1, "{}: multiple writers", ds.name);
+                assert_eq!(ranks[0].rank, 0, "{}: writer is not rank 0", ds.name);
+            }
+            Writers::Partition => panic!("{}: HDF4 has no partitioned writers", ds.name),
+        }
+    }
+    assert!(top.meta_writes.iter().all(|&(r, _, _)| r == 0));
+    // Subgrid files are written by their owners — the only parallelism.
+    assert!(p.files[1].meta_writes.iter().all(|&(r, _, _)| r == 2));
+}
+
+#[test]
+fn mpiio_datasets_tile_the_file_between_header_and_meta() {
+    let h = hierarchy(8, 50, &[(1, 4, 1, 7)]);
+    let inp = input(h, 2);
+    let p = plan(&inp, Backend::MpiIo);
+    let f = &p.files[0];
+    let mut extents: Vec<(u64, u64)> = f.datasets.iter().map(|d| d.extent()).collect();
+    extents.sort_unstable();
+    // Contiguous from the 64-byte header to the metadata address.
+    let mut cur = amrio_enzo::io::mpiio::HEADER;
+    for (s, l) in extents {
+        assert_eq!(s, cur, "hole before offset {s}");
+        cur += l;
+    }
+    let meta = f.meta_writes.iter().find(|&&(_, off, _)| off > 0).unwrap();
+    assert_eq!(meta.1, cur, "hierarchy must start at end of data");
+}
+
+#[test]
+fn schedules_match_across_models_except_overheads() {
+    let h = hierarchy(8, 10, &[(1, 4, 0, 2)]);
+    let inp = input(h, 2);
+    let old = plan(&inp, Backend::Hdf5(OverheadModel::default()));
+    let modern = plan(&inp, Backend::Hdf5(OverheadModel::modern()));
+    // The 2002 model adds barriers (create/close sync, rank-0
+    // attributes); stripping barriers must leave identical sequences.
+    let strip = |p: &crate::AccessPlan| -> Vec<&'static str> {
+        p.write_schedule[0]
+            .iter()
+            .filter(|s| s.kind != amrio_check::CollKind::Barrier)
+            .map(|s| s.label)
+            .collect()
+    };
+    assert_eq!(strip(&old), strip(&modern));
+    assert!(old.write_schedule[0].len() > modern.write_schedule[0].len());
+}
+
+#[test]
+fn metrics_are_sane() {
+    let h = hierarchy(16, 200, &[(1, 4, 1, 10)]);
+    let inp = input(h, 4);
+    for b in backends() {
+        let p = plan(&inp, b);
+        let m = crate::layout_metrics(&inp, &p);
+        assert_eq!(m.data_bytes, p.data_bytes());
+        assert!(m.write_regions > 0);
+        assert!(m.mean_region_bytes > 0.0);
+        assert!(m.aligned_region_frac >= 0.0 && m.aligned_region_frac <= 1.0);
+    }
+    // Only the collective backends have an aggregator imbalance.
+    let m4 = crate::layout_metrics(&inp, &plan(&inp, Backend::Hdf4));
+    assert_eq!(m4.aggregator_imbalance, 0.0);
+    let mio = crate::layout_metrics(&inp, &plan(&inp, Backend::MpiIo));
+    assert!(mio.aggregator_imbalance >= 1.0);
+}

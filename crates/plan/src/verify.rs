@@ -1,0 +1,166 @@
+//! Static verification passes over an [`AccessPlan`]: exact-once
+//! dataset coverage and cross-rank collective lockstep. Both produce
+//! human-readable issue strings; an empty issue list is a proof that
+//! the property holds for the planned configuration.
+
+use crate::{AccessPlan, Writers};
+use amrio_check::conform::normalize_regions;
+
+/// Outcome of the exact-once coverage pass.
+#[derive(Clone, Debug)]
+pub struct Verification {
+    /// Violations found; empty = the property is proven.
+    pub issues: Vec<String>,
+    /// Datasets checked.
+    pub datasets: usize,
+    /// Total payload bytes proven covered exactly once.
+    pub covered_bytes: u64,
+}
+
+impl Verification {
+    pub fn is_proven(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Prove that every byte of every dataset is written by exactly one
+/// rank: the union of all writer regions equals the dataset extent
+/// (no gap) and their total length equals the extent length (no
+/// overlap, within or across ranks). Additionally: dataset extents are
+/// pairwise disjoint within a file, and no metadata write lands on a
+/// dataset payload.
+pub fn verify_exact_once(plan: &AccessPlan) -> Verification {
+    let mut issues = Vec::new();
+    let mut datasets = 0usize;
+    let mut covered = 0u64;
+
+    for file in &plan.files {
+        for ds in &file.datasets {
+            datasets += 1;
+            let end = ds.start + ds.len;
+            match &ds.writers {
+                Writers::Partition => {
+                    // A contiguous block partition of the extent covers
+                    // it exactly once by construction; only the
+                    // data-dependent cut points are unknown.
+                    covered += ds.len;
+                }
+                Writers::Ranks(ranks) => {
+                    let mut all = Vec::new();
+                    let mut sum = 0u64;
+                    for rr in ranks {
+                        for &(off, len) in &rr.regions {
+                            if off < ds.start || off + len > end {
+                                issues.push(format!(
+                                    "{}:{}: rank {} region ({off},{len}) escapes extent \
+                                     ({},{})",
+                                    file.path, ds.name, rr.rank, ds.start, ds.len
+                                ));
+                            }
+                            sum += len;
+                            all.push((off, len));
+                        }
+                    }
+                    normalize_regions(&mut all);
+                    let union: u64 = all.iter().map(|(_, l)| l).sum();
+                    if union < ds.len {
+                        issues.push(format!(
+                            "{}:{}: coverage gap — union {} of extent {} bytes",
+                            file.path, ds.name, union, ds.len
+                        ));
+                    }
+                    if sum > union {
+                        issues.push(format!(
+                            "{}:{}: overlapping writers — {} bytes written into a {}-byte \
+                             union",
+                            file.path, ds.name, sum, union
+                        ));
+                    }
+                    if sum == ds.len && union == ds.len {
+                        covered += ds.len;
+                    }
+                }
+            }
+        }
+
+        // Dataset extents must be pairwise disjoint.
+        let mut extents: Vec<(u64, u64, &str)> = file
+            .datasets
+            .iter()
+            .filter(|d| d.len > 0)
+            .map(|d| (d.start, d.len, d.name.as_str()))
+            .collect();
+        extents.sort_unstable();
+        for w in extents.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                issues.push(format!(
+                    "{}: datasets {} and {} overlap",
+                    file.path, w[0].2, w[1].2
+                ));
+            }
+        }
+
+        // Metadata may be rewritten, but never on top of payload.
+        for &(rank, off, len) in &file.meta_writes {
+            if len == 0 {
+                continue;
+            }
+            for &(s, l, name) in &extents {
+                if off < s + l && off + len > s {
+                    issues.push(format!(
+                        "{}: rank {rank} metadata write ({off},{len}) overlaps dataset \
+                         {name} ({s},{l})",
+                        file.path
+                    ));
+                }
+            }
+        }
+    }
+
+    Verification {
+        issues,
+        datasets,
+        covered_bytes: covered,
+    }
+}
+
+/// Prove collective lockstep: every rank derives a schedule of the same
+/// length, and at each step all ranks agree on the collective kind,
+/// root, reduce operator, and — for uniform-payload collectives — the
+/// byte count. A clean result means no run of this configuration can
+/// mismatch collectives.
+pub fn verify_lockstep(plan: &AccessPlan) -> Vec<String> {
+    let mut issues = Vec::new();
+    for (phase, schedule) in [
+        ("write", &plan.write_schedule),
+        ("read", &plan.read_schedule),
+    ] {
+        let Some(r0) = schedule.first() else {
+            continue;
+        };
+        for (r, seq) in schedule.iter().enumerate().skip(1) {
+            if seq.len() != r0.len() {
+                issues.push(format!(
+                    "{phase}: rank {r} enters {} collectives, rank 0 enters {}",
+                    seq.len(),
+                    r0.len()
+                ));
+                continue;
+            }
+            for (i, (a, b)) in r0.iter().zip(seq).enumerate() {
+                if a.kind != b.kind || a.root != b.root || a.op != b.op || a.uniform != b.uniform {
+                    issues.push(format!(
+                        "{phase} step {i}: rank 0 enters {a}, rank {r} enters {b}"
+                    ));
+                } else if a.uniform && a.bytes != b.bytes {
+                    issues.push(format!(
+                        "{phase} step {i}: uniform byte count differs — rank 0 {:?}, \
+                         rank {r} {:?} ({})",
+                        a.bytes, b.bytes, a.label
+                    ));
+                }
+            }
+        }
+    }
+    issues
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI gate: lint (tier-2), the tier-1 build+test suite, the runtime
+# correctness checker's integration tests, and the static planner's
+# self-verification (exact-once, lockstep, plan<->trace conformance over
+# the example configurations). Run from anywhere; fails on the first
+# violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint (fmt + clippy)"
+scripts/lint.sh
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== checker integration tests"
+cargo test -q --test checker
+
+echo "== planner self-verification (plan_report)"
+cargo run --release --example plan_report
+
+echo "ci: OK"

@@ -16,4 +16,5 @@ pub use amrio_mdms as mdms;
 pub use amrio_mpi as mpi;
 pub use amrio_mpiio as mpiio;
 pub use amrio_net as net;
+pub use amrio_plan as plan;
 pub use amrio_simt as simt;

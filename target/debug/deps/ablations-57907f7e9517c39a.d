@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-57907f7e9517c39a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-57907f7e9517c39a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

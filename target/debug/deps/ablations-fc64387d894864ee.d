@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-fc64387d894864ee.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-fc64387d894864ee: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

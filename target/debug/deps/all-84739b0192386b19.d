@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-84739b0192386b19.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-84739b0192386b19: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-ad0b1e44824db3f4.d: crates/bench/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-ad0b1e44824db3f4.rmeta: crates/bench/src/bin/all.rs Cargo.toml
+
+crates/bench/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-dc61f497aa9bf64c.d: crates/bench/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-dc61f497aa9bf64c.rmeta: crates/bench/src/bin/all.rs Cargo.toml
+
+crates/bench/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-ee550c5fd4fb276f.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-ee550c5fd4fb276f: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio-93c088bfedd71e67.d: src/lib.rs
+
+/root/repo/target/debug/deps/libamrio-93c088bfedd71e67.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libamrio-93c088bfedd71e67.rmeta: src/lib.rs
+
+src/lib.rs:

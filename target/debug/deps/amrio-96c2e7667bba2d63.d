@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio-96c2e7667bba2d63.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio-96c2e7667bba2d63.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

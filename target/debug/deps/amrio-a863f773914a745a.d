@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio-a863f773914a745a.d: src/lib.rs
+
+/root/repo/target/debug/deps/amrio-a863f773914a745a: src/lib.rs
+
+src/lib.rs:

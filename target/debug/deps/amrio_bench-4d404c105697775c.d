@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amrio_bench-4d404c105697775c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_bench-4d404c105697775c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amrio_bench-9a40cb3896c587d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_bench-9a40cb3896c587d7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamrio_bench-9a40cb3896c587d7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amrio_bench-da59a260ebc7da9b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/amrio_bench-da59a260ebc7da9b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

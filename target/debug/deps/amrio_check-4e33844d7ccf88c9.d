@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/amrio_check-4e33844d7ccf88c9.d: crates/check/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/amrio_check-4e33844d7ccf88c9.d: crates/check/src/lib.rs crates/check/src/conform.rs Cargo.toml
 
-/root/repo/target/debug/deps/libamrio_check-4e33844d7ccf88c9.rmeta: crates/check/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libamrio_check-4e33844d7ccf88c9.rmeta: crates/check/src/lib.rs crates/check/src/conform.rs Cargo.toml
 
 crates/check/src/lib.rs:
+crates/check/src/conform.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

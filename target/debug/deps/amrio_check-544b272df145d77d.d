@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/amrio_check-544b272df145d77d.d: crates/check/src/lib.rs
+/root/repo/target/debug/deps/amrio_check-544b272df145d77d.d: crates/check/src/lib.rs crates/check/src/conform.rs
 
-/root/repo/target/debug/deps/libamrio_check-544b272df145d77d.rlib: crates/check/src/lib.rs
+/root/repo/target/debug/deps/libamrio_check-544b272df145d77d.rlib: crates/check/src/lib.rs crates/check/src/conform.rs
 
-/root/repo/target/debug/deps/libamrio_check-544b272df145d77d.rmeta: crates/check/src/lib.rs
+/root/repo/target/debug/deps/libamrio_check-544b272df145d77d.rmeta: crates/check/src/lib.rs crates/check/src/conform.rs
 
 crates/check/src/lib.rs:
+crates/check/src/conform.rs:

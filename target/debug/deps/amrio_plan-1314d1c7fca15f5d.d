@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/amrio_plan-1314d1c7fca15f5d.d: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs crates/plan/src/tests.rs
+
+/root/repo/target/debug/deps/amrio_plan-1314d1c7fca15f5d: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs crates/plan/src/tests.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/conformance.rs:
+crates/plan/src/footprint.rs:
+crates/plan/src/metrics.rs:
+crates/plan/src/schedule.rs:
+crates/plan/src/verify.rs:
+crates/plan/src/tests.rs:

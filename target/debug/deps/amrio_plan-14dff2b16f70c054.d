@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/amrio_plan-14dff2b16f70c054.d: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs crates/plan/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamrio_plan-14dff2b16f70c054.rmeta: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs crates/plan/src/tests.rs Cargo.toml
+
+crates/plan/src/lib.rs:
+crates/plan/src/conformance.rs:
+crates/plan/src/footprint.rs:
+crates/plan/src/metrics.rs:
+crates/plan/src/schedule.rs:
+crates/plan/src/verify.rs:
+crates/plan/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

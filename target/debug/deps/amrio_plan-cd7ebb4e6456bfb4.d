@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amrio_plan-cd7ebb4e6456bfb4.d: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs
+
+/root/repo/target/debug/deps/libamrio_plan-cd7ebb4e6456bfb4.rlib: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs
+
+/root/repo/target/debug/deps/libamrio_plan-cd7ebb4e6456bfb4.rmeta: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/conformance.rs:
+crates/plan/src/footprint.rs:
+crates/plan/src/metrics.rs:
+crates/plan/src/schedule.rs:
+crates/plan/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker-75556896a60939a8.d: tests/checker.rs
+
+/root/repo/target/debug/deps/checker-75556896a60939a8: tests/checker.rs
+
+tests/checker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-e128f40738c8fdb6.d: tests/checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-e128f40738c8fdb6.rmeta: tests/checker.rs Cargo.toml
+
+tests/checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_equivalence-169e0d42684b9777.d: tests/checkpoint_equivalence.rs
+
+/root/repo/target/debug/deps/checkpoint_equivalence-169e0d42684b9777: tests/checkpoint_equivalence.rs
+
+tests/checkpoint_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_equivalence-a3b9ca422d9ca68d.d: tests/checkpoint_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_equivalence-a3b9ca422d9ca68d.rmeta: tests/checkpoint_equivalence.rs Cargo.toml
+
+tests/checkpoint_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f86e2fa9c3a5c997.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f86e2fa9c3a5c997: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-7d7a3173fa1918dc.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-7d7a3173fa1918dc: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-d729aab0d2a7d209.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-d729aab0d2a7d209: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

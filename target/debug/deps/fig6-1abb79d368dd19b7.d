@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-1abb79d368dd19b7.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-1abb79d368dd19b7: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2b56e24d1be357ce.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2b56e24d1be357ce: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

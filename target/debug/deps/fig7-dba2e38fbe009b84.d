@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-dba2e38fbe009b84.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-dba2e38fbe009b84: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e1480848ff439d79.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e1480848ff439d79: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-6cd26898a00b21c3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-6cd26898a00b21c3: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

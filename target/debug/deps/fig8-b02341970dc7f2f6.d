@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b02341970dc7f2f6.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b02341970dc7f2f6: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

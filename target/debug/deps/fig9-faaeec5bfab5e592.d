@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-faaeec5bfab5e592.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-faaeec5bfab5e592: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

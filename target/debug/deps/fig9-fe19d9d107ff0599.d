@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-fe19d9d107ff0599.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-fe19d9d107ff0599: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

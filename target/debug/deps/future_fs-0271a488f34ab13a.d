@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_fs-0271a488f34ab13a.d: crates/bench/src/bin/future_fs.rs
+
+/root/repo/target/debug/deps/future_fs-0271a488f34ab13a: crates/bench/src/bin/future_fs.rs
+
+crates/bench/src/bin/future_fs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_fs-0c70b1dc4913aaf1.d: crates/bench/src/bin/future_fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_fs-0c70b1dc4913aaf1.rmeta: crates/bench/src/bin/future_fs.rs Cargo.toml
+
+crates/bench/src/bin/future_fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_fs-b20599f9ae7b34e5.d: crates/bench/src/bin/future_fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_fs-b20599f9ae7b34e5.rmeta: crates/bench/src/bin/future_fs.rs Cargo.toml
+
+crates/bench/src/bin/future_fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_fs-c895c9f876dd103d.d: crates/bench/src/bin/future_fs.rs
+
+/root/repo/target/debug/deps/future_fs-c895c9f876dd103d: crates/bench/src/bin/future_fs.rs
+
+crates/bench/src/bin/future_fs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdf5_chunking-36911d67e7f4bd48.d: crates/bench/src/bin/hdf5_chunking.rs
+
+/root/repo/target/debug/deps/hdf5_chunking-36911d67e7f4bd48: crates/bench/src/bin/hdf5_chunking.rs
+
+crates/bench/src/bin/hdf5_chunking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdf5_chunking-91ec8a20b9177635.d: crates/bench/src/bin/hdf5_chunking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdf5_chunking-91ec8a20b9177635.rmeta: crates/bench/src/bin/hdf5_chunking.rs Cargo.toml
+
+crates/bench/src/bin/hdf5_chunking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdf5_chunking-b804c5e4948fe1a2.d: crates/bench/src/bin/hdf5_chunking.rs
+
+/root/repo/target/debug/deps/hdf5_chunking-b804c5e4948fe1a2: crates/bench/src/bin/hdf5_chunking.rs
+
+crates/bench/src/bin/hdf5_chunking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_analysis-7f0c2e53ebea1363.d: crates/bench/src/bin/io_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_analysis-7f0c2e53ebea1363.rmeta: crates/bench/src/bin/io_analysis.rs Cargo.toml
+
+crates/bench/src/bin/io_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

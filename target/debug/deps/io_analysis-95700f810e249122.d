@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_analysis-95700f810e249122.d: crates/bench/src/bin/io_analysis.rs
+
+/root/repo/target/debug/deps/io_analysis-95700f810e249122: crates/bench/src/bin/io_analysis.rs
+
+crates/bench/src/bin/io_analysis.rs:

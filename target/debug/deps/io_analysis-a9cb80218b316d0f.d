@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_analysis-a9cb80218b316d0f.d: crates/bench/src/bin/io_analysis.rs
+
+/root/repo/target/debug/deps/io_analysis-a9cb80218b316d0f: crates/bench/src/bin/io_analysis.rs
+
+crates/bench/src/bin/io_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_analysis-bab56ec29c4d9f16.d: crates/bench/src/bin/io_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_analysis-bab56ec29c4d9f16.rmeta: crates/bench/src/bin/io_analysis.rs Cargo.toml
+
+crates/bench/src/bin/io_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

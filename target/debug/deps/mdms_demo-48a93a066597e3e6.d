@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdms_demo-48a93a066597e3e6.d: crates/bench/src/bin/mdms_demo.rs
+
+/root/repo/target/debug/deps/mdms_demo-48a93a066597e3e6: crates/bench/src/bin/mdms_demo.rs
+
+crates/bench/src/bin/mdms_demo.rs:

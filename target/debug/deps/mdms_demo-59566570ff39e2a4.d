@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdms_demo-59566570ff39e2a4.d: crates/bench/src/bin/mdms_demo.rs
+
+/root/repo/target/debug/deps/mdms_demo-59566570ff39e2a4: crates/bench/src/bin/mdms_demo.rs
+
+crates/bench/src/bin/mdms_demo.rs:

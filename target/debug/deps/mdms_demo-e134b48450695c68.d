@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mdms_demo-e134b48450695c68.d: crates/bench/src/bin/mdms_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdms_demo-e134b48450695c68.rmeta: crates/bench/src/bin/mdms_demo.rs Cargo.toml
+
+crates/bench/src/bin/mdms_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

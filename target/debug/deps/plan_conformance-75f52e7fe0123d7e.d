@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_conformance-75f52e7fe0123d7e.d: tests/plan_conformance.rs
+
+/root/repo/target/debug/deps/plan_conformance-75f52e7fe0123d7e: tests/plan_conformance.rs
+
+tests/plan_conformance.rs:

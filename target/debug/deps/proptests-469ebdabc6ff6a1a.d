@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-469ebdabc6ff6a1a.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-469ebdabc6ff6a1a: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_integration-50d6f96962271987.d: tests/stack_integration.rs
+
+/root/repo/target/debug/deps/stack_integration-50d6f96962271987: tests/stack_integration.rs
+
+tests/stack_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack_integration-b4cb7209a12cfb56.d: tests/stack_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack_integration-b4cb7209a12cfb56.rmeta: tests/stack_integration.rs Cargo.toml
+
+tests/stack_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

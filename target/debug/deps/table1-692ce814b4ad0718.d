@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-692ce814b4ad0718.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-692ce814b4ad0718: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

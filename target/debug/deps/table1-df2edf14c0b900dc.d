@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-df2edf14c0b900dc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-df2edf14c0b900dc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checked_run-169e6dd9928af29b.d: examples/checked_run.rs
+
+/root/repo/target/debug/examples/checked_run-169e6dd9928af29b: examples/checked_run.rs
+
+examples/checked_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checked_run-5b624034c9035618.d: examples/checked_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchecked_run-5b624034c9035618.rmeta: examples/checked_run.rs Cargo.toml
+
+examples/checked_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cosmology_run-63880bb98233c5eb.d: examples/cosmology_run.rs
+
+/root/repo/target/debug/examples/cosmology_run-63880bb98233c5eb: examples/cosmology_run.rs
+
+examples/cosmology_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cosmology_run-d7a4dc3bcec91f50.d: examples/cosmology_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcosmology_run-d7a4dc3bcec91f50.rmeta: examples/cosmology_run.rs Cargo.toml
+
+examples/cosmology_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

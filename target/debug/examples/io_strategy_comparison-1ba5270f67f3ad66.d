@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/io_strategy_comparison-1ba5270f67f3ad66.d: examples/io_strategy_comparison.rs
+
+/root/repo/target/debug/examples/io_strategy_comparison-1ba5270f67f3ad66: examples/io_strategy_comparison.rs
+
+examples/io_strategy_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/io_strategy_comparison-a9a2241248c349ba.d: examples/io_strategy_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libio_strategy_comparison-a9a2241248c349ba.rmeta: examples/io_strategy_comparison.rs Cargo.toml
+
+examples/io_strategy_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_report-26224521e7809bca.d: examples/plan_report.rs
+
+/root/repo/target/debug/examples/plan_report-26224521e7809bca: examples/plan_report.rs
+
+examples/plan_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/plan_report-6d458f8796714486.d: examples/plan_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplan_report-6d458f8796714486.rmeta: examples/plan_report.rs Cargo.toml
+
+examples/plan_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/platform_sweep-4c5332ab331a2c61.d: examples/platform_sweep.rs
+
+/root/repo/target/debug/examples/platform_sweep-4c5332ab331a2c61: examples/platform_sweep.rs
+
+examples/platform_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/platform_sweep-7009f6651826ba80.d: examples/platform_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplatform_sweep-7009f6651826ba80.rmeta: examples/platform_sweep.rs Cargo.toml
+
+examples/platform_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-648fc19318d512cd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-648fc19318d512cd: examples/quickstart.rs
+
+examples/quickstart.rs:

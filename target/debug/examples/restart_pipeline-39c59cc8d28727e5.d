@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/restart_pipeline-39c59cc8d28727e5.d: examples/restart_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/librestart_pipeline-39c59cc8d28727e5.rmeta: examples/restart_pipeline.rs Cargo.toml
+
+examples/restart_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restart_pipeline-4c5742922a07b198.d: examples/restart_pipeline.rs
+
+/root/repo/target/debug/examples/restart_pipeline-4c5742922a07b198: examples/restart_pipeline.rs
+
+examples/restart_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/viz_extract-77fc99591ccbb89d.d: examples/viz_extract.rs
+
+/root/repo/target/debug/examples/viz_extract-77fc99591ccbb89d: examples/viz_extract.rs
+
+examples/viz_extract.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/viz_extract-deca4be52826920c.d: examples/viz_extract.rs Cargo.toml
+
+/root/repo/target/debug/examples/libviz_extract-deca4be52826920c.rmeta: examples/viz_extract.rs Cargo.toml
+
+examples/viz_extract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

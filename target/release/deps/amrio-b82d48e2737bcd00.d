@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio-b82d48e2737bcd00.d: src/lib.rs
+
+/root/repo/target/release/deps/libamrio-b82d48e2737bcd00.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libamrio-b82d48e2737bcd00.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/amrio_check-65fa45d894e15498.d: crates/check/src/lib.rs
+/root/repo/target/release/deps/amrio_check-65fa45d894e15498.d: crates/check/src/lib.rs crates/check/src/conform.rs
 
-/root/repo/target/release/deps/libamrio_check-65fa45d894e15498.rlib: crates/check/src/lib.rs
+/root/repo/target/release/deps/libamrio_check-65fa45d894e15498.rlib: crates/check/src/lib.rs crates/check/src/conform.rs
 
-/root/repo/target/release/deps/libamrio_check-65fa45d894e15498.rmeta: crates/check/src/lib.rs
+/root/repo/target/release/deps/libamrio_check-65fa45d894e15498.rmeta: crates/check/src/lib.rs crates/check/src/conform.rs
 
 crates/check/src/lib.rs:
+crates/check/src/conform.rs:

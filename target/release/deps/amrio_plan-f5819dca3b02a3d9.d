@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/amrio_plan-f5819dca3b02a3d9.d: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs
+
+/root/repo/target/release/deps/libamrio_plan-f5819dca3b02a3d9.rlib: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs
+
+/root/repo/target/release/deps/libamrio_plan-f5819dca3b02a3d9.rmeta: crates/plan/src/lib.rs crates/plan/src/conformance.rs crates/plan/src/footprint.rs crates/plan/src/metrics.rs crates/plan/src/schedule.rs crates/plan/src/verify.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/conformance.rs:
+crates/plan/src/footprint.rs:
+crates/plan/src/metrics.rs:
+crates/plan/src/schedule.rs:
+crates/plan/src/verify.rs:

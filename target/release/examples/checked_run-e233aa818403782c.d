@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checked_run-e233aa818403782c.d: examples/checked_run.rs
+
+/root/repo/target/release/examples/checked_run-e233aa818403782c: examples/checked_run.rs
+
+examples/checked_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/plan_report-9bb47936979a42ee.d: examples/plan_report.rs
+
+/root/repo/target/release/examples/plan_report-9bb47936979a42ee: examples/plan_report.rs
+
+examples/plan_report.rs:

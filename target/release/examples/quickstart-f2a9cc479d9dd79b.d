@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f2a9cc479d9dd79b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f2a9cc479d9dd79b: examples/quickstart.rs
+
+examples/quickstart.rs:

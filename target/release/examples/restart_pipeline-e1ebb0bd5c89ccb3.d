@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/restart_pipeline-e1ebb0bd5c89ccb3.d: examples/restart_pipeline.rs
+
+/root/repo/target/release/examples/restart_pipeline-e1ebb0bd5c89ccb3: examples/restart_pipeline.rs
+
+examples/restart_pipeline.rs:

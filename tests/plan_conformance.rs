@@ -1,0 +1,107 @@
+//! Plan↔trace conformance: for each backend, a strict-mode checked run
+//! is probed (collective log + Pfs trace) and diffed against the
+//! statically derived access plan. Any divergence — an extra
+//! collective, a stray byte, an unread planned region — is a hard
+//! failure. The same plans must also pass the static proofs
+//! (exact-once coverage, collective lockstep).
+
+use amrio::check::CheckMode;
+use amrio::enzo::{
+    run_experiment_probed, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform,
+    ProblemSize, SimConfig,
+};
+use amrio::hdf5::OverheadModel;
+use amrio::plan::{
+    check_conformance, plan, verify_exact_once, verify_lockstep, Backend, PlanInput,
+};
+
+fn cfg(nranks: usize) -> SimConfig {
+    let mut c = SimConfig::new(ProblemSize::Custom(16), nranks);
+    c.particle_fraction = 0.5;
+    c.refine_threshold = 3.0;
+    c
+}
+
+fn assert_conforms(strategy: &dyn IoStrategy, backend: Backend, nranks: usize) {
+    let platform = Platform::origin2000(nranks);
+    let cfg = cfg(nranks);
+    let (report, check, probe) =
+        run_experiment_probed(&platform, &cfg, strategy, 1, CheckMode::Strict);
+    assert!(report.verified, "{}: restart must verify", report.strategy);
+    assert!(
+        check.is_clean(),
+        "{}: checker violations:\n{check}",
+        report.strategy
+    );
+
+    let input = PlanInput::from_probe(&probe, &platform.fs);
+    let p = plan(&input, backend);
+
+    let cov = verify_exact_once(&p);
+    assert!(
+        cov.is_proven(),
+        "{}: exact-once not proven:\n{}",
+        p.backend,
+        cov.issues.join("\n")
+    );
+    assert!(cov.covered_bytes > 0, "{}: empty plan", p.backend);
+    let lock = verify_lockstep(&p);
+    assert!(
+        lock.is_empty(),
+        "{}: lockstep broken:\n{}",
+        p.backend,
+        lock.join("\n")
+    );
+
+    let issues = check_conformance(&p, &probe);
+    assert!(
+        issues.is_empty(),
+        "{} ({} ranks): {} plan/trace divergences:\n{}",
+        p.backend,
+        nranks,
+        issues.len(),
+        issues
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn hdf4_run_conforms_to_static_plan() {
+    assert_conforms(&Hdf4Serial, Backend::Hdf4, 4);
+}
+
+#[test]
+fn mpiio_run_conforms_to_static_plan() {
+    assert_conforms(&MpiIoOptimized, Backend::MpiIo, 4);
+}
+
+#[test]
+fn hdf5_run_conforms_to_static_plan() {
+    assert_conforms(
+        &Hdf5Parallel::default(),
+        Backend::Hdf5(OverheadModel::default()),
+        4,
+    );
+}
+
+#[test]
+fn hdf5_modern_model_run_conforms_to_static_plan() {
+    let strategy = Hdf5Parallel {
+        model: OverheadModel::modern(),
+    };
+    assert_conforms(&strategy, Backend::Hdf5(OverheadModel::modern()), 4);
+}
+
+#[test]
+fn single_rank_runs_conform_to_static_plans() {
+    assert_conforms(&Hdf4Serial, Backend::Hdf4, 1);
+    assert_conforms(&MpiIoOptimized, Backend::MpiIo, 1);
+    assert_conforms(
+        &Hdf5Parallel::default(),
+        Backend::Hdf5(OverheadModel::default()),
+        1,
+    );
+}
