@@ -1,0 +1,181 @@
+//! `selfbench` — host-side wall-clock and copy-ledger self-benchmark.
+//!
+//! Unlike every other `amrio-bench` binary (which reports *virtual*
+//! seconds), this one measures the **host**: how long the simulator
+//! itself takes to run a checkpoint/restart cell, and how many bytes
+//! the data path memcpy'd while doing it (the `amrio-simt` copy
+//! ledger). It pins the perf trajectory of the zero-copy data path:
+//! `scripts/bench.sh` runs the full matrix and `scripts/ci.sh` runs
+//! `--smoke` and fails on a >25% wall-clock regression against the
+//! committed `BENCH_selfbench.json` baseline.
+//!
+//! Matrix: three backends (hdf4-serial, mpiio-optimized, hdf5-parallel)
+//! × small/large problem × 4/16 ranks × strict-checker on/off, all on
+//! the IBM SP-2/GPFS platform model. The smoke subset is the three
+//! small/4-rank/checker-off cells.
+//!
+//! Usage: `selfbench [--smoke] [--out PATH] [--embed-before PATH]`
+//! `--embed-before` splices a previous run's JSON verbatim under the
+//! `"before"` key, so the committed file carries the before/after pair.
+
+use amrio_bench::{default_cfg, EVOLVE_CYCLES};
+use amrio_check::CheckMode;
+use amrio_enzo::{
+    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, RunReport,
+};
+use amrio_simt::{copied_bytes, reset_copied_bytes};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct CellResult {
+    backend: &'static str,
+    problem: &'static str,
+    root_n: u64,
+    nranks: usize,
+    checker: &'static str,
+    smoke: bool,
+    wall_ms: f64,
+    copied_bytes: u64,
+    report: RunReport,
+}
+
+fn strategy_for(name: &str) -> Box<dyn IoStrategy> {
+    match name {
+        "hdf4-serial" => Box::new(Hdf4Serial),
+        "mpiio-optimized" => Box::new(MpiIoOptimized),
+        "hdf5-parallel" => Box::new(Hdf5Parallel::default()),
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+fn run_cell(
+    backend: &'static str,
+    problem: &'static str,
+    root_n: u64,
+    nranks: usize,
+    strict: bool,
+    smoke: bool,
+) -> CellResult {
+    let platform = Platform::ibm_sp2(nranks);
+    let cfg = default_cfg(ProblemSize::Custom(root_n), nranks);
+    let strategy = strategy_for(backend);
+    reset_copied_bytes();
+    let t0 = Instant::now();
+    let report = if strict {
+        let (r, _) = driver::run_experiment_checked(
+            &platform,
+            &cfg,
+            &*strategy,
+            EVOLVE_CYCLES,
+            CheckMode::Strict,
+        );
+        r
+    } else {
+        driver::run_experiment(&platform, &cfg, &*strategy, EVOLVE_CYCLES)
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let copied = copied_bytes();
+    assert!(
+        report.verified,
+        "{backend} {problem} x{nranks} failed restart verification"
+    );
+    CellResult {
+        backend,
+        problem,
+        root_n,
+        nranks,
+        checker: if strict { "strict" } else { "off" },
+        smoke,
+        wall_ms,
+        copied_bytes: copied,
+        report,
+    }
+}
+
+fn main() {
+    let mut smoke_only = false;
+    let mut out_path = String::from("BENCH_selfbench.json");
+    let mut embed_before: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke_only = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--embed-before" => embed_before = Some(args.next().expect("--embed-before needs a path")),
+            other => panic!("unknown argument {other} (usage: selfbench [--smoke] [--out PATH] [--embed-before PATH])"),
+        }
+    }
+
+    const BACKENDS: [&str; 3] = ["hdf4-serial", "mpiio-optimized", "hdf5-parallel"];
+    const PROBLEMS: [(&str, u64); 2] = [("small", 16), ("large", 32)];
+    const RANKS: [usize; 2] = [4, 16];
+
+    let mut cells = Vec::new();
+    for backend in BACKENDS {
+        for (problem, root_n) in PROBLEMS {
+            for nranks in RANKS {
+                for strict in [false, true] {
+                    let smoke = problem == "small" && nranks == 4 && !strict;
+                    if smoke_only && !smoke {
+                        continue;
+                    }
+                    let c = run_cell(backend, problem, root_n, nranks, strict, smoke);
+                    eprintln!(
+                        "{:<16} {:<5} x{:<2} checker={:<6} {:>9.1} ms  {:>12} B copied  digest {:#018x}",
+                        c.backend, c.problem, c.nranks, c.checker, c.wall_ms, c.copied_bytes,
+                        c.report.image_digest
+                    );
+                    cells.push(c);
+                }
+            }
+        }
+    }
+
+    let smoke_total: f64 = cells.iter().filter(|c| c.smoke).map(|c| c.wall_ms).sum();
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"amrio-selfbench-v1\",\n");
+    j.push_str("  \"platform\": \"ibm_sp2\",\n");
+    let _ = writeln!(j, "  \"evolve_cycles\": {EVOLVE_CYCLES},");
+    let _ = writeln!(j, "  \"smoke_total_wall_ms\": {smoke_total:.3},");
+    j.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.report;
+        let _ = write!(
+            j,
+            "    {{\"backend\": \"{}\", \"problem\": \"{}\", \"root_n\": {}, \"nranks\": {}, \
+             \"checker\": \"{}\", \"smoke\": {}, \"wall_ms\": {:.3}, \"copied_bytes\": {}, \
+             \"bytes_written\": {}, \"bytes_read\": {}, \"write_s\": {:.6}, \"read_s\": {:.6}, \
+             \"verified\": {}, \"image_digest\": \"{:#018x}\"}}",
+            c.backend,
+            c.problem,
+            c.root_n,
+            c.nranks,
+            c.checker,
+            c.smoke,
+            c.wall_ms,
+            c.copied_bytes,
+            r.bytes_written,
+            r.bytes_read,
+            r.write_time,
+            r.read_time,
+            r.verified,
+            r.image_digest
+        );
+        j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]");
+    if let Some(path) = embed_before {
+        let before =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--embed-before {path}: {e}"));
+        j.push_str(",\n  \"before\": ");
+        // Indent the embedded document so the merged file stays readable.
+        j.push_str(&before.trim_end().replace('\n', "\n  "));
+        j.push('\n');
+    } else {
+        j.push('\n');
+    }
+    j.push_str("}\n");
+    std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("(wrote {out_path}; smoke_total_wall_ms = {smoke_total:.1})");
+}

@@ -35,6 +35,10 @@ pub struct RunReport {
     pub verified: bool,
     /// Whole-run virtual makespan (setup + evolution + I/O).
     pub makespan: f64,
+    /// FNV-1a digest of the complete post-run file-system image (see
+    /// [`amrio_disk::Pfs::image_digest`]) — restart reads do not write,
+    /// so this is the checkpoint image the dump produced.
+    pub image_digest: u64,
 }
 
 /// Barrier-bracketed timing: all ranks enter and leave together, so the
@@ -155,11 +159,11 @@ pub fn run_experiment_probed(
         .into_iter()
         .next()
         .expect("at least one rank");
-    let (stats, files, events) = {
+    let (stats, files, events, image_digest) = {
         let fs = io.fs();
         let fs = fs.lock();
         let (files, events) = fs.trace_snapshot();
-        (fs.stats, files, events)
+        (fs.stats, files, events, fs.image_digest())
     };
     let check = checker.finalize();
     let probe = RunProbe {
@@ -187,6 +191,7 @@ pub fn run_experiment_probed(
             max_level: probe.hierarchy.max_level(),
             verified,
             makespan,
+            image_digest,
         },
         check,
         probe,
@@ -242,10 +247,10 @@ fn run_with(
     });
 
     let (wt, rt, verified, grids, max_level, _) = report.results[0];
-    let stats = {
+    let (stats, image_digest) = {
         let fs = io.fs();
-        let s = fs.lock().stats;
-        s
+        let fs = fs.lock();
+        (fs.stats, fs.image_digest())
     };
     let check = checker.map(|ck| ck.finalize());
     (
@@ -262,6 +267,7 @@ fn run_with(
             max_level,
             verified,
             makespan: report.makespan.as_secs_f64(),
+            image_digest,
         },
         check,
     )

@@ -105,7 +105,7 @@ impl IoStrategy for MdmsAdvised {
         let meta = if advice.root_and_broadcast {
             comm.bcast(0, meta)
         } else {
-            meta
+            meta.into()
         };
         let (mut hierarchy, time, cycle) = wire::decode_hierarchy(&meta);
         assign_restart_owners(&mut hierarchy, comm.size());

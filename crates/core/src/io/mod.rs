@@ -71,14 +71,19 @@ pub fn assign_restart_owners(h: &mut Hierarchy, p: usize) {
 /// Rank 0 assembles a global field array from gathered slab payloads.
 /// Charges the strided-unpack CPU cost, which grows with the number of
 /// slab rows — one reason processor-0 collection scales poorly.
-pub fn assemble_global(comm: &Comm, decomp: &BlockDecomp, n: u64, parts: &[Vec<u8>]) -> Array3 {
+pub fn assemble_global<B: AsRef<[u8]>>(
+    comm: &Comm,
+    decomp: &BlockDecomp,
+    n: u64,
+    parts: &[B],
+) -> Array3 {
     let mut global = Array3::zeros([n as usize; 3]);
     let mut runs = 0u64;
     for (r, bytes) in parts.iter().enumerate() {
         let slab = decomp.slab(r);
         let s = slab.size();
         let dims = [s[0] as usize, s[1] as usize, s[2] as usize];
-        let sub = Array3::from_bytes(dims, bytes);
+        let sub = Array3::from_bytes(dims, bytes.as_ref());
         global.insert(
             [
                 slab.lo[0] as usize,

@@ -132,15 +132,43 @@ impl MpiIoOptimized {
         }
 
         // --- Subgrids: owners write into the shared file, no
-        //     communication (paper §3.1). ---
+        //     communication (paper §3.1). The 17 per-grid arrays are
+        //     laid out back-to-back, so without write-behind staging
+        //     they go down as one gathered request per grid.
         for g in &st.my_subgrids {
             let mut sorted = g.particles.clone();
             sorted.sort_by_id();
-            for i in 0..NUM_FIELDS {
-                f.write_at(layout.field_off(g.id, i), &g.fields[i].to_bytes());
-            }
-            for (a, (name, _)) in PARTICLE_ARRAYS.iter().enumerate() {
-                f.write_at(layout.particle_off(g.id, a), &sorted.array_bytes(name));
+            if write_behind {
+                for i in 0..NUM_FIELDS {
+                    f.write_at(layout.field_off(g.id, i), &g.fields[i].to_bytes());
+                }
+                for (a, (name, _)) in PARTICLE_ARRAYS.iter().enumerate() {
+                    f.write_at(layout.particle_off(g.id, a), &sorted.array_bytes(name));
+                }
+            } else {
+                let arrays: Vec<Vec<u8>> = (0..NUM_FIELDS)
+                    .map(|i| g.fields[i].to_bytes())
+                    .chain(
+                        PARTICLE_ARRAYS
+                            .iter()
+                            .map(|(name, _)| sorted.array_bytes(name)),
+                    )
+                    .collect();
+                #[cfg(debug_assertions)]
+                {
+                    let mut cur = layout.field_off(g.id, 0);
+                    for (i, a) in arrays.iter().enumerate() {
+                        let expect = if i < NUM_FIELDS {
+                            layout.field_off(g.id, i)
+                        } else {
+                            layout.particle_off(g.id, i - NUM_FIELDS)
+                        };
+                        debug_assert_eq!(cur, expect, "subgrid arrays must be contiguous");
+                        cur += a.len() as u64;
+                    }
+                }
+                let parts: Vec<&[u8]> = arrays.iter().map(|a| a.as_slice()).collect();
+                f.write_gather_at(layout.field_off(g.id, 0), &parts);
             }
         }
 
@@ -210,20 +238,35 @@ impl IoStrategy for MpiIoOptimized {
         block.validate();
         let top_particles = scatter_particles_by_slab(comm, &decomp, n, &block);
 
-        // --- Subgrids: round-robin independent reads. ---
+        // --- Subgrids: round-robin independent reads. All 17 per-grid
+        //     arrays are contiguous in the shared file, so each grid is
+        //     one scattered read into its destination buffers.
         let mut my_subgrids = Vec::new();
         for meta in my_restart_subgrids(&hierarchy, comm.rank()) {
             let mut patch = GridPatch::new(meta.id, meta.level, meta.bbox);
             let pdims = patch.dims();
             let cells = meta.bbox.cells();
-            for i in 0..NUM_FIELDS {
-                let bytes = f.read_at(layout.field_off(meta.id, i), cells * 4);
-                patch.fields[i] = amrio_amr::Array3::from_bytes(pdims, &bytes);
+            let mut field_bufs: Vec<Vec<u8>> = (0..NUM_FIELDS)
+                .map(|_| vec![0u8; (cells * 4) as usize])
+                .collect();
+            let mut part_bufs: Vec<Vec<u8>> = PARTICLE_ARRAYS
+                .iter()
+                .map(|(_, width)| vec![0u8; (meta.nparticles * width) as usize])
+                .collect();
+            {
+                let mut parts: Vec<&mut [u8]> = field_bufs
+                    .iter_mut()
+                    .map(|b| b.as_mut_slice())
+                    .chain(part_bufs.iter_mut().map(|b| b.as_mut_slice()))
+                    .collect();
+                f.read_scatter_at(layout.field_off(meta.id, 0), &mut parts);
+            }
+            for (i, bytes) in field_bufs.iter().enumerate() {
+                patch.fields[i] = amrio_amr::Array3::from_bytes(pdims, bytes);
             }
             let mut ps = ParticleSet::new();
-            for (a, (name, width)) in PARTICLE_ARRAYS.iter().enumerate() {
-                let bytes = f.read_at(layout.particle_off(meta.id, a), meta.nparticles * width);
-                ps.set_array_bytes(name, &bytes);
+            for (a, (name, _)) in PARTICLE_ARRAYS.iter().enumerate() {
+                ps.set_array_bytes(name, &part_bufs[a]);
             }
             ps.validate();
             patch.particles = ps;

@@ -344,11 +344,73 @@ impl Pfs {
         data: &[u8],
         t: SimTime,
     ) -> SimTime {
+        let (t, completion) = self.transfer_write(client, net, f, off, data.len() as u64, t);
+        amrio_simt::count_copy(data.len());
+        self.files[f].store.write(off, data);
+        self.trace.record(IoEvent {
+            client,
+            file: f,
+            offset: off,
+            len: data.len() as u64,
+            write: true,
+            start: t,
+            end: completion,
+        });
+        completion
+    }
+
+    /// Vectored write: one contiguous file range `[off, off + Σlen)`
+    /// supplied as scattered host-memory parts (pwritev-style). Priced
+    /// and traced exactly like a single [`Pfs::write_at`] of the total
+    /// length — the point is that the *host* side skips assembling the
+    /// parts into one staging buffer first.
+    pub fn write_gather(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        f: FileId,
+        off: u64,
+        parts: &[&[u8]],
+        t: SimTime,
+    ) -> SimTime {
+        let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let (t, completion) = self.transfer_write(client, net, f, off, total, t);
+        let mut cur = off;
+        for p in parts {
+            amrio_simt::count_copy(p.len());
+            self.files[f].store.write(cur, p);
+            cur += p.len() as u64;
+        }
+        self.trace.record(IoEvent {
+            client,
+            file: f,
+            offset: off,
+            len: total,
+            write: true,
+            start: t,
+            end: completion,
+        });
+        completion
+    }
+
+    /// The simulated-time model of one contiguous write: stats, client
+    /// queue + streaming path, striping into per-server pieces, GPFS
+    /// token traffic, and server disk access. Returns `(queued start,
+    /// completion)`; the caller lands the bytes and records the trace.
+    fn transfer_write(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        f: FileId,
+        off: u64,
+        len: u64,
+        t: SimTime,
+    ) -> (SimTime, SimTime) {
         self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
+        self.stats.bytes_written += len;
         let t = self.client_queue(client, net, t);
-        let stream_done = self.client_stream(client, data.len() as u64, t);
-        let pieces = self.map_pieces(client, f, off, data.len() as u64);
+        let stream_done = self.client_stream(client, len, t);
+        let pieces = self.map_pieces(client, f, off, len);
         let mut completion = stream_done;
         let mut send_clock = t;
         for p in &pieces {
@@ -400,17 +462,7 @@ impl Pfs {
             };
             completion = completion.max(acked);
         }
-        self.files[f].store.write(off, data);
-        self.trace.record(IoEvent {
-            client,
-            file: f,
-            offset: off,
-            len: data.len() as u64,
-            write: true,
-            start: t,
-            end: completion,
-        });
-        completion
+        (t, completion)
     }
 
     /// Synchronous read. Returns `(completion, data)`.
@@ -423,6 +475,65 @@ impl Pfs {
         len: u64,
         t: SimTime,
     ) -> (SimTime, Vec<u8>) {
+        let (t, completion) = self.transfer_read(client, net, f, off, len, t);
+        amrio_simt::count_copy(len as usize);
+        let data = self.files[f].store.read_vec(off, len as usize);
+        self.trace.record(IoEvent {
+            client,
+            file: f,
+            offset: off,
+            len,
+            write: false,
+            start: t,
+            end: completion,
+        });
+        (completion, data)
+    }
+
+    /// Vectored read: one contiguous file range `[off, off + Σlen)`
+    /// scattered into the supplied host-memory parts (preadv-style).
+    /// Priced and traced exactly like a single [`Pfs::read_at`] of the
+    /// total length.
+    pub fn read_scatter(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        f: FileId,
+        off: u64,
+        parts: &mut [&mut [u8]],
+        t: SimTime,
+    ) -> SimTime {
+        let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let (t, completion) = self.transfer_read(client, net, f, off, total, t);
+        let mut cur = off;
+        for p in parts.iter_mut() {
+            amrio_simt::count_copy(p.len());
+            self.files[f].store.read(cur, p);
+            cur += p.len() as u64;
+        }
+        self.trace.record(IoEvent {
+            client,
+            file: f,
+            offset: off,
+            len: total,
+            write: false,
+            start: t,
+            end: completion,
+        });
+        completion
+    }
+
+    /// The simulated-time model of one contiguous read (see
+    /// [`Pfs::transfer_write`]). Returns `(queued start, completion)`.
+    fn transfer_read(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        f: FileId,
+        off: u64,
+        len: u64,
+        t: SimTime,
+    ) -> (SimTime, SimTime) {
         self.stats.reads += 1;
         self.stats.bytes_read += len;
         let t = self.client_queue(client, net, t);
@@ -450,23 +561,43 @@ impl Pfs {
             };
             completion = completion.max(back);
         }
-        let data = self.files[f].store.read_vec(off, len as usize);
-        self.trace.record(IoEvent {
-            client,
-            file: f,
-            offset: off,
-            len,
-            write: false,
-            start: t,
-            end: completion,
-        });
-        (completion, data)
+        (t, completion)
     }
 
     /// Direct (cost-free) access to file bytes, for assertions in tests and
     /// for post-run integration of per-process output files.
     pub fn peek(&self, f: FileId, off: u64, len: usize) -> Vec<u8> {
         self.files[f].store.read_vec(off, len)
+    }
+
+    /// FNV-1a digest of the complete file-system image — every path (in
+    /// sorted order), its length, and its full contents. Cost-free and
+    /// copy-ledger-free; used to prove two runs produced byte-identical
+    /// checkpoints.
+    pub fn image_digest(&self) -> u64 {
+        const PRIME: u64 = 0x100000001b3;
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= *b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let mut names: Vec<(&String, &FileId)> = self.names.iter().collect();
+        names.sort();
+        for (path, id) in names {
+            let len = self.files[*id].store.len();
+            mix(path.as_bytes());
+            mix(&[0]);
+            mix(&len.to_le_bytes());
+            let mut off = 0u64;
+            while off < len {
+                let n = (len - off).min(1 << 20) as usize;
+                mix(&self.files[*id].store.read_vec(off, n));
+                off += n as u64;
+            }
+        }
+        h
     }
 }
 
@@ -690,6 +821,75 @@ mod tests {
     fn open_missing_panics() {
         let (mut fs, mut net) = striped(2, 1024);
         fs.open(0, &mut net, "nope", SimTime::ZERO);
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Seeded property test: a vectored write followed by a vectored
+    /// read is indistinguishable — in stored bytes, virtual time, and
+    /// trace shape — from the scalar ops on the concatenated buffer.
+    #[test]
+    fn gather_scatter_equivalent_to_scalar() {
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for _round in 0..25 {
+            let nparts = 1 + (xorshift(&mut seed) % 8) as usize;
+            let off = xorshift(&mut seed) % 200_000;
+            let parts: Vec<Vec<u8>> = (0..nparts)
+                .map(|_| {
+                    let len = (xorshift(&mut seed) % 5000) as usize;
+                    (0..len).map(|_| xorshift(&mut seed) as u8).collect()
+                })
+                .collect();
+            let flat: Vec<u8> = parts.concat();
+
+            let (mut fs_g, mut net_g) = striped(4, 1024);
+            let (mut fs_s, mut net_s) = striped(4, 1024);
+            let (fg, tg0) = fs_g.create(0, &mut net_g, "a", SimTime::ZERO);
+            let (fsc, ts0) = fs_s.create(0, &mut net_s, "a", SimTime::ZERO);
+
+            let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+            let tg = fs_g.write_gather(0, &mut net_g, fg, off, &refs, tg0);
+            let ts = fs_s.write_at(0, &mut net_s, fsc, off, &flat, ts0);
+            assert_eq!(tg, ts, "vectored write must be priced as one scalar op");
+            assert_eq!(fs_g.image_digest(), fs_s.image_digest());
+            assert_eq!(fs_g.file_size(fg), fs_s.file_size(fsc));
+
+            let mut bufs: Vec<Vec<u8>> = parts.iter().map(|p| vec![0u8; p.len()]).collect();
+            {
+                let mut mrefs: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                let tr = fs_g.read_scatter(0, &mut net_g, fg, off, &mut mrefs, tg);
+                let (tr_s, got) = fs_s.read_at(0, &mut net_s, fsc, off, flat.len() as u64, ts);
+                assert_eq!(tr, tr_s, "vectored read must be priced as one scalar op");
+                assert_eq!(got, flat);
+            }
+            assert_eq!(bufs.concat(), flat);
+            assert_eq!(fs_g.stats.bytes_written, fs_s.stats.bytes_written);
+            assert_eq!(fs_g.stats.bytes_read, fs_s.stats.bytes_read);
+            assert_eq!(fs_g.stats.writes, fs_s.stats.writes);
+            assert_eq!(fs_g.stats.reads, fs_s.stats.reads);
+            assert_eq!(fs_g.stats.server_requests, fs_s.stats.server_requests);
+        }
+    }
+
+    #[test]
+    fn gather_traces_one_event_of_total_length() {
+        let (mut fs, mut net) = striped(2, 1024);
+        fs.trace.enable();
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        fs.write_gather(0, &mut net, f, 64, &[&[1u8; 100], &[2u8; 50][..]], t0);
+        let w: Vec<_> = fs
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.write && e.len > 0)
+            .collect();
+        assert_eq!(w.len(), 1, "one gathered request, one trace event");
+        assert_eq!((w[0].offset, w[0].len), (64, 150));
     }
 }
 

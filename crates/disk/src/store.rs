@@ -44,11 +44,17 @@ impl ExtentStore {
             let page = off >> PAGE_SHIFT;
             let in_page = (off & (PAGE - 1)) as usize;
             let n = data.len().min(PAGE as usize - in_page);
-            let buf = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| vec![0u8; PAGE as usize].into_boxed_slice());
-            buf[in_page..in_page + n].copy_from_slice(&data[..n]);
+            if in_page == 0 && n == PAGE as usize {
+                // The write covers the whole page: build it straight from
+                // the source instead of zero-filling 64 KiB first.
+                self.pages.insert(page, Box::from(&data[..n]));
+            } else {
+                let buf = self
+                    .pages
+                    .entry(page)
+                    .or_insert_with(|| vec![0u8; PAGE as usize].into_boxed_slice());
+                buf[in_page..in_page + n].copy_from_slice(&data[..n]);
+            }
             off += n as u64;
             data = &data[n..];
         }
@@ -124,6 +130,23 @@ mod tests {
         s.write(0, b"a");
         s.write(1 << 30, b"b");
         assert!(s.resident_bytes() <= 2 * PAGE);
+    }
+
+    #[test]
+    fn full_page_writes_roundtrip() {
+        // Exactly page-aligned, page-sized writes hit the no-zero-fill
+        // fast path; verify content and overwrite semantics still hold.
+        let mut s = ExtentStore::new();
+        let a: Vec<u8> = (0..PAGE).map(|i| (i % 13) as u8).collect();
+        s.write(PAGE, &a);
+        assert_eq!(s.read_vec(PAGE, a.len()), a);
+        let b: Vec<u8> = (0..PAGE).map(|i| (i % 7) as u8).collect();
+        s.write(PAGE, &b);
+        assert_eq!(s.read_vec(PAGE, b.len()), b);
+        // A partial write over the fast-path page keeps the rest intact.
+        s.write(PAGE + 5, b"zz");
+        assert_eq!(s.read_vec(PAGE + 4, 4), [b[4], b'z', b'z', b[7]]);
+        assert_eq!(s.len(), 2 * PAGE);
     }
 
     #[test]

@@ -135,11 +135,11 @@ impl<'c, 'w> H4File<'c, 'w> {
 
     fn append(&mut self, kind: u8, name: &str, numtype: NumType, dims: &[u64], data: &[u8]) {
         let h = encode_header(kind, name, numtype, dims, data.len() as u64);
-        // Header and data are two separate writes, interleaving small
-        // metadata with bulk data exactly like the real record format.
-        self.file.write_at(self.end, &h);
+        // Header and data stay separate buffers but reach the file
+        // system as one gathered request — the record layout on disk is
+        // unchanged, the small-metadata round trip is gone.
         let data_off = self.end + h.len() as u64;
-        self.file.write_at(data_off, data);
+        self.file.write_gather_at(self.end, &[&h, data]);
         self.index.push(SdsInfo {
             name: name.to_string(),
             numtype,

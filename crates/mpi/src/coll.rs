@@ -10,7 +10,7 @@
 use crate::Comm;
 use amrio_check::{CollDesc, CollKind};
 use amrio_net::Net;
-use amrio_simt::{Rank, SimDur, SimTime};
+use amrio_simt::{Bytes, Rank, SimDur, SimTime};
 
 /// Reduction operators over `f64` vectors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,9 +129,14 @@ impl<'a> Comm<'a> {
     }
 
     /// Broadcast `data` from `root`; every rank returns the payload.
-    pub fn bcast(&self, root: Rank, data: Vec<u8>) -> Vec<u8> {
+    /// Every rank's result shares the root's buffer (no payload copies).
+    pub fn bcast(&self, root: Rank, data: impl Into<Bytes>) -> Bytes {
         let me = self.rank();
-        let input = if me == root { data } else { Vec::new() };
+        let input = if me == root {
+            data.into()
+        } else {
+            Bytes::new()
+        };
         let desc = CollDesc {
             kind: CollKind::Bcast,
             root: Some(root),
@@ -141,7 +146,7 @@ impl<'a> Comm<'a> {
         };
         self.rendezvous(desc, input, move |net, inputs| {
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
-            let payload = inputs
+            let payload: Bytes = inputs
                 .into_iter()
                 .enumerate()
                 .find(|(r, _)| *r == root)
@@ -157,7 +162,8 @@ impl<'a> Comm<'a> {
     ///
     /// The root drains the messages serially (flat tree), which is what
     /// makes processor-0 collection scale poorly with P.
-    pub fn gatherv(&self, root: Rank, data: Vec<u8>) -> Vec<Vec<u8>> {
+    pub fn gatherv(&self, root: Rank, data: impl Into<Bytes>) -> Vec<Bytes> {
+        let data = data.into();
         let desc = CollDesc {
             kind: CollKind::Gatherv,
             root: Some(root),
@@ -168,7 +174,7 @@ impl<'a> Comm<'a> {
         self.rendezvous(desc, data, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
-            let payloads: Vec<Vec<u8>> = inputs.into_iter().map(|(_, d)| d).collect();
+            let payloads: Vec<Bytes> = inputs.into_iter().map(|(_, d)| d).collect();
             let mut root_clock = clocks[root];
             for src in 0..n {
                 if src == root {
@@ -195,9 +201,13 @@ impl<'a> Comm<'a> {
 
     /// Scatter per-rank payloads from `root` (which supplies a vec indexed
     /// by rank; other ranks pass anything, conventionally empty).
-    pub fn scatterv(&self, root: Rank, data: Vec<Vec<u8>>) -> Vec<u8> {
+    pub fn scatterv<B: Into<Bytes>>(&self, root: Rank, data: Vec<B>) -> Bytes {
         let me = self.rank();
-        let input = if me == root { data } else { Vec::new() };
+        let input: Vec<Bytes> = if me == root {
+            data.into_iter().map(Into::into).collect()
+        } else {
+            Vec::new()
+        };
         let desc = CollDesc {
             kind: CollKind::Scatterv,
             root: Some(root),
@@ -208,14 +218,14 @@ impl<'a> Comm<'a> {
         self.rendezvous(desc, input, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
-            let parts = inputs
+            let parts: Vec<Bytes> = inputs
                 .into_iter()
                 .enumerate()
                 .find(|(r, _)| *r == root)
                 .map(|(_, (_, d))| d)
                 .expect("root present");
             assert_eq!(parts.len(), n, "scatterv needs one payload per rank");
-            let mut outs: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
+            let mut outs: Vec<Option<Bytes>> = (0..n).map(|_| None).collect();
             for (dst, part) in parts.into_iter().enumerate() {
                 if dst == root {
                     outs[dst] = Some(part);
@@ -268,7 +278,8 @@ impl<'a> Comm<'a> {
 
     /// All-gather variable-size payloads; everyone returns all payloads
     /// indexed by rank. Implemented as gather-to-0 plus broadcast.
-    pub fn allgatherv(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+    pub fn allgatherv(&self, data: impl Into<Bytes>) -> Vec<Bytes> {
+        let data = data.into();
         let desc = CollDesc {
             kind: CollKind::Allgatherv,
             root: None,
@@ -279,7 +290,7 @@ impl<'a> Comm<'a> {
         self.rendezvous(desc, data, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
-            let payloads: Vec<Vec<u8>> = inputs.into_iter().map(|(_, d)| d).collect();
+            let payloads: Vec<Bytes> = inputs.into_iter().map(|(_, d)| d).collect();
             let mut root_clock = clocks[0];
             for src in 1..n {
                 let bytes = payloads[src].len() as u64;
@@ -297,8 +308,9 @@ impl<'a> Comm<'a> {
     /// Personalized all-to-all: `data[dst]` goes to rank `dst`; returns a
     /// vec indexed by source rank. Pairwise-exchange rounds: in round k,
     /// rank i sends to (i+k) mod P and receives from (i-k) mod P.
-    pub fn alltoallv(&self, data: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    pub fn alltoallv<B: Into<Bytes>>(&self, data: Vec<B>) -> Vec<Bytes> {
         assert_eq!(data.len(), self.size(), "one payload per destination");
+        let data: Vec<Bytes> = data.into_iter().map(Into::into).collect();
         let desc = CollDesc {
             kind: CollKind::Alltoallv,
             root: None,
@@ -309,16 +321,16 @@ impl<'a> Comm<'a> {
         self.rendezvous(desc, data, move |net, inputs| {
             let n = inputs.len();
             let mut clocks: Vec<SimTime> = inputs.iter().map(|(t, _)| *t).collect();
-            let payloads: Vec<Vec<Vec<u8>>> = inputs.into_iter().map(|(_, d)| d).collect();
+            let payloads: Vec<Vec<Bytes>> = inputs.into_iter().map(|(_, d)| d).collect();
             // Everyone starts the exchange together (implicit sync).
             let start = clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
             for c in clocks.iter_mut() {
                 *c = start;
             }
-            let mut out: Vec<Vec<Vec<u8>>> = (0..n)
-                .map(|_| (0..n).map(|_| Vec::new()).collect())
+            let mut out: Vec<Vec<Bytes>> = (0..n)
+                .map(|_| (0..n).map(|_| Bytes::new()).collect())
                 .collect();
-            // Local copies first.
+            // Local hand-offs first.
             for i in 0..n {
                 let bytes = payloads[i][i].len() as u64;
                 clocks[i] += unpack_cost(net, bytes);

@@ -21,7 +21,7 @@ pub mod coll;
 use amrio_check::{Checker, CollDesc};
 use amrio_net::{Net, NetConfig};
 use amrio_simt::sync::Mutex;
-use amrio_simt::{Ctx, Rank, SimDur, SimReport, SimTime};
+use amrio_simt::{Bytes, Ctx, Rank, SimDur, SimReport, SimTime};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -30,19 +30,20 @@ use std::sync::Arc;
 /// Message tag (like MPI tags).
 pub type Tag = u32;
 
-/// A received message.
+/// A received message. The payload is a shared [`Bytes`] window — the
+/// very buffer the sender injected, never re-copied in transit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     pub src: Rank,
     pub tag: Tag,
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 #[derive(Debug)]
 struct InMsg {
     src: Rank,
     tag: Tag,
-    data: Vec<u8>,
+    data: Bytes,
     arrival: SimTime,
 }
 
@@ -261,8 +262,16 @@ impl<'a> Comm<'a> {
         })
     }
 
-    /// Buffered send: returns when the message is injected (sender free).
+    /// Buffered send of a borrowed slice. The payload is copied once
+    /// into the mailbox (counted in the copy ledger); hand over a
+    /// [`Bytes`] via [`Comm::send_bytes`] to skip even that.
     pub fn send(&self, dst: Rank, tag: Tag, data: &[u8]) {
+        self.send_bytes(dst, tag, Bytes::copy_from_slice(data));
+    }
+
+    /// Buffered zero-copy send: returns when the message is injected
+    /// (sender free). The receiver gets this exact buffer.
+    pub fn send_bytes(&self, dst: Rank, tag: Tag, data: Bytes) {
         assert!(dst < self.nranks, "send to invalid rank {dst}");
         let me = self.rank();
         if let Some(ck) = &self.checker {
@@ -279,7 +288,7 @@ impl<'a> Comm<'a> {
             let msg = InMsg {
                 src: me,
                 tag,
-                data: data.to_vec(),
+                data,
                 arrival: x.arrival,
             };
             let mut mail = self.shared.mail.lock();
@@ -644,10 +653,10 @@ mod stress_tests {
             for lap in 0..3 {
                 if c.rank() == 0 {
                     c.send(next, lap, &token);
-                    token = c.recv(prev, lap).data;
+                    token = c.recv(prev, lap).data.into_vec();
                     token[0] += 1;
                 } else {
-                    let mut t = c.recv(prev, lap).data;
+                    let mut t = c.recv(prev, lap).data.into_vec();
                     t[0] += 1;
                     c.send(next, lap, &t);
                 }

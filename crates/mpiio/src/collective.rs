@@ -13,7 +13,7 @@
 
 use crate::datatype::Region;
 use crate::file::MpiFile;
-use amrio_simt::SimDur;
+use amrio_simt::{Bytes, SimDur};
 use std::sync::Arc;
 
 fn encode_regions(regions: &[Region]) -> Vec<u8> {
@@ -75,6 +75,7 @@ fn decode_regions(data: &[u8]) -> Result<Vec<Region>, CodecError> {
 /// Pieces exchanged between ranks: (file offset, data bytes).
 fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
     let total: usize = pieces.iter().map(|(_, d)| 16 + d.len()).sum();
+    amrio_simt::count_copy(pieces.iter().map(|(_, d)| d.len()).sum());
     let mut out = Vec::with_capacity(total);
     for (off, d) in pieces {
         out.extend_from_slice(&off.to_le_bytes());
@@ -84,29 +85,30 @@ fn encode_pieces(pieces: &[(u64, &[u8])]) -> Vec<u8> {
     out
 }
 
-fn decode_pieces(mut data: &[u8]) -> Result<Vec<(u64, Vec<u8>)>, CodecError> {
+/// Zero-copy decode: each returned payload is a window into `data`'s
+/// shared buffer, so unpacking a piece stream costs nothing.
+fn decode_pieces(data: &Bytes) -> Result<Vec<(u64, Bytes)>, CodecError> {
     let mut out = Vec::new();
-    while !data.is_empty() {
-        if data.len() < 16 {
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let rest = data.len() - pos;
+        if rest < 16 {
             return Err(CodecError::Truncated {
                 need: 16,
-                have: data.len(),
+                have: rest,
             });
         }
-        let off = u64::from_le_bytes(data[..8].try_into().unwrap());
-        let len64 = u64::from_le_bytes(data[8..16].try_into().unwrap());
+        let off = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+        let len64 = u64::from_le_bytes(data[pos + 8..pos + 16].try_into().unwrap());
         let len = usize::try_from(len64).map_err(|_| CodecError::Oversized { len: len64 })?;
         let need = 16usize
             .checked_add(len)
             .ok_or(CodecError::Oversized { len: len64 })?;
-        if data.len() < need {
-            return Err(CodecError::Truncated {
-                need,
-                have: data.len(),
-            });
+        if rest < need {
+            return Err(CodecError::Truncated { need, have: rest });
         }
-        out.push((off, data[16..need].to_vec()));
-        data = &data[need..];
+        out.push((off, data.slice(pos + 16..pos + need)));
+        pos += need;
     }
     Ok(out)
 }
@@ -239,45 +241,97 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let received = self.comm.alltoallv(payloads);
 
         // Phase 2 (I/O): aggregators write their domains with large
-        // contiguous requests.
+        // contiguous requests. The received pieces are kept as shared
+        // windows into the exchange payloads — no domain buffer is
+        // assembled. Each cb-sized window of a covered span goes to the
+        // file system as one gather-list request.
         let me = self.comm.rank();
         if me < naggs {
             let (ds, de) = domains[me];
             if de > ds {
-                let mut dom = vec![0u8; (de - ds) as usize];
-                let mut covered: Vec<Region> = Vec::new();
+                let mut pieces: Vec<(u64, Bytes)> = Vec::new();
                 for (src, per_src) in received.iter().enumerate() {
-                    let pieces = decode_pieces(per_src).unwrap_or_else(|e| {
+                    let ps = decode_pieces(per_src).unwrap_or_else(|e| {
                         panic!("two-phase write: corrupt piece stream from rank {src}: {e}")
                     });
-                    for (off, data) in pieces {
-                        let p = (off - ds) as usize;
-                        dom[p..p + data.len()].copy_from_slice(&data);
-                        covered.push((off, data.len() as u64));
-                    }
+                    pieces.extend(ps);
                 }
+                let mut covered: Vec<Region> =
+                    pieces.iter().map(|(o, d)| (*o, d.len() as u64)).collect();
                 crate::datatype::normalize(&mut covered);
+                let mut spans: Vec<Region> =
+                    pieces.iter().map(|(o, d)| (*o, d.len() as u64)).collect();
+                spans.sort_unstable();
+                let overlap = spans.windows(2).any(|w| w[0].0 + w[0].1 > w[1].0);
                 let fs = Arc::clone(&self.fs);
                 let fid = self.fid;
                 let cb = self.hints.cb_buffer_size.max(1);
-                let mem_bw = self.comm.mem_bw();
-                self.comm.io(move |t, net| {
-                    let mut fs = fs.lock();
-                    let mut cur = t + SimDur::transfer(dom.len() as u64, mem_bw); // assemble
-                                                                                  // Holes inside the domain must not be clobbered: write
-                                                                                  // only the covered spans (they are large and few).
-                    for (off, len) in &covered {
-                        let mut o = *off;
-                        let end = off + len;
-                        while o < end {
-                            let n = cb.min(end - o);
-                            let s = (o - ds) as usize;
-                            cur = fs.write_at(me, net, fid, o, &dom[s..s + n as usize], cur);
-                            o += n;
+                if !overlap {
+                    // Disjoint pieces tile each covered span exactly, so
+                    // holes inside the domain are never touched and the
+                    // last memcpy before the disk disappears.
+                    pieces.sort_by_key(|&(o, _)| o);
+                    self.comm.io(move |t, net| {
+                        let mut fs = fs.lock();
+                        let mut cur = t;
+                        let mut pi = 0usize;
+                        for (off, len) in &covered {
+                            let mut o = *off;
+                            let end = off + len;
+                            while o < end {
+                                let n = cb.min(end - o);
+                                while pi < pieces.len()
+                                    && pieces[pi].0 + pieces[pi].1.len() as u64 <= o
+                                {
+                                    pi += 1;
+                                }
+                                let mut parts: Vec<&[u8]> = Vec::new();
+                                let mut j = pi;
+                                while j < pieces.len() && pieces[j].0 < o + n {
+                                    let (po, pd) = &pieces[j];
+                                    let s = o.max(*po);
+                                    let e = (o + n).min(po + pd.len() as u64);
+                                    parts.push(&pd[(s - po) as usize..(e - po) as usize]);
+                                    j += 1;
+                                }
+                                debug_assert_eq!(
+                                    parts.iter().map(|p| p.len() as u64).sum::<u64>(),
+                                    n,
+                                    "gather parts must tile the window"
+                                );
+                                cur = fs.write_gather(me, net, fid, o, &parts, cur);
+                                o += n;
+                            }
                         }
+                        (cur, ())
+                    });
+                } else {
+                    // Overlapping pieces (concurrent-writer views, which
+                    // the checker reports separately): settle last-writer
+                    // order in a domain buffer first, like classic ROMIO.
+                    let mut dom = vec![0u8; (de - ds) as usize];
+                    for (off, data) in &pieces {
+                        let p = (off - ds) as usize;
+                        amrio_simt::count_copy(data.len());
+                        dom[p..p + data.len()].copy_from_slice(data);
                     }
-                    (cur, ())
-                });
+                    let mem_bw = self.comm.mem_bw();
+                    self.comm.io(move |t, net| {
+                        let mut fs = fs.lock();
+                        let mut cur = t + SimDur::transfer(dom.len() as u64, mem_bw); // assemble
+                        for (off, len) in &covered {
+                            let mut o = *off;
+                            let end = off + len;
+                            while o < end {
+                                let n = cb.min(end - o);
+                                let s = (o - ds) as usize;
+                                cur = fs.write_at(me, net, fid, o, &dom[s..s + n as usize], cur);
+                                o += n;
+                            }
+                        }
+                        (cur, ())
+                    });
+                }
             }
         }
     }
@@ -329,12 +383,11 @@ impl<'c, 'w> MpiFile<'c, 'w> {
             .collect();
 
         // Phase 1 (I/O): aggregators read the covered parts of their
-        // domains in large requests.
-        let mut dom_data: Vec<u8> = Vec::new();
-        let mut dom_start = 0u64;
+        // domains in large requests. The chunks stay as shared buffers;
+        // no domain image is assembled from them.
+        let mut chunks: Vec<(u64, Bytes)> = Vec::new();
         if me < naggs {
             let (ds, de) = domains[me];
-            dom_start = ds;
             if de > ds {
                 // Union of all requests clipped to the domain.
                 let mut wanted: Vec<Region> = others_req.iter().flatten().copied().collect();
@@ -342,11 +395,10 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 let fs = Arc::clone(&self.fs);
                 let fid = self.fid;
                 let cb = self.hints.cb_buffer_size.max(1);
-                dom_data = vec![0u8; (de - ds) as usize];
-                let got = self.comm.io(move |t, net| {
+                chunks = self.comm.io(move |t, net| {
                     let mut fs = fs.lock();
                     let mut cur = t;
-                    let mut chunks: Vec<(u64, Vec<u8>)> = Vec::new();
+                    let mut chunks: Vec<(u64, Bytes)> = Vec::new();
                     for (off, len) in &wanted {
                         let mut o = *off;
                         let end = off + len;
@@ -354,33 +406,37 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                             let n = cb.min(end - o);
                             let (done, data) = fs.read_at(me, net, fid, o, n, cur);
                             cur = done;
-                            chunks.push((o, data));
+                            chunks.push((o, Bytes::from_vec(data)));
                             o += n;
                         }
                     }
                     (cur, chunks)
                 });
-                for (o, data) in got {
-                    let p = (o - ds) as usize;
-                    dom_data[p..p + data.len()].copy_from_slice(&data);
-                }
             }
         }
 
         // Phase 2 (communication): aggregators route pieces to owners
-        // (the requests arrived pre-clipped in phase 0b).
+        // (the requests arrived pre-clipped in phase 0b). Responses are
+        // sliced straight out of the read chunks; a request spanning a
+        // chunk boundary is split, which only adds piece headers.
         let payloads: Vec<Vec<u8>> = (0..self.comm.size())
             .map(|dst| {
-                if me >= naggs || dom_data.is_empty() {
+                if me >= naggs || chunks.is_empty() {
                     return Vec::new();
                 }
-                let pieces: Vec<(u64, &[u8])> = others_req[dst]
-                    .iter()
-                    .map(|&(s, l)| {
-                        let p = (s - dom_start) as usize;
-                        (s, &dom_data[p..p + l as usize])
-                    })
-                    .collect();
+                let mut pieces: Vec<(u64, &[u8])> = Vec::new();
+                for &(s, l) in &others_req[dst] {
+                    let mut o = s;
+                    let end = s + l;
+                    while o < end {
+                        let ci = chunks.partition_point(|(co, cd)| co + cd.len() as u64 <= o);
+                        let (co, cd) = &chunks[ci];
+                        debug_assert!(*co <= o, "request byte outside every read chunk");
+                        let e = end.min(co + cd.len() as u64);
+                        pieces.push((o, &cd[(o - co) as usize..(e - co) as usize]));
+                        o = e;
+                    }
+                }
                 encode_pieces(&pieces)
             })
             .collect();
@@ -401,6 +457,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 let (ro, _) = regions[i];
                 debug_assert!(off >= ro);
                 let p = (buf_pos[i] + (off - ro)) as usize;
+                amrio_simt::count_copy(data.len());
                 out[p..p + data.len()].copy_from_slice(&data);
             }
         }
@@ -446,8 +503,12 @@ mod unit_tests {
         let a = vec![1u8, 2, 3];
         let b = vec![9u8; 10];
         let enc = encode_pieces(&[(5, &a), (100, &b)]);
-        let dec = decode_pieces(&enc).unwrap();
-        assert_eq!(dec, vec![(5, a), (100, b)]);
+        let dec = decode_pieces(&Bytes::from_vec(enc)).unwrap();
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec[0].0, 5);
+        assert_eq!(dec[0].1, a);
+        assert_eq!(dec[1].0, 100);
+        assert_eq!(dec[1].1, b);
     }
 
     #[test]
@@ -473,7 +534,7 @@ mod unit_tests {
     #[test]
     fn decode_pieces_rejects_truncated_header() {
         // 10 bytes cannot hold the 16-byte (offset, len) header.
-        let err = decode_pieces(&[0u8; 10]).unwrap_err();
+        let err = decode_pieces(&Bytes::from_vec(vec![0u8; 10])).unwrap_err();
         assert_eq!(err, CodecError::Truncated { need: 16, have: 10 });
     }
 
@@ -482,7 +543,7 @@ mod unit_tests {
         let body = vec![1u8, 2, 3, 4];
         let mut enc = encode_pieces(&[(42, &body)]);
         enc.truncate(enc.len() - 2); // header says 4 bytes, only 2 remain
-        let err = decode_pieces(&enc).unwrap_err();
+        let err = decode_pieces(&Bytes::from_vec(enc)).unwrap_err();
         assert_eq!(err, CodecError::Truncated { need: 20, have: 18 });
     }
 
@@ -491,7 +552,7 @@ mod unit_tests {
         let mut enc = Vec::new();
         enc.extend_from_slice(&0u64.to_le_bytes());
         enc.extend_from_slice(&u64::MAX.to_le_bytes()); // claimed payload len
-        let err = decode_pieces(&enc).unwrap_err();
+        let err = decode_pieces(&Bytes::from_vec(enc)).unwrap_err();
         assert!(matches!(
             err,
             CodecError::Truncated { .. } | CodecError::Oversized { .. }

@@ -285,17 +285,17 @@ impl<'c, 'w> MpiFile<'c, 'w> {
             }
         };
         if let Some((start, data)) = staged {
-            self.write_through(start, data);
+            self.write_through(start, &data);
         }
     }
 
-    fn write_through(&self, off: u64, data: Vec<u8>) {
+    fn write_through(&self, off: u64, data: &[u8]) {
         let fs = Arc::clone(&self.fs);
         let fid = self.fid;
         let me = self.comm.rank();
         self.comm.io(move |t, net| {
             let mut fs = fs.lock();
-            let done = fs.write_at(me, net, fid, off, &data, t);
+            let done = fs.write_at(me, net, fid, off, data, t);
             (done, ())
         });
     }
@@ -311,6 +311,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                     if b.data.is_empty() {
                         b.start = off;
                     }
+                    amrio_simt::count_copy(data.len());
                     b.data.extend_from_slice(data);
                     // Staging is a memcpy, not I/O.
                     self.comm
@@ -326,6 +327,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
             match wb.as_mut() {
                 Some(b) if data.len() <= b.cap => {
                     b.start = off;
+                    amrio_simt::count_copy(data.len());
                     b.data.extend_from_slice(data);
                     true
                 }
@@ -337,8 +339,46 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 .ctx()
                 .advance(SimDur::transfer(data.len() as u64, self.comm.mem_bw()));
         } else {
-            self.write_through(off, data.to_vec());
+            self.write_through(off, data);
         }
+    }
+
+    /// Vectored contiguous write: `parts` land back-to-back starting at
+    /// `off`, priced and traced as one file system request of their total
+    /// length (like `pwritev`). Callers hand over borrowed slices, so no
+    /// staging buffer is assembled. Flushes write-behind first so the
+    /// request is ordered after staged data.
+    pub fn write_gather_at(&self, off: u64, parts: &[&[u8]]) {
+        self.flush_write_behind();
+        if parts.iter().all(|p| p.is_empty()) {
+            return;
+        }
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        let me = self.comm.rank();
+        self.comm.io(move |t, net| {
+            let mut fs = fs.lock();
+            let done = fs.write_gather(me, net, fid, off, parts, t);
+            (done, ())
+        });
+    }
+
+    /// Vectored contiguous read: fills `parts` back-to-back from `off`,
+    /// priced and traced as one request of their total length (like
+    /// `preadv`). Flushes write-behind first so reads observe staged data.
+    pub fn read_scatter_at(&self, off: u64, parts: &mut [&mut [u8]]) {
+        self.flush_write_behind();
+        if parts.iter().all(|p| p.is_empty()) {
+            return;
+        }
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        let me = self.comm.rank();
+        self.comm.io(move |t, net| {
+            let mut fs = fs.lock();
+            let done = fs.read_scatter(me, net, fid, off, parts, t);
+            (done, ())
+        });
     }
 
     /// Independent contiguous read at an explicit offset (blocking).
@@ -372,11 +412,11 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         if self.hints.ds_write {
             self.sieved_write(&regions, buf);
         } else {
-            // One blocking request per run.
+            // One blocking request per run, sliced from the caller's
+            // buffer without staging.
             let fs = Arc::clone(&self.fs);
             let fid = self.fid;
             let me = self.comm.rank();
-            let buf = buf.to_vec();
             let regions2 = regions.clone();
             self.comm.io(move |t, net| {
                 let mut fs = fs.lock();
@@ -416,6 +456,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 for (off, len) in regions2 {
                     let (done, data) = fs.read_at(me, net, fid, off, len, cur);
                     cur = done;
+                    amrio_simt::count_copy(data.len());
                     out.extend_from_slice(&data);
                 }
                 (cur, out)
@@ -477,6 +518,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                         copied += e - s;
                     }
                 }
+                amrio_simt::count_copy(copied as usize);
                 cur += SimDur::transfer(copied, mem_bw)
                     + SimDur(PER_REGION_CPU.0 * (regions.len().min(64)) as u64 / 8);
                 win += wlen;
@@ -493,7 +535,6 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let sieve = self.hints.sieve_buffer_size.max(1);
         let mem_bw = self.comm.mem_bw();
         let regions = regions.to_vec();
-        let buf = buf.to_vec();
         self.comm.io(move |t, net| {
             let mut fs = fs.lock();
             let span_start = regions.first().map(|r| r.0).unwrap_or(0);
@@ -537,6 +578,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                         copied += e - s;
                     }
                 }
+                amrio_simt::count_copy(copied as usize);
                 cur += SimDur::transfer(copied, mem_bw);
                 cur = fs.write_at(me, net, fid, win, &data, cur);
                 win += wlen;

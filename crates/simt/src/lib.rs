@@ -17,10 +17,12 @@
 //! assert_eq!(report.makespan.0, 40_000);
 //! ```
 
+pub mod bytes;
 pub mod engine;
 pub mod sync;
 pub mod time;
 
+pub use bytes::{copied_bytes, count_copy, reset_copied_bytes, Bytes};
 pub use engine::{run, Ctx, Rank, SimReport};
 pub use time::{SimDur, SimTime};
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Host-side self-benchmark: wall-clock and copy-ledger measurements of
+# the simulator itself (not the virtual machine times the other bench
+# binaries report). Runs the full selfbench matrix — 3 backends x
+# small/large problem x 4/16 ranks x strict-checker on/off — and writes
+# BENCH_selfbench.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh                  # full matrix -> BENCH_selfbench.json
+#   scripts/bench.sh --smoke          # 3-cell smoke subset
+#   scripts/bench.sh --embed-before OLD.json
+#                                     # splice a previous run under "before"
+#                                     # for a before/after comparison file
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p amrio-bench --bin selfbench
+exec cargo run --release -q -p amrio-bench --bin selfbench -- "$@"

@@ -20,4 +20,16 @@ cargo test -q --test checker
 echo "== planner self-verification (plan_report)"
 cargo run --release --example plan_report
 
+echo "== selfbench smoke (wall-clock regression gate)"
+cargo run --release -q -p amrio-bench --bin selfbench -- --smoke --out /tmp/selfbench_smoke.json
+baseline=$(grep -m1 '"smoke_total_wall_ms"' BENCH_selfbench.json | grep -o '[0-9.]*')
+current=$(grep -m1 '"smoke_total_wall_ms"' /tmp/selfbench_smoke.json | grep -o '[0-9.]*')
+echo "   committed baseline: ${baseline} ms, this run: ${current} ms"
+awk -v b="$baseline" -v c="$current" 'BEGIN {
+  if (c > b * 1.25) {
+    printf "selfbench smoke regressed: %.1f ms > 1.25 x %.1f ms baseline\n", c, b
+    exit 1
+  }
+}'
+
 echo "ci: OK"

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/amrio_simt-4ac245a0b7e39c75.d: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/debug/deps/amrio_simt-4ac245a0b7e39c75.d: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
-/root/repo/target/debug/deps/amrio_simt-4ac245a0b7e39c75: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/debug/deps/amrio_simt-4ac245a0b7e39c75: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
 crates/simt/src/lib.rs:
+crates/simt/src/bytes.rs:
 crates/simt/src/engine.rs:
 crates/simt/src/sync.rs:
 crates/simt/src/time.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/amrio_simt-81c201fcf267e399.d: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/debug/deps/amrio_simt-81c201fcf267e399.d: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
-/root/repo/target/debug/deps/libamrio_simt-81c201fcf267e399.rlib: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/debug/deps/libamrio_simt-81c201fcf267e399.rlib: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
-/root/repo/target/debug/deps/libamrio_simt-81c201fcf267e399.rmeta: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/debug/deps/libamrio_simt-81c201fcf267e399.rmeta: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
 crates/simt/src/lib.rs:
+crates/simt/src/bytes.rs:
 crates/simt/src/engine.rs:
 crates/simt/src/sync.rs:
 crates/simt/src/time.rs:

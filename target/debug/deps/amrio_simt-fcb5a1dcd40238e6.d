@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/amrio_simt-fcb5a1dcd40238e6.d: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/amrio_simt-fcb5a1dcd40238e6.d: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libamrio_simt-fcb5a1dcd40238e6.rmeta: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libamrio_simt-fcb5a1dcd40238e6.rmeta: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs Cargo.toml
 
 crates/simt/src/lib.rs:
+crates/simt/src/bytes.rs:
 crates/simt/src/engine.rs:
 crates/simt/src/sync.rs:
 crates/simt/src/time.rs:

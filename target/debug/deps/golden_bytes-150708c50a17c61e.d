@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_bytes-150708c50a17c61e.d: tests/golden_bytes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_bytes-150708c50a17c61e.rmeta: tests/golden_bytes.rs Cargo.toml
+
+tests/golden_bytes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

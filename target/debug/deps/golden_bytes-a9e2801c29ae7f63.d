@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_bytes-a9e2801c29ae7f63.d: tests/golden_bytes.rs
+
+/root/repo/target/debug/deps/golden_bytes-a9e2801c29ae7f63: tests/golden_bytes.rs
+
+tests/golden_bytes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selfbench-7e321d652417a243.d: crates/bench/src/bin/selfbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselfbench-7e321d652417a243.rmeta: crates/bench/src/bin/selfbench.rs Cargo.toml
+
+crates/bench/src/bin/selfbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

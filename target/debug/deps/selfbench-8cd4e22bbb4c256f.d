@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selfbench-8cd4e22bbb4c256f.d: crates/bench/src/bin/selfbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselfbench-8cd4e22bbb4c256f.rmeta: crates/bench/src/bin/selfbench.rs Cargo.toml
+
+crates/bench/src/bin/selfbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selfbench-9c70dcf18ff9e9c6.d: crates/bench/src/bin/selfbench.rs
+
+/root/repo/target/debug/deps/selfbench-9c70dcf18ff9e9c6: crates/bench/src/bin/selfbench.rs
+
+crates/bench/src/bin/selfbench.rs:

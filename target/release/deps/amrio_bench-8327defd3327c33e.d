@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amrio_bench-8327defd3327c33e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_bench-8327defd3327c33e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamrio_bench-8327defd3327c33e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

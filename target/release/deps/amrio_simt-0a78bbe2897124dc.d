@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/amrio_simt-0a78bbe2897124dc.d: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/release/deps/amrio_simt-0a78bbe2897124dc.d: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
-/root/repo/target/release/deps/libamrio_simt-0a78bbe2897124dc.rlib: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/release/deps/libamrio_simt-0a78bbe2897124dc.rlib: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
-/root/repo/target/release/deps/libamrio_simt-0a78bbe2897124dc.rmeta: crates/simt/src/lib.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
+/root/repo/target/release/deps/libamrio_simt-0a78bbe2897124dc.rmeta: crates/simt/src/lib.rs crates/simt/src/bytes.rs crates/simt/src/engine.rs crates/simt/src/sync.rs crates/simt/src/time.rs
 
 crates/simt/src/lib.rs:
+crates/simt/src/bytes.rs:
 crates/simt/src/engine.rs:
 crates/simt/src/sync.rs:
 crates/simt/src/time.rs:

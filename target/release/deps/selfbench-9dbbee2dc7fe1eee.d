@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/selfbench-9dbbee2dc7fe1eee.d: crates/bench/src/bin/selfbench.rs
+
+/root/repo/target/release/deps/selfbench-9dbbee2dc7fe1eee: crates/bench/src/bin/selfbench.rs
+
+crates/bench/src/bin/selfbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-126977a3e4e94679.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-126977a3e4e94679: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,41 @@
+//! Golden-bytes equivalence: the final file-system image of a
+//! checkpoint dump must stay byte-identical across data-path changes.
+//!
+//! The digest constants were captured from the pre-zero-copy
+//! implementation (scalar writes, payload-cloning collectives, domain
+//! assembly in two-phase I/O) on the same configuration the selfbench
+//! smoke cells use: IBM SP-2/GPFS platform, 16^3 root grid, 4 ranks,
+//! 2 evolution cycles. Any refactor that changes *what* lands on disk —
+//! not just how it gets there — fails here. `RunReport::image_digest`
+//! is an FNV-1a hash over every file's path, length, and content.
+
+use amrio::enzo::{
+    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
+};
+
+const EVOLVE_CYCLES: u32 = 2;
+const NRANKS: usize = 4;
+const ROOT_N: u64 = 16;
+
+fn image_digest(strategy: &dyn IoStrategy) -> u64 {
+    let platform = Platform::ibm_sp2(NRANKS);
+    let cfg = SimConfig::new(ProblemSize::Custom(ROOT_N), NRANKS);
+    let r = driver::run_experiment(&platform, &cfg, strategy, EVOLVE_CYCLES);
+    assert!(r.verified, "restart verification failed");
+    r.image_digest
+}
+
+#[test]
+fn hdf4_serial_image_matches_seed() {
+    assert_eq!(image_digest(&Hdf4Serial), 0x33c1060cccaba736);
+}
+
+#[test]
+fn mpiio_optimized_image_matches_seed() {
+    assert_eq!(image_digest(&MpiIoOptimized), 0xe775d975bcc484a4);
+}
+
+#[test]
+fn hdf5_parallel_image_matches_seed() {
+    assert_eq!(image_digest(&Hdf5Parallel::default()), 0x48f25b415df8973e);
+}
