@@ -1,0 +1,230 @@
+//! Fault-matrix resilience benchmark: run each I/O strategy under a
+//! grid of deterministic fault scenarios and report the recovery
+//! actions the stack took (retries, failovers, degraded-mode time)
+//! next to the virtual-time cost relative to a clean run.
+//!
+//! `--smoke` runs the reduced matrix used as the CI gate: the
+//! degraded-PVFS cell must complete with `verified=true`, at least one
+//! retry and at least one failover, or the process exits non-zero.
+
+use amrio_bench::EVOLVE_CYCLES;
+use amrio_enzo::{
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    RunReport, SimConfig,
+};
+use amrio_fault::{window_secs, FaultPlan};
+use amrio_simt::{SimDur, SimTime};
+use std::sync::Arc;
+
+/// One row of the matrix: a named fault scenario applied to one
+/// platform/strategy cell, with the clean-run makespan for comparison.
+struct Row {
+    scenario: &'static str,
+    report: RunReport,
+    clean_makespan: f64,
+}
+
+/// Build the fault plan for a named scenario. The mid-dump failure time
+/// comes from probing the clean run's write window, so the scenario
+/// stays meaningful across platforms and problem sizes.
+fn plan_for(scenario: &'static str, dump_mid: SimTime) -> FaultPlan {
+    let always = window_secs(0.0, 1.0e9);
+    match scenario {
+        "clean" => FaultPlan::new(),
+        "transient_eio" => FaultPlan::new().with_transient_errors(0, always, 6),
+        "server_slowdown" => FaultPlan::new().with_server_slowdown(1, always, 4.0),
+        // The CI gate cell: transient errors early plus a permanent
+        // server loss mid-dump — the run must retry AND fail over.
+        "degraded_pvfs" => FaultPlan::new()
+            .with_transient_errors(0, always, 4)
+            .with_server_failure(2, dump_mid),
+        "straggler_delays" => FaultPlan::new()
+            .with_straggler(0, always, 2.0)
+            .with_message_delays(None, None, always, SimDur::from_micros(200), 50),
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// Probe a clean run: returns its report plus the midpoint of the
+/// checkpoint dump's write window (for mid-dump failure injection).
+fn probe_clean(
+    platform: &Platform,
+    cfg: &SimConfig,
+    strategy: &dyn IoStrategy,
+) -> (RunReport, SimTime) {
+    let out = Experiment::new(platform, cfg, strategy)
+        .cycles(EVOLVE_CYCLES)
+        .probe()
+        .run();
+    let probe = out.probe.expect("probe was requested");
+    let writes: Vec<_> = probe.events.iter().filter(|e| e.write).collect();
+    let w0 = writes.iter().map(|e| e.start).min().unwrap_or(SimTime(0));
+    let w1 = writes.iter().map(|e| e.end).max().unwrap_or(SimTime(0));
+    (out.report, SimTime(w0.0 + (w1.0 - w0.0) / 2))
+}
+
+fn run_matrix(smoke: bool) -> Vec<Row> {
+    let nranks = if smoke { 4 } else { 16 };
+    let problem = if smoke {
+        ProblemSize::Custom(16)
+    } else {
+        ProblemSize::Amr64
+    };
+    let platform = Platform::chiba_pvfs(nranks);
+    let cfg = SimConfig::new(problem, nranks);
+    let hdf5 = Hdf5Parallel::default();
+    let strategies: Vec<&dyn IoStrategy> = if smoke {
+        vec![&MpiIoOptimized]
+    } else {
+        vec![&Hdf4Serial, &MpiIoOptimized, &hdf5]
+    };
+    let scenarios: &[&'static str] = if smoke {
+        &["clean", "degraded_pvfs"]
+    } else {
+        &[
+            "clean",
+            "transient_eio",
+            "server_slowdown",
+            "degraded_pvfs",
+            "straggler_delays",
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for strategy in strategies {
+        let (clean, dump_mid) = probe_clean(&platform, &cfg, strategy);
+        let clean_makespan = clean.makespan;
+        for &scenario in scenarios {
+            let report = if scenario == "clean" {
+                clean.clone()
+            } else {
+                let plan = Arc::new(plan_for(scenario, dump_mid));
+                Experiment::new(&platform, &cfg, strategy)
+                    .cycles(EVOLVE_CYCLES)
+                    .faults(plan)
+                    .run()
+                    .report
+            };
+            rows.push(Row {
+                scenario,
+                report,
+                clean_makespan,
+            });
+        }
+    }
+    rows
+}
+
+fn print_rows(rows: &[Row]) {
+    println!(
+        "\n== Resilience: fault matrix on {} ==",
+        rows[0].report.platform
+    );
+    println!(
+        "{:<14} {:>16} {:>10} {:>8} {:>9} {:>9} {:>10} {:>12} {:>6}",
+        "strategy",
+        "scenario",
+        "makespan",
+        "vs-clean",
+        "retries",
+        "failover",
+        "degr[s]",
+        "straggl[s]",
+        "ok"
+    );
+    for r in rows {
+        let res = &r.report.resilience;
+        println!(
+            "{:<14} {:>16} {:>10.3} {:>7.2}x {:>9} {:>9} {:>10.3} {:>12.3} {:>6}",
+            r.report.strategy,
+            r.scenario,
+            r.report.makespan,
+            r.report.makespan / r.clean_makespan,
+            res.retries,
+            res.failovers,
+            res.degraded_mode_secs,
+            res.straggler_secs,
+            if r.report.verified { "yes" } else { "NO" }
+        );
+    }
+}
+
+fn write_csv(rows: &[Row], smoke: bool) {
+    use std::io::Write;
+    std::fs::create_dir_all("results").ok();
+    // The smoke subset writes beside the committed full matrix so CI
+    // runs never clobber it.
+    let path = if smoke {
+        "results/resilience_smoke.csv"
+    } else {
+        "results/resilience.csv"
+    };
+    let mut f = std::fs::File::create(path).expect("create results csv");
+    writeln!(
+        f,
+        "platform,problem,procs,strategy,scenario,makespan_s,clean_makespan_s,\
+         transient_errors,retries,timeouts,failovers,dropped_messages,delayed_messages,\
+         straggler_secs,degraded_servers,degraded_mode_secs,verified"
+    )
+    .unwrap();
+    for r in rows {
+        let res = &r.report.resilience;
+        writeln!(
+            f,
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{:.6},{},{:.6},{}",
+            r.report.platform,
+            r.report.problem,
+            r.report.nranks,
+            r.report.strategy,
+            r.scenario,
+            r.report.makespan,
+            r.clean_makespan,
+            res.transient_errors,
+            res.retries,
+            res.timeouts,
+            res.failovers,
+            res.dropped_messages,
+            res.delayed_messages,
+            res.straggler_secs,
+            res.degraded_servers,
+            res.degraded_mode_secs,
+            r.report.verified
+        )
+        .unwrap();
+    }
+    println!("(wrote {path})");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = run_matrix(smoke);
+    print_rows(&rows);
+    write_csv(&rows, smoke);
+
+    // Gate: every cell must verify, and the degraded-PVFS cell must
+    // have both retried and failed over.
+    let mut failed = false;
+    for r in &rows {
+        if !r.report.verified {
+            eprintln!(
+                "FAIL: {} / {} did not verify",
+                r.report.strategy, r.scenario
+            );
+            failed = true;
+        }
+        if r.scenario == "degraded_pvfs" {
+            let res = &r.report.resilience;
+            if res.retries == 0 || res.failovers == 0 {
+                eprintln!(
+                    "FAIL: {} / degraded_pvfs took no recovery action: {res:?}",
+                    r.report.strategy
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("resilience: OK");
+}

@@ -21,7 +21,8 @@
 use amrio_bench::{default_cfg, EVOLVE_CYCLES};
 use amrio_check::CheckMode;
 use amrio_enzo::{
-    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, RunReport,
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    RunReport,
 };
 use amrio_simt::{copied_bytes, reset_copied_bytes};
 use std::fmt::Write as _;
@@ -61,18 +62,11 @@ fn run_cell(
     let strategy = strategy_for(backend);
     reset_copied_bytes();
     let t0 = Instant::now();
-    let report = if strict {
-        let (r, _) = driver::run_experiment_checked(
-            &platform,
-            &cfg,
-            &*strategy,
-            EVOLVE_CYCLES,
-            CheckMode::Strict,
-        );
-        r
-    } else {
-        driver::run_experiment(&platform, &cfg, &*strategy, EVOLVE_CYCLES)
-    };
+    let mut exp = Experiment::new(&platform, &cfg, &*strategy).cycles(EVOLVE_CYCLES);
+    if strict {
+        exp = exp.check(CheckMode::Strict);
+    }
+    let report = exp.run().report;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let copied = copied_bytes();
     assert!(

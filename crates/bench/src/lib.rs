@@ -2,7 +2,7 @@
 //! and figure of the paper. Each `src/bin/*` binary prints one
 //! table/figure; `cargo run -p amrio-bench --bin all` runs everything.
 
-use amrio_enzo::{driver, IoStrategy, Platform, ProblemSize, RunReport, SimConfig};
+use amrio_enzo::{Experiment, IoStrategy, Platform, ProblemSize, RunReport, SimConfig};
 
 /// Evolution cycles before the timed dump (enough to grow a refinement
 /// hierarchy and scatter particles irregularly).
@@ -20,7 +20,10 @@ pub fn run_cell(
     strategy: &dyn IoStrategy,
 ) -> RunReport {
     let cfg = default_cfg(problem, nranks);
-    driver::run_experiment(platform, &cfg, strategy, EVOLVE_CYCLES)
+    Experiment::new(platform, &cfg, strategy)
+        .cycles(EVOLVE_CYCLES)
+        .run()
+        .report
 }
 
 /// Pretty-print a block of reports as a figure-style table.

@@ -26,6 +26,11 @@
 //! and [`CheckMode::Strict`] panics at the first violation with a
 //! structured report.
 //!
+//! Injected I/O faults (`amrio-fault`) never register as violations:
+//! a failed request attempt produces no trace events, so the conflict
+//! detectors only ever see the retry or failover that succeeded. A run
+//! that recovers from faults is expected to stay checker-clean.
+//!
 //! [`IoTrace`]: amrio_disk::IoTrace
 
 pub mod conform;

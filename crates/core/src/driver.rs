@@ -1,6 +1,19 @@
 //! End-to-end experiment driver: build a platform, initialize the
 //! simulation, evolve it, then time a checkpoint dump and a restart read
 //! with a chosen I/O strategy — the measurement loop behind every figure.
+//!
+//! The entry point is the [`Experiment`] builder: one configurable run
+//! that optionally attaches a correctness checker, captures a
+//! plan-conformance probe, and injects faults:
+//!
+//! ```ignore
+//! let outcome = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+//!     .cycles(2)
+//!     .check(CheckMode::Strict)
+//!     .probe()
+//!     .faults(Arc::new(plan))
+//!     .run();
+//! ```
 
 use crate::evolve::{evolve_step, rebuild_refinement};
 use crate::io::IoStrategy;
@@ -9,7 +22,7 @@ use crate::problem::SimConfig;
 use crate::state::{global_digest, SimState};
 use amrio_amr::Hierarchy;
 use amrio_check::{CheckMode, CheckReport, Checker, CollDesc};
-use amrio_disk::{FileId, IoEvent};
+use amrio_disk::{FaultPlan, FileId, IoEvent, ResilienceReport, RetryPolicy};
 use amrio_mpi::{Comm, World};
 use amrio_mpiio::MpiIo;
 use amrio_simt::SimDur;
@@ -39,6 +52,9 @@ pub struct RunReport {
     /// [`amrio_disk::Pfs::image_digest`]) — restart reads do not write,
     /// so this is the checkpoint image the dump produced.
     pub image_digest: u64,
+    /// Recovery actions the I/O stack took under fault injection
+    /// (all-zero when no fault plan was attached).
+    pub resilience: ResilienceReport,
 }
 
 /// Barrier-bracketed timing: all ranks enter and leave together, so the
@@ -49,33 +65,6 @@ pub fn timed<R>(comm: &Comm, f: impl FnOnce() -> R) -> (SimDur, R) {
     let r = f();
     comm.barrier();
     (comm.now() - t0, r)
-}
-
-/// Run the full experiment: init → refine → `evolve_cycles` steps →
-/// timed checkpoint write → timed restart read → verification.
-pub fn run_experiment(
-    platform: &Platform,
-    cfg: &SimConfig,
-    strategy: &dyn IoStrategy,
-    evolve_cycles: u32,
-) -> RunReport {
-    run_with(platform, cfg, strategy, evolve_cycles, None).0
-}
-
-/// [`run_experiment`] with an `amrio-check` correctness checker
-/// attached: every collective is cross-checked, the file system is
-/// traced, and the returned [`CheckReport`] lists any violations
-/// (under [`CheckMode::Strict`] the run panics on the first one).
-pub fn run_experiment_checked(
-    platform: &Platform,
-    cfg: &SimConfig,
-    strategy: &dyn IoStrategy,
-    evolve_cycles: u32,
-    mode: CheckMode,
-) -> (RunReport, CheckReport) {
-    let checker = Arc::new(Checker::new(mode, cfg.nranks));
-    let (report, check) = run_with(platform, cfg, strategy, evolve_cycles, Some(checker));
-    (report, check.expect("checker was attached"))
 }
 
 /// Everything a plan↔trace conformance pass needs from one checked run:
@@ -103,11 +92,253 @@ pub struct RunProbe {
     pub events: Vec<IoEvent>,
 }
 
-/// [`run_experiment_checked`] plus a [`RunProbe`]: the checker records
-/// the collective log and the file system trace so the caller can diff
-/// the observed run against a statically derived access plan. `mode`
-/// must be enabled ([`CheckMode::Log`] or [`CheckMode::Strict`]) for the
-/// probe to capture collectives.
+/// Everything one [`Experiment`] run produced. `check` is present iff a
+/// check mode was requested; `probe` iff probing was requested.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub report: RunReport,
+    pub check: Option<CheckReport>,
+    pub probe: Option<RunProbe>,
+}
+
+/// One configurable experiment run. See the module docs for the shape;
+/// [`Experiment::run`] executes init → refine → `cycles` evolve steps →
+/// timed checkpoint write → timed restart read → verification, with the
+/// requested extras attached.
+pub struct Experiment<'a> {
+    platform: &'a Platform,
+    cfg: &'a SimConfig,
+    strategy: &'a dyn IoStrategy,
+    cycles: u32,
+    check: Option<CheckMode>,
+    probe: bool,
+    faults: Option<Arc<FaultPlan>>,
+    retry: Option<RetryPolicy>,
+}
+
+impl<'a> Experiment<'a> {
+    pub fn new(
+        platform: &'a Platform,
+        cfg: &'a SimConfig,
+        strategy: &'a dyn IoStrategy,
+    ) -> Experiment<'a> {
+        Experiment {
+            platform,
+            cfg,
+            strategy,
+            cycles: 1,
+            check: None,
+            probe: false,
+            faults: None,
+            retry: None,
+        }
+    }
+
+    /// Number of evolve steps between init and the checkpoint (default 1).
+    pub fn cycles(mut self, n: u32) -> Self {
+        self.cycles = n;
+        self
+    }
+
+    /// Attach an `amrio-check` correctness checker: every collective is
+    /// cross-checked, the file system is traced, and the outcome carries
+    /// a [`CheckReport`] (under [`CheckMode::Strict`] the run panics on
+    /// the first violation).
+    pub fn check(mut self, mode: CheckMode) -> Self {
+        self.check = Some(mode);
+        self
+    }
+
+    /// Capture a [`RunProbe`] for plan↔trace conformance. Implies
+    /// [`CheckMode::Log`] when no check mode was set (the probe needs
+    /// the checker's collective log and file-system trace).
+    pub fn probe(mut self) -> Self {
+        self.probe = true;
+        self
+    }
+
+    /// Inject faults from `plan`: the file system, network and
+    /// per-rank clocks consult it, and the run's [`ResilienceReport`]
+    /// summarizes the recovery actions taken.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the MPI-IO retry/backoff/failover policy (default:
+    /// [`RetryPolicy::default`]).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Execute the run.
+    pub fn run(self) -> RunOutcome {
+        let Experiment {
+            platform,
+            cfg,
+            strategy,
+            cycles,
+            check,
+            probe,
+            faults,
+            retry,
+        } = self;
+        assert_eq!(cfg.nranks, {
+            // Compute endpoints precede any I/O server endpoints.
+            let eps = platform.net.node_of.len();
+            let servers = platform
+                .fs
+                .server_endpoints
+                .as_ref()
+                .map(|v| v.len())
+                .unwrap_or(0);
+            eps - servers
+        });
+        let mode = match (check, probe) {
+            (Some(m), _) => Some(m),
+            (None, true) => Some(CheckMode::Log),
+            (None, false) => None,
+        };
+        let checker = mode.map(|m| Arc::new(Checker::new(m, cfg.nranks)));
+
+        let mut world = World::new(cfg.nranks, platform.net.clone());
+        let mut io = MpiIo::new(platform.fs.clone());
+        if let Some(policy) = retry {
+            io.set_retry_policy(policy);
+        }
+        if let Some(plan) = &faults {
+            world = world.with_faults(Arc::clone(plan));
+            io.attach_faults(Arc::clone(plan));
+        }
+        if let Some(ck) = &checker {
+            if probe {
+                ck.record_collectives();
+            }
+            world = world.with_checker(Arc::clone(ck));
+            io.attach_checker(ck);
+        }
+
+        let report = world.run(|comm| {
+            let mut st = SimState::init(comm, cfg.clone());
+            rebuild_refinement(comm, &mut st);
+            for _ in 0..cycles {
+                evolve_step(comm, &mut st, 1.0);
+            }
+            rebuild_refinement(comm, &mut st);
+
+            let (wt, wep) = timed(comm, || {
+                let e0 = comm.coll_epoch();
+                strategy.write_checkpoint(comm, &io, &st, 0);
+                (e0, comm.coll_epoch())
+            });
+            let d0 = global_digest(comm, &st);
+            let (rt, (rep, st2)) = timed(comm, || {
+                let e0 = comm.coll_epoch();
+                let st2 = strategy.read_checkpoint(comm, &io, &st.cfg, 0);
+                ((e0, comm.coll_epoch()), st2)
+            });
+            let d1 = global_digest(comm, &st2);
+            (
+                wt,
+                rt,
+                d0 == d1,
+                st.hierarchy.clone(),
+                st.time,
+                st.cycle,
+                wep,
+                rep,
+            )
+        });
+
+        let makespan = report.makespan;
+        let (wt, rt, verified, hierarchy, time, cycle, write_epochs, read_epochs) = report
+            .results
+            .into_iter()
+            .next()
+            .expect("at least one rank");
+        let (stats, files, events, image_digest) = {
+            let fs = io.fs();
+            let fs = fs.lock();
+            let (files, events) = fs.trace_snapshot();
+            (fs.stats, files, events, fs.image_digest())
+        };
+        let resilience = faults
+            .as_ref()
+            .map(|p| p.report(makespan))
+            .unwrap_or_default();
+        let check = checker.as_ref().map(|ck| ck.finalize());
+        let probe = probe.then(|| RunProbe {
+            nranks: cfg.nranks,
+            write_epochs,
+            read_epochs,
+            collectives: checker
+                .as_ref()
+                .map(|ck| ck.collective_log())
+                .unwrap_or_default(),
+            files,
+            events,
+            hierarchy: hierarchy.clone(),
+            time,
+            cycle,
+        });
+        RunOutcome {
+            report: RunReport {
+                platform: platform.name,
+                strategy: strategy.name(),
+                problem: cfg.problem.label(),
+                nranks: cfg.nranks,
+                write_time: wt.as_secs_f64(),
+                read_time: rt.as_secs_f64(),
+                bytes_written: stats.bytes_written,
+                bytes_read: stats.bytes_read,
+                grids: hierarchy.grids.len(),
+                max_level: hierarchy.max_level(),
+                verified,
+                makespan: makespan.as_secs_f64(),
+                image_digest,
+                resilience,
+            },
+            check,
+            probe,
+        }
+    }
+}
+
+/// Run the full experiment with no checker attached.
+#[deprecated(note = "use Experiment::new(platform, cfg, strategy).cycles(n).run()")]
+pub fn run_experiment(
+    platform: &Platform,
+    cfg: &SimConfig,
+    strategy: &dyn IoStrategy,
+    evolve_cycles: u32,
+) -> RunReport {
+    Experiment::new(platform, cfg, strategy)
+        .cycles(evolve_cycles)
+        .run()
+        .report
+}
+
+/// Experiment with an `amrio-check` correctness checker attached.
+#[deprecated(note = "use Experiment::new(...).cycles(n).check(mode).run()")]
+pub fn run_experiment_checked(
+    platform: &Platform,
+    cfg: &SimConfig,
+    strategy: &dyn IoStrategy,
+    evolve_cycles: u32,
+    mode: CheckMode,
+) -> (RunReport, CheckReport) {
+    let out = Experiment::new(platform, cfg, strategy)
+        .cycles(evolve_cycles)
+        .check(mode)
+        .run();
+    (out.report, out.check.expect("checker was attached"))
+}
+
+/// Checked experiment plus a [`RunProbe`]. `mode` must be enabled
+/// ([`CheckMode::Log`] or [`CheckMode::Strict`]) for the probe to
+/// capture collectives.
+#[deprecated(note = "use Experiment::new(...).cycles(n).check(mode).probe().run()")]
 pub fn run_experiment_probed(
     platform: &Platform,
     cfg: &SimConfig,
@@ -115,160 +346,14 @@ pub fn run_experiment_probed(
     evolve_cycles: u32,
     mode: CheckMode,
 ) -> (RunReport, CheckReport, RunProbe) {
-    let checker = Arc::new(Checker::new(mode, cfg.nranks));
-    checker.record_collectives();
-    let world = World::new(cfg.nranks, platform.net.clone()).with_checker(Arc::clone(&checker));
-    let io = MpiIo::new(platform.fs.clone());
-    io.attach_checker(&checker);
-
-    let report = world.run(|comm| {
-        let mut st = SimState::init(comm, cfg.clone());
-        rebuild_refinement(comm, &mut st);
-        for _ in 0..evolve_cycles {
-            evolve_step(comm, &mut st, 1.0);
-        }
-        rebuild_refinement(comm, &mut st);
-
-        let (wt, wep) = timed(comm, || {
-            let e0 = comm.coll_epoch();
-            strategy.write_checkpoint(comm, &io, &st, 0);
-            (e0, comm.coll_epoch())
-        });
-        let d0 = global_digest(comm, &st);
-        let (rt, (rep, st2)) = timed(comm, || {
-            let e0 = comm.coll_epoch();
-            let st2 = strategy.read_checkpoint(comm, &io, &st.cfg, 0);
-            ((e0, comm.coll_epoch()), st2)
-        });
-        let d1 = global_digest(comm, &st2);
-        (
-            wt,
-            rt,
-            d0 == d1,
-            st.hierarchy.clone(),
-            st.time,
-            st.cycle,
-            wep,
-            rep,
-        )
-    });
-
-    let makespan = report.makespan.as_secs_f64();
-    let (wt, rt, verified, hierarchy, time, cycle, write_epochs, read_epochs) = report
-        .results
-        .into_iter()
-        .next()
-        .expect("at least one rank");
-    let (stats, files, events, image_digest) = {
-        let fs = io.fs();
-        let fs = fs.lock();
-        let (files, events) = fs.trace_snapshot();
-        (fs.stats, files, events, fs.image_digest())
-    };
-    let check = checker.finalize();
-    let probe = RunProbe {
-        nranks: cfg.nranks,
-        write_epochs,
-        read_epochs,
-        collectives: checker.collective_log(),
-        files,
-        events,
-        hierarchy,
-        time,
-        cycle,
-    };
+    let out = Experiment::new(platform, cfg, strategy)
+        .cycles(evolve_cycles)
+        .check(mode)
+        .probe()
+        .run();
     (
-        RunReport {
-            platform: platform.name,
-            strategy: strategy.name(),
-            problem: cfg.problem.label(),
-            nranks: cfg.nranks,
-            write_time: wt.as_secs_f64(),
-            read_time: rt.as_secs_f64(),
-            bytes_written: stats.bytes_written,
-            bytes_read: stats.bytes_read,
-            grids: probe.hierarchy.grids.len(),
-            max_level: probe.hierarchy.max_level(),
-            verified,
-            makespan,
-            image_digest,
-        },
-        check,
-        probe,
-    )
-}
-
-fn run_with(
-    platform: &Platform,
-    cfg: &SimConfig,
-    strategy: &dyn IoStrategy,
-    evolve_cycles: u32,
-    checker: Option<Arc<Checker>>,
-) -> (RunReport, Option<CheckReport>) {
-    assert_eq!(cfg.nranks, {
-        // Compute endpoints precede any I/O server endpoints.
-        let eps = platform.net.node_of.len();
-        let servers = platform
-            .fs
-            .server_endpoints
-            .as_ref()
-            .map(|v| v.len())
-            .unwrap_or(0);
-        eps - servers
-    });
-    let mut world = World::new(cfg.nranks, platform.net.clone());
-    let io = MpiIo::new(platform.fs.clone());
-    if let Some(ck) = &checker {
-        world = world.with_checker(Arc::clone(ck));
-        io.attach_checker(ck);
-    }
-
-    let report = world.run(|comm| {
-        let mut st = SimState::init(comm, cfg.clone());
-        rebuild_refinement(comm, &mut st);
-        for _ in 0..evolve_cycles {
-            evolve_step(comm, &mut st, 1.0);
-        }
-        rebuild_refinement(comm, &mut st);
-
-        let (wt, ()) = timed(comm, || strategy.write_checkpoint(comm, &io, &st, 0));
-        let d0 = global_digest(comm, &st);
-        let (rt, st2) = timed(comm, || strategy.read_checkpoint(comm, &io, &st.cfg, 0));
-        let d1 = global_digest(comm, &st2);
-
-        (
-            wt,
-            rt,
-            d0 == d1,
-            st.hierarchy.grids.len(),
-            st.hierarchy.max_level(),
-            comm.now(),
-        )
-    });
-
-    let (wt, rt, verified, grids, max_level, _) = report.results[0];
-    let (stats, image_digest) = {
-        let fs = io.fs();
-        let fs = fs.lock();
-        (fs.stats, fs.image_digest())
-    };
-    let check = checker.map(|ck| ck.finalize());
-    (
-        RunReport {
-            platform: platform.name,
-            strategy: strategy.name(),
-            problem: cfg.problem.label(),
-            nranks: cfg.nranks,
-            write_time: wt.as_secs_f64(),
-            read_time: rt.as_secs_f64(),
-            bytes_written: stats.bytes_written,
-            bytes_read: stats.bytes_read,
-            grids,
-            max_level,
-            verified,
-            makespan: report.makespan.as_secs_f64(),
-            image_digest,
-        },
-        check,
+        out.report,
+        out.check.expect("checker was attached"),
+        out.probe.expect("probe was requested"),
     )
 }

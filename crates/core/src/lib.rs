@@ -3,11 +3,14 @@
 //! parallel HDF5), plus the experiment driver behind every figure.
 //!
 //! ```no_run
-//! use amrio_enzo::{driver, io::MpiIoOptimized, Platform, ProblemSize, SimConfig};
+//! use amrio_enzo::{driver::Experiment, io::MpiIoOptimized, Platform, ProblemSize, SimConfig};
 //!
 //! let platform = Platform::origin2000(8);
 //! let cfg = SimConfig::new(ProblemSize::Amr64, 8);
-//! let report = driver::run_experiment(&platform, &cfg, &MpiIoOptimized, 2);
+//! let report = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+//!     .cycles(2)
+//!     .run()
+//!     .report;
 //! println!("write {:.3}s read {:.3}s", report.write_time, report.read_time);
 //! ```
 
@@ -21,9 +24,9 @@ pub mod sort;
 pub mod state;
 pub mod wire;
 
-pub use driver::{
-    run_experiment, run_experiment_checked, run_experiment_probed, RunProbe, RunReport,
-};
+#[allow(deprecated)]
+pub use driver::{run_experiment, run_experiment_checked, run_experiment_probed};
+pub use driver::{Experiment, RunOutcome, RunProbe, RunReport};
 pub use io::{
     Hdf4Serial, Hdf5Parallel, IoStrategy, MdmsAdvised, MpiIoAppStriped, MpiIoMultiFile, MpiIoNaive,
     MpiIoOptimized, MpiIoWriteBehind,
@@ -109,13 +112,17 @@ mod tests {
     fn run_experiment_reports_sane_numbers() {
         let cfg = tiny_cfg(4);
         let platform = Platform::origin2000(4);
-        let rep = run_experiment(&platform, &cfg, &MpiIoOptimized, 1);
+        let rep = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+            .cycles(1)
+            .run()
+            .report;
         assert!(rep.verified, "restart must verify");
         assert!(rep.write_time > 0.0);
         assert!(rep.read_time > 0.0);
         assert!(rep.bytes_written > 0);
         assert!(rep.grids >= 1);
         assert_eq!(rep.nranks, 4);
+        assert!(rep.resilience.is_quiet(), "no faults were injected");
     }
 }
 

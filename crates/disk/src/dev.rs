@@ -66,6 +66,20 @@ impl BlockDev {
     /// `t`. Returns the completion time. `write` requests pay the (much
     /// smaller) write-back seek on non-sequential access.
     pub fn access(&mut self, off: u64, len: u64, t: SimTime, write: bool) -> SimTime {
+        self.access_scaled(off, len, t, write, 1.0)
+    }
+
+    /// [`BlockDev::access`] with a service-time multiplier (fault
+    /// injection: a degraded server runs `scale`× slower). `scale == 1.0`
+    /// is bit-identical to the unscaled path.
+    pub fn access_scaled(
+        &mut self,
+        off: u64,
+        len: u64,
+        t: SimTime,
+        write: bool,
+        scale: f64,
+    ) -> SimTime {
         let start = t.max(self.next_free);
         let sequential = off == self.head;
         let mut cost = self.params.per_request;
@@ -79,6 +93,10 @@ impl BlockDev {
             self.stats.sequential_requests += 1;
         }
         cost += SimDur::transfer(len, self.params.bandwidth);
+        if scale != 1.0 {
+            assert!(scale > 0.0, "service-time scale must be positive");
+            cost = SimDur(((cost.0 as f64) * scale).round() as u64);
+        }
         self.next_free = start + cost;
         self.head = off + len;
         self.stats.requests += 1;

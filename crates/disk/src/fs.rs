@@ -24,9 +24,11 @@
 use crate::dev::{BlockDev, DiskParams};
 use crate::store::ExtentStore;
 use crate::trace::{IoEvent, IoTrace};
+use amrio_fault::{FaultPlan, IoError, IoResult};
 use amrio_net::{Endpoint, Net};
 use amrio_simt::{SimDur, SimTime};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Size of the request header / ack messages exchanged with servers.
 const REQ_MSG: u64 = 64;
@@ -106,16 +108,80 @@ pub struct Piece {
     pub file_off: u64,
 }
 
+/// One I/O request against a [`Pfs`]: the unified surface behind the
+/// legacy `write_at`/`write_gather`/`read_at`/`read_scatter` quartet.
+/// Every request is a single contiguous file range; the vectored
+/// variants only change where the bytes live in *host* memory, so the
+/// fault layer, tracer, and checker all intercept one choke point
+/// ([`Pfs::submit`]) instead of four.
+#[derive(Debug)]
+pub enum IoOp<'a, 'b> {
+    /// Write `data` at file offset `off`.
+    Write { off: u64, data: &'a [u8] },
+    /// Write the concatenation of `parts` at `off` (pwritev-style).
+    WriteGather { off: u64, parts: &'a [&'b [u8]] },
+    /// Read `len` bytes at `off` into a fresh buffer.
+    Read { off: u64, len: u64 },
+    /// Read `Σ parts[i].len()` bytes at `off`, scattered into `parts`
+    /// (preadv-style).
+    ReadScatter {
+        off: u64,
+        parts: &'a mut [&'b mut [u8]],
+    },
+}
+
+impl IoOp<'_, '_> {
+    pub fn is_write(&self) -> bool {
+        matches!(self, IoOp::Write { .. } | IoOp::WriteGather { .. })
+    }
+
+    pub fn offset(&self) -> u64 {
+        match self {
+            IoOp::Write { off, .. }
+            | IoOp::WriteGather { off, .. }
+            | IoOp::Read { off, .. }
+            | IoOp::ReadScatter { off, .. } => *off,
+        }
+    }
+
+    /// Total bytes moved by the request.
+    pub fn total_len(&self) -> u64 {
+        match self {
+            IoOp::Write { data, .. } => data.len() as u64,
+            IoOp::WriteGather { parts, .. } => parts.iter().map(|p| p.len() as u64).sum(),
+            IoOp::Read { len, .. } => *len,
+            IoOp::ReadScatter { parts, .. } => parts.iter().map(|p| p.len() as u64).sum(),
+        }
+    }
+}
+
+/// Successful outcome of a [`Pfs::submit`].
+#[derive(Clone, Debug)]
+pub struct IoCompletion {
+    /// When the request entered service (after the client-side queue).
+    pub start: SimTime,
+    /// When the last server acked / the last byte reached the client.
+    pub done: SimTime,
+    /// The bytes, for [`IoOp::Read`] requests; `None` otherwise.
+    pub data: Option<Vec<u8>>,
+}
+
 /// The simulated parallel file system.
 #[derive(Clone, Debug)]
 pub struct Pfs {
     cfg: FsConfig,
     servers: Vec<BlockDev>,
+    /// `alive[s]` — whether server `s` is still in the stripe map.
+    /// Degraded servers keep their [`BlockDev`] (for stats) but receive
+    /// no further requests; survivors absorb their extents.
+    alive: Vec<bool>,
     files: Vec<FileData>,
     names: HashMap<String, FileId>,
     tokens: HashMap<(FileId, u64), Token>,
     node_queue: HashMap<usize, SimTime>,
     client_stream_free: HashMap<Endpoint, SimTime>,
+    /// Optional fault schedule consulted by [`Pfs::submit`].
+    faults: Option<Arc<FaultPlan>>,
     pub stats: FsStats,
     /// Optional Pablo-style request trace (see [`crate::trace`]).
     pub trace: IoTrace,
@@ -130,6 +196,7 @@ impl Pfs {
         }
         let servers = (0..cfg.nservers).map(|_| BlockDev::new(cfg.disk)).collect();
         Pfs {
+            alive: vec![true; cfg.nservers],
             cfg,
             servers,
             files: Vec::new(),
@@ -137,9 +204,55 @@ impl Pfs {
             tokens: HashMap::new(),
             node_queue: HashMap::new(),
             client_stream_free: HashMap::new(),
+            faults: None,
             stats: FsStats::default(),
             trace: IoTrace::default(),
         }
+    }
+
+    /// Attach a fault schedule: [`Pfs::submit`] consults it per request
+    /// (failures, transient errors, slowdowns, stalls). An empty plan is
+    /// a strict no-op — timing and contents stay bit-identical.
+    pub fn attach_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Number of servers still in the stripe map.
+    pub fn alive_servers(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Whether `s` has been dropped from the stripe map.
+    pub fn is_degraded(&self, s: usize) -> bool {
+        !self.alive[s]
+    }
+
+    /// Drop server `s` out of the stripe map at `when` (graceful
+    /// degradation): subsequent requests remap round-robin over the
+    /// survivors, which absorb the failed server's extents. File
+    /// *contents* live in per-file extent stores, so nothing is lost —
+    /// only placement (and therefore timing) changes, exactly like a
+    /// declustered PVFS volume rebuilding onto fewer servers. Returns
+    /// false if `s` was already degraded. Panics rather than degrade the
+    /// last surviving server.
+    pub fn degrade_server(&mut self, s: usize, when: SimTime) -> bool {
+        assert!(s < self.cfg.nservers, "no such server {s}");
+        if !self.alive[s] {
+            return false;
+        }
+        assert!(
+            self.alive_servers() > 1,
+            "cannot degrade the last surviving server {s}"
+        );
+        self.alive[s] = false;
+        if let Some(plan) = &self.faults {
+            plan.note_failover(s, when);
+        }
+        true
     }
 
     pub fn config(&self) -> &FsConfig {
@@ -244,13 +357,26 @@ impl Pfs {
     /// Decompose `[off, off+len)` into coalesced per-server pieces.
     /// Striping is staggered by file id (like allocation groups), so small
     /// files spread over all servers instead of piling onto server 0.
+    ///
+    /// Only servers still in the stripe map participate: after a
+    /// [`Pfs::degrade_server`], the round-robin runs over the survivors
+    /// (when nothing is degraded the mapping is bit-identical to the
+    /// full layout).
     pub fn map_pieces(&self, client: Endpoint, f: FileId, off: u64, len: u64) -> Vec<Piece> {
         if len == 0 {
             return Vec::new();
         }
+        // Identity map while healthy; survivor list once degraded.
+        let survivors: Option<Vec<usize>> = if self.alive_servers() == self.cfg.nservers {
+            None
+        } else {
+            Some((0..self.cfg.nservers).filter(|s| self.alive[*s]).collect())
+        };
+        let nmap = survivors.as_ref().map_or(self.cfg.nservers, |v| v.len());
+        let resolve = |k: usize| survivors.as_ref().map_or(k, |v| v[k]);
         match self.cfg.placement {
             Placement::ClientLocal => {
-                let server = client % self.cfg.nservers;
+                let server = resolve(client % nmap);
                 vec![Piece {
                     server,
                     dev_off: off,
@@ -260,13 +386,13 @@ impl Pfs {
             }
             Placement::Striped => {
                 let s = self.stripe_of(f);
-                let n = self.cfg.nservers as u64;
+                let n = nmap as u64;
                 let mut pieces: Vec<Piece> = Vec::new();
                 let mut cur = off;
                 let end = off + len;
                 while cur < end {
                     let block = cur / s;
-                    let server = ((block + f as u64) % n) as usize;
+                    let server = resolve(((block + f as u64) % n) as usize);
                     let local_block = block / n;
                     let in_block = cur % s;
                     let piece_len = (s - in_block).min(end - cur);
@@ -334,7 +460,151 @@ impl Pfs {
         }
     }
 
-    /// Synchronous write. Returns the completion time (all servers acked).
+    /// Submit one I/O request — **the** choke point every request goes
+    /// through: fault consultation, pricing, stats, byte landing, and
+    /// trace recording all happen here, for scalar and vectored ops
+    /// alike. Takes the op by `&mut` so a caller can re-submit the same
+    /// op after a failure (retry/failover).
+    ///
+    /// Fault semantics (all keyed to the submission time `t`, so runs
+    /// are reproducible):
+    /// * a permanently-failed server in the request's stripe map ⇒
+    ///   `Err(ServerDown)` after a request round trip; nothing is
+    ///   priced, landed, traced, or counted in [`FsStats`];
+    /// * a transient-error budget hit ⇒ `Err(Transient)`, same rules;
+    /// * slowdown/stall windows stretch the server's service time but
+    ///   the request still succeeds.
+    pub fn submit(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        f: FileId,
+        op: &mut IoOp<'_, '_>,
+        t: SimTime,
+    ) -> IoResult<IoCompletion> {
+        let write = op.is_write();
+        let off = op.offset();
+        let len = op.total_len();
+        if let Some(plan) = self.faults.clone() {
+            let pieces = self.map_pieces(client, f, off, len);
+            for p in &pieces {
+                if plan.server_failed(p.server, t) {
+                    let at = self.fail_probe(client, net, p.server, t);
+                    return Err(IoError::ServerDown {
+                        server: p.server,
+                        at,
+                    });
+                }
+            }
+            for p in &pieces {
+                if plan.take_transient(p.server, t) {
+                    let at = self.fail_probe(client, net, p.server, t);
+                    return Err(IoError::Transient {
+                        server: p.server,
+                        at,
+                    });
+                }
+            }
+        }
+        let (start, completion) = if write {
+            self.transfer_write(client, net, f, off, len, t)
+        } else {
+            self.transfer_read(client, net, f, off, len, t)
+        };
+        let data = match op {
+            IoOp::Write { data, .. } => {
+                amrio_simt::count_copy(data.len());
+                self.files[f].store.write(off, data);
+                None
+            }
+            IoOp::WriteGather { parts, .. } => {
+                let mut cur = off;
+                for p in parts.iter() {
+                    amrio_simt::count_copy(p.len());
+                    self.files[f].store.write(cur, p);
+                    cur += p.len() as u64;
+                }
+                None
+            }
+            IoOp::Read { .. } => {
+                amrio_simt::count_copy(len as usize);
+                Some(self.files[f].store.read_vec(off, len as usize))
+            }
+            IoOp::ReadScatter { parts, .. } => {
+                let mut cur = off;
+                for p in parts.iter_mut() {
+                    amrio_simt::count_copy(p.len());
+                    self.files[f].store.read(cur, p);
+                    cur += p.len() as u64;
+                }
+                None
+            }
+        };
+        self.trace.record(IoEvent {
+            client,
+            file: f,
+            offset: off,
+            len,
+            write,
+            start,
+            end: completion,
+        });
+        Ok(IoCompletion {
+            start,
+            done: completion,
+            data,
+        })
+    }
+
+    /// Cost of observing a request failure: a header round trip to the
+    /// failing server (or, on direct-attached storage, one request
+    /// overhead). Failed attempts charge time but never touch stats,
+    /// stores, or the trace.
+    fn fail_probe(
+        &mut self,
+        client: Endpoint,
+        net: &mut Net,
+        server: usize,
+        t: SimTime,
+    ) -> SimTime {
+        match &self.cfg.server_endpoints {
+            Some(eps) => {
+                let req = net.transfer(client, eps[server], REQ_MSG, t);
+                net.transfer(eps[server], client, REQ_MSG, req.arrival)
+                    .arrival
+            }
+            None => t + self.cfg.disk.per_request,
+        }
+    }
+
+    /// One server disk access with fault windows applied: a stalled
+    /// server defers the request to the end of its stall window; a
+    /// slowdown window stretches the service time.
+    fn server_access(
+        &mut self,
+        server: usize,
+        dev_off: u64,
+        len: u64,
+        begin: SimTime,
+        write: bool,
+    ) -> SimTime {
+        let (begin, scale) = match &self.faults {
+            Some(plan) => {
+                let begin = match plan.server_stall_until(server, begin) {
+                    Some(until) => until.max(begin),
+                    None => begin,
+                };
+                (begin, plan.server_scale(server, begin))
+            }
+            None => (begin, 1.0),
+        };
+        self.servers[server].access_scaled(dev_off, len, begin, write, scale)
+    }
+
+    /// Synchronous write. Returns the completion time (all servers
+    /// acked). Thin wrapper over [`Pfs::submit`]; panics on an injected
+    /// fault — fault-plan runs go through `submit` (via the mpiio retry
+    /// layer) instead.
     pub fn write_at(
         &mut self,
         client: Endpoint,
@@ -344,19 +614,11 @@ impl Pfs {
         data: &[u8],
         t: SimTime,
     ) -> SimTime {
-        let (t, completion) = self.transfer_write(client, net, f, off, data.len() as u64, t);
-        amrio_simt::count_copy(data.len());
-        self.files[f].store.write(off, data);
-        self.trace.record(IoEvent {
-            client,
-            file: f,
-            offset: off,
-            len: data.len() as u64,
-            write: true,
-            start: t,
-            end: completion,
-        });
-        completion
+        let mut op = IoOp::Write { off, data };
+        match self.submit(client, net, f, &mut op, t) {
+            Ok(c) => c.done,
+            Err(e) => panic!("write_at: unhandled I/O fault: {e}"),
+        }
     }
 
     /// Vectored write: one contiguous file range `[off, off + Σlen)`
@@ -373,24 +635,11 @@ impl Pfs {
         parts: &[&[u8]],
         t: SimTime,
     ) -> SimTime {
-        let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
-        let (t, completion) = self.transfer_write(client, net, f, off, total, t);
-        let mut cur = off;
-        for p in parts {
-            amrio_simt::count_copy(p.len());
-            self.files[f].store.write(cur, p);
-            cur += p.len() as u64;
+        let mut op = IoOp::WriteGather { off, parts };
+        match self.submit(client, net, f, &mut op, t) {
+            Ok(c) => c.done,
+            Err(e) => panic!("write_gather: unhandled I/O fault: {e}"),
         }
-        self.trace.record(IoEvent {
-            client,
-            file: f,
-            offset: off,
-            len: total,
-            write: true,
-            start: t,
-            end: completion,
-        });
-        completion
     }
 
     /// The simulated-time model of one contiguous write: stats, client
@@ -443,7 +692,7 @@ impl Pfs {
                 None => send_clock,
             };
             let begin = arrival.max(start_floor) + token_penalty;
-            let disk_done = self.servers[p.server].access(p.dev_off, p.len, begin, true);
+            let disk_done = self.server_access(p.server, p.dev_off, p.len, begin, true);
             if let Some(lb) = self.lock_block_of(f) {
                 let b0 = p.file_off / lb;
                 let b1 = (p.file_off + p.len - 1) / lb;
@@ -465,7 +714,8 @@ impl Pfs {
         (t, completion)
     }
 
-    /// Synchronous read. Returns `(completion, data)`.
+    /// Synchronous read. Returns `(completion, data)`. Thin wrapper over
+    /// [`Pfs::submit`]; panics on an injected fault.
     pub fn read_at(
         &mut self,
         client: Endpoint,
@@ -475,19 +725,11 @@ impl Pfs {
         len: u64,
         t: SimTime,
     ) -> (SimTime, Vec<u8>) {
-        let (t, completion) = self.transfer_read(client, net, f, off, len, t);
-        amrio_simt::count_copy(len as usize);
-        let data = self.files[f].store.read_vec(off, len as usize);
-        self.trace.record(IoEvent {
-            client,
-            file: f,
-            offset: off,
-            len,
-            write: false,
-            start: t,
-            end: completion,
-        });
-        (completion, data)
+        let mut op = IoOp::Read { off, len };
+        match self.submit(client, net, f, &mut op, t) {
+            Ok(c) => (c.done, c.data.expect("read completion carries data")),
+            Err(e) => panic!("read_at: unhandled I/O fault: {e}"),
+        }
     }
 
     /// Vectored read: one contiguous file range `[off, off + Σlen)`
@@ -503,24 +745,11 @@ impl Pfs {
         parts: &mut [&mut [u8]],
         t: SimTime,
     ) -> SimTime {
-        let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
-        let (t, completion) = self.transfer_read(client, net, f, off, total, t);
-        let mut cur = off;
-        for p in parts.iter_mut() {
-            amrio_simt::count_copy(p.len());
-            self.files[f].store.read(cur, p);
-            cur += p.len() as u64;
+        let mut op = IoOp::ReadScatter { off, parts };
+        match self.submit(client, net, f, &mut op, t) {
+            Ok(c) => c.done,
+            Err(e) => panic!("read_scatter: unhandled I/O fault: {e}"),
         }
-        self.trace.record(IoEvent {
-            client,
-            file: f,
-            offset: off,
-            len: total,
-            write: false,
-            start: t,
-            end: completion,
-        });
-        completion
     }
 
     /// The simulated-time model of one contiguous read (see
@@ -551,7 +780,7 @@ impl Pfs {
                 }
                 None => send_clock,
             };
-            let disk_done = self.servers[p.server].access(p.dev_off, p.len, arrival, false);
+            let disk_done = self.server_access(p.server, p.dev_off, p.len, arrival, false);
             let back = match &self.cfg.server_endpoints {
                 Some(eps) => {
                     net.transfer(eps[p.server], client, p.len + REQ_MSG, disk_done)
@@ -963,6 +1192,180 @@ mod stream_tests {
         let w = wdev.access(0, 10, SimTime::ZERO, true);
         let r = rdev.access(0, 10, SimTime::ZERO, false);
         assert!(w.as_secs_f64() < r.as_secs_f64() / 4.0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use amrio_fault::window_secs;
+    use amrio_net::NetConfig;
+
+    fn striped(nservers: usize) -> (Pfs, Net) {
+        let fs = Pfs::new(FsConfig {
+            label: "test".into(),
+            stripe: 1024,
+            nservers,
+            disk: DiskParams::new(100, 5, 50.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        });
+        (fs, Net::new(NetConfig::ccnuma(4)))
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let run = |plan: Option<FaultPlan>| {
+            let (mut fs, mut net) = striped(4);
+            if let Some(p) = plan {
+                fs.attach_faults(Arc::new(p));
+            }
+            let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+            let t = fs.write_at(0, &mut net, f, 7, &data, t0);
+            let (t, got) = fs.read_at(1, &mut net, f, 7, data.len() as u64, t);
+            assert_eq!(got, data);
+            (t, fs.image_digest(), fs.stats)
+        };
+        let (t_none, d_none, s_none) = run(None);
+        let (t_empty, d_empty, s_empty) = run(Some(FaultPlan::new()));
+        assert_eq!(t_none, t_empty, "empty plan must not perturb timing");
+        assert_eq!(d_none, d_empty);
+        assert_eq!(s_none.server_requests, s_empty.server_requests);
+    }
+
+    #[test]
+    fn transient_error_charges_time_but_no_side_effects() {
+        let (mut fs, mut net) = striped(4);
+        fs.attach_faults(Arc::new(FaultPlan::new().with_transient_errors(
+            0,
+            window_secs(0.0, 10.0),
+            1,
+        )));
+        fs.trace.enable();
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let mut op = IoOp::Write {
+            off: 0,
+            data: &[1u8; 4096],
+        };
+        let err = fs.submit(0, &mut net, f, &mut op, t0).unwrap_err();
+        assert!(matches!(err, IoError::Transient { server: 0, .. }));
+        assert!(err.at() > t0, "failure observation must cost time");
+        assert_eq!(fs.stats.writes, 0, "failed attempt must not count");
+        assert_eq!(fs.stats.bytes_written, 0);
+        assert!(fs.trace.events.is_empty(), "failed attempt must not trace");
+        assert_eq!(fs.file_size(f), 0, "failed attempt must not land bytes");
+        // Budget spent: the retry succeeds.
+        let done = fs.submit(0, &mut net, f, &mut op, err.at()).unwrap();
+        assert_eq!(fs.stats.writes, 1);
+        assert_eq!(fs.file_size(f), 4096);
+        assert_eq!(fs.trace.events.len(), 1);
+        assert!(done.done > err.at());
+    }
+
+    #[test]
+    fn degrade_remaps_and_data_survives() {
+        let (mut fs, mut net) = striped(4);
+        fs.attach_faults(Arc::new(FaultPlan::new()));
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 253) as u8).collect();
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let t = fs.write_at(0, &mut net, f, 0, &data, t0);
+        assert!(fs
+            .map_pieces(0, f, 0, data.len() as u64)
+            .iter()
+            .any(|p| p.server == 2));
+        assert!(fs.degrade_server(2, t));
+        assert!(!fs.degrade_server(2, t), "second degrade is a no-op");
+        assert_eq!(fs.alive_servers(), 3);
+        assert!(fs.is_degraded(2));
+        assert!(
+            fs.map_pieces(0, f, 0, data.len() as u64)
+                .iter()
+                .all(|p| p.server != 2),
+            "survivors absorb the extents"
+        );
+        let (_, got) = fs.read_at(1, &mut net, f, 0, data.len() as u64, t);
+        assert_eq!(got, data, "contents are placement-independent");
+        let plan = fs.faults().unwrap();
+        let r = plan.report(t + SimDur::from_millis(10));
+        assert_eq!(r.failovers, 1);
+        assert_eq!(r.degraded_servers, 1);
+        assert!(r.degraded_mode_secs > 0.0);
+    }
+
+    #[test]
+    fn failed_server_rejects_until_degraded() {
+        let (mut fs, mut net) = striped(2);
+        fs.attach_faults(Arc::new(
+            FaultPlan::new().with_server_failure(1, SimTime(1000)),
+        ));
+        let (f, _) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let mut op = IoOp::Write {
+            off: 0,
+            data: &[1u8; 4096],
+        };
+        // Before the failure instant the write succeeds.
+        fs.submit(0, &mut net, f, &mut op, SimTime(0)).unwrap();
+        // After it, any op touching server 1 gets ServerDown.
+        let err = fs
+            .submit(0, &mut net, f, &mut op, SimTime(2000))
+            .unwrap_err();
+        assert!(matches!(err, IoError::ServerDown { server: 1, .. }));
+        // Failover: drop it from the stripe map; the retry succeeds.
+        assert!(fs.degrade_server(1, err.at()));
+        fs.submit(0, &mut net, f, &mut op, err.at()).unwrap();
+    }
+
+    #[test]
+    fn slowdown_and_stall_stretch_service() {
+        let base = {
+            let (mut fs, mut net) = striped(1);
+            let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+            fs.write_at(0, &mut net, f, 0, &[1u8; 1 << 20], t0)
+        };
+        let slowed = {
+            let (mut fs, mut net) = striped(1);
+            fs.attach_faults(Arc::new(FaultPlan::new().with_server_slowdown(
+                0,
+                window_secs(0.0, 100.0),
+                3.0,
+            )));
+            let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+            fs.write_at(0, &mut net, f, 0, &[1u8; 1 << 20], t0)
+        };
+        let stalled = {
+            let (mut fs, mut net) = striped(1);
+            fs.attach_faults(Arc::new(
+                FaultPlan::new().with_server_stall(0, window_secs(0.0, 0.5)),
+            ));
+            let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+            fs.write_at(0, &mut net, f, 0, &[1u8; 1 << 20], t0)
+        };
+        assert!(
+            slowed.as_secs_f64() > 2.0 * base.as_secs_f64(),
+            "slowdown x3: {slowed:?} vs {base:?}"
+        );
+        assert!(
+            stalled >= SimTime::ZERO + SimDur::from_millis(500),
+            "stalled request must wait out the window: {stalled:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unhandled I/O fault")]
+    fn legacy_wrapper_panics_on_fault() {
+        let (mut fs, mut net) = striped(2);
+        fs.attach_faults(Arc::new(FaultPlan::new().with_transient_errors(
+            0,
+            window_secs(0.0, 10.0),
+            10,
+        )));
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        fs.write_at(0, &mut net, f, 0, &[1u8; 4096], t0);
     }
 }
 

@@ -14,6 +14,13 @@ pub mod store;
 pub mod trace;
 
 pub use dev::{BlockDev, DevStats, DiskParams};
-pub use fs::{FileId, FsConfig, FsStats, Pfs, Piece, Placement};
+pub use fs::{FileId, FsConfig, FsStats, IoCompletion, IoOp, Pfs, Piece, Placement};
 pub use store::ExtentStore;
 pub use trace::{IoEvent, IoTrace, TraceReport};
+
+// The fault vocabulary of the fallible request path, re-exported so
+// layers above can speak it without a direct `amrio-fault` dependency.
+pub use amrio_fault::{
+    window_secs, FaultPlan, IoError, IoResult, ResilienceReport, ResilienceStats, RetryPolicy,
+    Window,
+};

@@ -1,0 +1,624 @@
+//! `amrio-fault` — deterministic, virtual-time fault injection for the
+//! simulated I/O stack.
+//!
+//! A [`FaultPlan`] is a declarative schedule of faults, each keyed to
+//! `(SimTime, endpoint/rank)`: PFS server slowdown/stall windows,
+//! transient `EIO`-style request failures, permanent server failures,
+//! dropped/delayed point-to-point messages, and per-rank compute
+//! stragglers. The disk, net, mpi, and mpiio layers consult the plan at
+//! well-defined points in virtual time, so a given plan perturbs a run
+//! in exactly the same way every time: no host randomness, no wall
+//! clocks. An **empty** plan is a strict no-op — every consultation
+//! returns "no fault" and the run is bit-identical (virtual times and
+//! file-system image) to a run with no plan attached.
+//!
+//! The plan also carries the run's [`ResilienceStats`]: every recovery
+//! action the stack takes (retries, timeouts, failovers, message
+//! drops/delays, straggler dilation, degraded-mode windows) is counted
+//! here and summarized into a [`ResilienceReport`] at the end of the
+//! run.
+//!
+//! Fault *consumption* is deterministic because every consultation
+//! happens inside an `(clock, rank)`-ordered section of the engine:
+//! transient-error budgets are handed out in arrival order, which the
+//! engine already makes reproducible.
+
+use amrio_simt::{ClockHook, Rank, SimDur, SimTime};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Result of a fallible simulated I/O request.
+pub type IoResult<T> = Result<T, IoError>;
+
+/// A typed failure from the simulated I/O path. `at` is the virtual
+/// time at which the client observed the failure (i.e. the time from
+/// which a retry may proceed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// Transient `EIO`-style failure from a PFS server; retryable.
+    Transient { server: usize, at: SimTime },
+    /// The PFS server has failed permanently; requests against it can
+    /// only succeed after the stripe map drops it (failover).
+    ServerDown { server: usize, at: SimTime },
+}
+
+impl IoError {
+    /// Virtual time at which the client observed the failure.
+    pub fn at(&self) -> SimTime {
+        match self {
+            IoError::Transient { at, .. } | IoError::ServerDown { at, .. } => *at,
+        }
+    }
+
+    /// The server that failed the request.
+    pub fn server(&self) -> usize {
+        match self {
+            IoError::Transient { server, .. } | IoError::ServerDown { server, .. } => *server,
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Transient { server, at } => {
+                write!(f, "transient I/O error from server {server} at {at}s")
+            }
+            IoError::ServerDown { server, at } => {
+                write!(f, "server {server} is down (observed at {at}s)")
+            }
+        }
+    }
+}
+
+/// Retry/backoff policy applied by the `mpiio` layer to every request.
+///
+/// Backoff is *virtual* time: a retry after attempt `k` (0-based) waits
+/// `backoff << k` before re-submitting, so retried runs stay
+/// deterministic. `op_timeout` is observability only — ops that take
+/// longer than it (e.g. behind a stalled server) are counted in
+/// [`ResilienceStats::timeouts`] but still complete.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Max re-submissions after a transient error before giving up.
+    pub max_retries: u32,
+    /// Virtual-time backoff before the first retry; doubles per retry.
+    pub backoff: SimDur,
+    /// Ops slower than this are counted as timeouts (None = disabled).
+    pub op_timeout: Option<SimDur>,
+    /// On `ServerDown`, drop the server from the stripe map and retry
+    /// against the survivors instead of failing the op.
+    pub failover: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            backoff: SimDur::from_millis(2),
+            op_timeout: Some(SimDur::from_secs_f64(30.0)),
+            failover: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based): `backoff << attempt`,
+    /// saturating so pathological policies cannot overflow virtual time.
+    pub fn backoff_for(&self, attempt: u32) -> SimDur {
+        let b = self.backoff.0;
+        if b == 0 {
+            return SimDur::ZERO;
+        }
+        if attempt > b.leading_zeros() {
+            return SimDur(u64::MAX);
+        }
+        SimDur(b << attempt)
+    }
+}
+
+/// A half-open virtual-time window `[from, until)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+impl Window {
+    pub fn new(from: SimTime, until: SimTime) -> Window {
+        assert!(from <= until, "window must be ordered: {from:?}..{until:?}");
+        Window { from, until }
+    }
+
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+#[derive(Debug)]
+struct SlowWindow {
+    server: usize,
+    window: Window,
+    factor: f64,
+}
+
+#[derive(Debug)]
+struct StallWindow {
+    server: usize,
+    window: Window,
+}
+
+#[derive(Debug)]
+struct TransientErrors {
+    server: usize,
+    window: Window,
+    budget: u64,
+    used: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ServerFailure {
+    server: usize,
+    at: SimTime,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum MsgEffect {
+    /// The message is lost and retransmitted after `retransmit`.
+    Drop { retransmit: SimDur },
+    /// The message is delivered `extra` late.
+    Delay { extra: SimDur },
+}
+
+#[derive(Debug)]
+struct MessageFault {
+    /// `None` matches any source endpoint.
+    src: Option<usize>,
+    /// `None` matches any destination endpoint.
+    dst: Option<usize>,
+    window: Window,
+    effect: MsgEffect,
+    budget: u64,
+    used: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Straggler {
+    rank: Rank,
+    window: Window,
+    factor: f64,
+}
+
+/// Counters for every recovery action taken during a run. Shared by all
+/// layers through the [`FaultPlan`]; relaxed atomics are sufficient
+/// because every update happens inside an engine-ordered section.
+#[derive(Debug, Default)]
+pub struct ResilienceStats {
+    pub transient_errors: AtomicU64,
+    pub retries: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub failovers: AtomicU64,
+    pub dropped_messages: AtomicU64,
+    pub delayed_messages: AtomicU64,
+    /// Extra virtual nanoseconds added by straggler dilation.
+    pub straggler_ns: AtomicU64,
+    /// `(server, when)` for each server dropped from the stripe map.
+    degraded: Mutex<Vec<(usize, SimTime)>>,
+}
+
+/// End-of-run summary of [`ResilienceStats`], attached to `RunReport`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResilienceReport {
+    pub transient_errors: u64,
+    pub retries: u64,
+    pub timeouts: u64,
+    pub failovers: u64,
+    pub dropped_messages: u64,
+    pub delayed_messages: u64,
+    /// Extra virtual seconds injected by compute stragglers.
+    pub straggler_secs: f64,
+    /// Number of servers dropped from the stripe map.
+    pub degraded_servers: u64,
+    /// Sum over degraded servers of (end of run - degradation time).
+    pub degraded_mode_secs: f64,
+}
+
+impl ResilienceReport {
+    /// True iff no recovery action of any kind was taken.
+    pub fn is_quiet(&self) -> bool {
+        *self == ResilienceReport::default()
+    }
+}
+
+/// A deterministic fault-injection schedule plus the run's recovery
+/// counters. Build one with the chained `with_*` constructors, hand it
+/// to the runner, and read the [`ResilienceReport`] afterwards.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    slowdowns: Vec<SlowWindow>,
+    stalls: Vec<StallWindow>,
+    transients: Vec<TransientErrors>,
+    failures: Vec<ServerFailure>,
+    messages: Vec<MessageFault>,
+    stragglers: Vec<Straggler>,
+    stats: ResilienceStats,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True iff the plan injects nothing (a strict no-op when attached).
+    pub fn is_empty(&self) -> bool {
+        self.slowdowns.is_empty()
+            && self.stalls.is_empty()
+            && self.transients.is_empty()
+            && self.failures.is_empty()
+            && self.messages.is_empty()
+            && self.stragglers.is_empty()
+    }
+
+    // ---- schedule construction -------------------------------------------
+
+    /// PFS server `server` serves requests `factor`× slower inside the
+    /// window (seek, transfer, and per-request overhead all scale).
+    pub fn with_server_slowdown(mut self, server: usize, window: Window, factor: f64) -> FaultPlan {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1: {factor}");
+        self.slowdowns.push(SlowWindow {
+            server,
+            window,
+            factor,
+        });
+        self
+    }
+
+    /// PFS server `server` accepts no work inside the window; requests
+    /// arriving during it start at `window.until`.
+    pub fn with_server_stall(mut self, server: usize, window: Window) -> FaultPlan {
+        self.stalls.push(StallWindow { server, window });
+        self
+    }
+
+    /// PFS server `server` fails up to `budget` requests with a
+    /// transient error inside the window. The budget is consumed in
+    /// request-arrival order (deterministic under the engine's
+    /// ordering).
+    pub fn with_transient_errors(
+        mut self,
+        server: usize,
+        window: Window,
+        budget: u64,
+    ) -> FaultPlan {
+        self.transients.push(TransientErrors {
+            server,
+            window,
+            budget,
+            used: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// PFS server `server` fails permanently at `at`: every request
+    /// submitted at or after `at` that touches it gets `ServerDown`
+    /// until the stripe map drops the server.
+    pub fn with_server_failure(mut self, server: usize, at: SimTime) -> FaultPlan {
+        self.failures.push(ServerFailure { server, at });
+        self
+    }
+
+    /// Drop up to `budget` messages matching `(src, dst)` (None = any)
+    /// inside the window; each is retransmitted after `retransmit`.
+    pub fn with_message_drops(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        window: Window,
+        retransmit: SimDur,
+        budget: u64,
+    ) -> FaultPlan {
+        self.messages.push(MessageFault {
+            src,
+            dst,
+            window,
+            effect: MsgEffect::Drop { retransmit },
+            budget,
+            used: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Delay up to `budget` messages matching `(src, dst)` (None = any)
+    /// inside the window by `extra`.
+    pub fn with_message_delays(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        window: Window,
+        extra: SimDur,
+        budget: u64,
+    ) -> FaultPlan {
+        self.messages.push(MessageFault {
+            src,
+            dst,
+            window,
+            effect: MsgEffect::Delay { extra },
+            budget,
+            used: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Rank `rank` computes `factor`× slower inside the window (every
+    /// local time advance is dilated; waits on other ranks are not).
+    pub fn with_straggler(mut self, rank: Rank, window: Window, factor: f64) -> FaultPlan {
+        assert!(factor >= 1.0, "straggler factor must be >= 1: {factor}");
+        self.stragglers.push(Straggler {
+            rank,
+            window,
+            factor,
+        });
+        self
+    }
+
+    // ---- consultation (called from the stack's layers) -------------------
+
+    /// Service-time multiplier for `server` at `t` (product of matching
+    /// slowdown windows; `1.0` when none match).
+    pub fn server_scale(&self, server: usize, t: SimTime) -> f64 {
+        let mut scale = 1.0;
+        for s in &self.slowdowns {
+            if s.server == server && s.window.contains(t) {
+                scale *= s.factor;
+            }
+        }
+        scale
+    }
+
+    /// If `server` is stalled at `t`, the time it resumes service.
+    pub fn server_stall_until(&self, server: usize, t: SimTime) -> Option<SimTime> {
+        self.stalls
+            .iter()
+            .filter(|s| s.server == server && s.window.contains(t))
+            .map(|s| s.window.until)
+            .max()
+    }
+
+    /// True iff `server` has permanently failed by `t`.
+    pub fn server_failed(&self, server: usize, t: SimTime) -> bool {
+        self.failures
+            .iter()
+            .any(|f| f.server == server && f.at <= t)
+    }
+
+    /// Consume one transient-error budget unit for a request hitting
+    /// `server` at `t`. Returns true iff the request must fail.
+    pub fn take_transient(&self, server: usize, t: SimTime) -> bool {
+        for e in &self.transients {
+            if e.server == server && e.window.contains(t) {
+                let prev = e.used.fetch_add(1, Ordering::Relaxed);
+                if prev < e.budget {
+                    self.stats.transient_errors.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                // Over budget: undo so the counter stays meaningful.
+                e.used.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        false
+    }
+
+    /// Extra delivery latency for a message `src -> dst` sent at `t`
+    /// (drop-and-retransmit or plain delay); `None` when unaffected.
+    /// Counts the event in the stats.
+    pub fn message_penalty(&self, src: usize, dst: usize, t: SimTime) -> Option<SimDur> {
+        for m in &self.messages {
+            let src_ok = m.src.is_none_or(|s| s == src);
+            let dst_ok = m.dst.is_none_or(|d| d == dst);
+            if src_ok && dst_ok && m.window.contains(t) {
+                let prev = m.used.fetch_add(1, Ordering::Relaxed);
+                if prev >= m.budget {
+                    m.used.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+                return Some(match m.effect {
+                    MsgEffect::Drop { retransmit } => {
+                        self.stats.dropped_messages.fetch_add(1, Ordering::Relaxed);
+                        retransmit
+                    }
+                    MsgEffect::Delay { extra } => {
+                        self.stats.delayed_messages.fetch_add(1, Ordering::Relaxed);
+                        extra
+                    }
+                });
+            }
+        }
+        None
+    }
+
+    // ---- recovery bookkeeping --------------------------------------------
+
+    pub fn note_retry(&self) {
+        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_timeout(&self) {
+        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that `server` was dropped from the stripe map at `when`.
+    pub fn note_failover(&self, server: usize, when: SimTime) {
+        self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .degraded
+            .lock()
+            .expect("fault stats lock poisoned")
+            .push((server, when));
+    }
+
+    /// Raw counters (for layers that want to read mid-run).
+    pub fn stats(&self) -> &ResilienceStats {
+        &self.stats
+    }
+
+    /// Summarize the run's recovery actions. `end` is the makespan of
+    /// the run, used to close out degraded-mode windows.
+    pub fn report(&self, end: SimTime) -> ResilienceReport {
+        let s = &self.stats;
+        let degraded = s.degraded.lock().expect("fault stats lock poisoned");
+        // `+ 0.0` normalizes the empty sum (-0.0, the float additive
+        // identity) back to positive zero for display.
+        let degraded_mode_secs = degraded
+            .iter()
+            .map(|&(_, when)| end.saturating_since(when).as_secs_f64())
+            .sum::<f64>()
+            + 0.0;
+        ResilienceReport {
+            transient_errors: s.transient_errors.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            timeouts: s.timeouts.load(Ordering::Relaxed),
+            failovers: s.failovers.load(Ordering::Relaxed),
+            dropped_messages: s.dropped_messages.load(Ordering::Relaxed),
+            delayed_messages: s.delayed_messages.load(Ordering::Relaxed),
+            straggler_secs: s.straggler_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            degraded_servers: degraded.len() as u64,
+            degraded_mode_secs,
+        }
+    }
+}
+
+/// Straggler dilation: a plan can be installed as the engine's clock
+/// hook, stretching every local `advance` of a matching rank inside its
+/// window. Collective waits (`advance_to`) are not dilated, so only the
+/// straggler's own work slows down — exactly how a slow CPU behaves.
+impl ClockHook for FaultPlan {
+    fn dilate(&self, rank: Rank, now: SimTime, d: SimDur) -> SimDur {
+        let mut scale = 1.0;
+        for s in &self.stragglers {
+            if s.rank == rank && s.window.contains(now) {
+                scale *= s.factor;
+            }
+        }
+        if scale == 1.0 {
+            return d;
+        }
+        let dilated = SimDur(((d.0 as f64) * scale).round() as u64);
+        self.stats
+            .straggler_ns
+            .fetch_add(dilated.0 - d.0, Ordering::Relaxed);
+        dilated
+    }
+}
+
+/// Convenience: a window given in (possibly fractional) virtual seconds.
+pub fn window_secs(from: f64, until: f64) -> Window {
+    Window::new(
+        SimTime::ZERO + SimDur::from_secs_f64(from),
+        SimTime::ZERO + SimDur::from_secs_f64(until),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.server_scale(0, SimTime(5)), 1.0);
+        assert_eq!(p.server_stall_until(0, SimTime(5)), None);
+        assert!(!p.server_failed(0, SimTime(5)));
+        assert!(!p.take_transient(0, SimTime(5)));
+        assert_eq!(p.message_penalty(0, 1, SimTime(5)), None);
+        assert_eq!(p.dilate(0, SimTime(5), SimDur(100)), SimDur(100));
+        assert!(p.report(SimTime(10)).is_quiet());
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let w = window_secs(1.0, 2.0);
+        assert!(!w.contains(SimTime(999_999_999)));
+        assert!(w.contains(SimTime(1_000_000_000)));
+        assert!(w.contains(SimTime(1_999_999_999)));
+        assert!(!w.contains(SimTime(2_000_000_000)));
+    }
+
+    #[test]
+    fn transient_budget_is_consumed_in_order() {
+        let p = FaultPlan::new().with_transient_errors(2, window_secs(0.0, 1.0), 2);
+        let t = SimTime(100);
+        assert!(p.take_transient(2, t));
+        assert!(p.take_transient(2, t));
+        assert!(!p.take_transient(2, t), "budget of 2 must be exhausted");
+        assert!(!p.take_transient(1, t), "other servers unaffected");
+        assert_eq!(p.report(SimTime(200)).transient_errors, 2);
+    }
+
+    #[test]
+    fn server_failure_is_permanent_from_at() {
+        let p = FaultPlan::new().with_server_failure(3, SimTime(500));
+        assert!(!p.server_failed(3, SimTime(499)));
+        assert!(p.server_failed(3, SimTime(500)));
+        assert!(p.server_failed(3, SimTime(1_000_000)));
+        assert!(!p.server_failed(2, SimTime(1_000_000)));
+    }
+
+    #[test]
+    fn slowdown_and_stall_windows() {
+        let p = FaultPlan::new()
+            .with_server_slowdown(1, window_secs(0.0, 1.0), 4.0)
+            .with_server_stall(1, window_secs(0.5, 0.75));
+        assert_eq!(p.server_scale(1, SimTime(100)), 4.0);
+        assert_eq!(p.server_scale(1, SimTime(2_000_000_000)), 1.0);
+        assert_eq!(
+            p.server_stall_until(1, SimTime(600_000_000)),
+            Some(SimTime(750_000_000))
+        );
+        assert_eq!(p.server_stall_until(1, SimTime(800_000_000)), None);
+    }
+
+    #[test]
+    fn message_faults_match_wildcards_and_budget() {
+        let p = FaultPlan::new().with_message_drops(
+            Some(0),
+            None,
+            window_secs(0.0, 1.0),
+            SimDur::from_millis(5),
+            1,
+        );
+        assert_eq!(p.message_penalty(1, 2, SimTime(10)), None, "src mismatch");
+        assert_eq!(
+            p.message_penalty(0, 2, SimTime(10)),
+            Some(SimDur::from_millis(5))
+        );
+        assert_eq!(p.message_penalty(0, 3, SimTime(10)), None, "budget spent");
+        let r = p.report(SimTime(100));
+        assert_eq!(r.dropped_messages, 1);
+    }
+
+    #[test]
+    fn straggler_dilates_only_in_window() {
+        let p = FaultPlan::new().with_straggler(1, window_secs(0.0, 1.0), 2.0);
+        assert_eq!(p.dilate(0, SimTime(0), SimDur(100)), SimDur(100));
+        assert_eq!(p.dilate(1, SimTime(0), SimDur(100)), SimDur(200));
+        assert_eq!(
+            p.dilate(1, SimTime(2_000_000_000), SimDur(100)),
+            SimDur(100)
+        );
+        assert_eq!(p.report(SimTime(0)).straggler_secs, 100.0 / 1e9);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let pol = RetryPolicy {
+            backoff: SimDur(8),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(pol.backoff_for(0), SimDur(8));
+        assert_eq!(pol.backoff_for(1), SimDur(16));
+        assert_eq!(pol.backoff_for(3), SimDur(64));
+        assert_eq!(pol.backoff_for(63), SimDur(u64::MAX));
+    }
+}

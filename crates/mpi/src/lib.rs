@@ -19,6 +19,7 @@
 pub mod coll;
 
 use amrio_check::{Checker, CollDesc};
+use amrio_fault::FaultPlan;
 use amrio_net::{Net, NetConfig};
 use amrio_simt::sync::Mutex;
 use amrio_simt::{Bytes, Ctx, Rank, SimDur, SimReport, SimTime};
@@ -96,6 +97,7 @@ pub struct World {
     shared: Arc<WorldShared>,
     nranks: usize,
     checker: Option<Arc<Checker>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl World {
@@ -119,6 +121,19 @@ impl World {
             }),
             nranks,
             checker: None,
+            faults: None,
+        }
+    }
+
+    /// Attach a deterministic fault plan: the network consults it for
+    /// message drops/delays, and the engine's clock hook dilates local
+    /// compute of straggler ranks. (Disk-side faults are attached to the
+    /// `Pfs` separately; one plan is normally shared by both.)
+    pub fn with_faults(self, plan: Arc<FaultPlan>) -> World {
+        self.shared.net.lock().attach_faults(Arc::clone(&plan));
+        World {
+            faults: Some(plan),
+            ..self
         }
     }
 
@@ -153,7 +168,11 @@ impl World {
         F: Fn(&Comm) -> T + Sync,
     {
         let go = || {
-            amrio_simt::run(self.nranks, |ctx| {
+            let hook = self
+                .faults
+                .clone()
+                .map(|p| p as Arc<dyn amrio_simt::ClockHook>);
+            amrio_simt::run_with_hook(self.nranks, hook, |ctx| {
                 let comm = Comm {
                     ctx,
                     shared: Arc::clone(&self.shared),

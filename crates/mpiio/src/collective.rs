@@ -13,6 +13,8 @@
 
 use crate::datatype::Region;
 use crate::file::MpiFile;
+use crate::retry::submit_retrying;
+use amrio_disk::IoOp;
 use amrio_simt::{Bytes, SimDur};
 use std::sync::Arc;
 
@@ -266,6 +268,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 let fs = Arc::clone(&self.fs);
                 let fid = self.fid;
                 let cb = self.hints.cb_buffer_size.max(1);
+                let policy = self.retry;
                 if !overlap {
                     // Disjoint pieces tile each covered span exactly, so
                     // holes inside the domain are never touched and the
@@ -299,7 +302,16 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                                     n,
                                     "gather parts must tile the window"
                                 );
-                                cur = fs.write_gather(me, net, fid, o, &parts, cur);
+                                let mut op = IoOp::WriteGather {
+                                    off: o,
+                                    parts: &parts,
+                                };
+                                let c =
+                                    submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                                        .unwrap_or_else(|e| {
+                                            panic!("two-phase write: unrecoverable I/O fault: {e}")
+                                        });
+                                cur = c.done;
                                 o += n;
                             }
                         }
@@ -325,7 +337,16 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                             while o < end {
                                 let n = cb.min(end - o);
                                 let s = (o - ds) as usize;
-                                cur = fs.write_at(me, net, fid, o, &dom[s..s + n as usize], cur);
+                                let mut op = IoOp::Write {
+                                    off: o,
+                                    data: &dom[s..s + n as usize],
+                                };
+                                let c =
+                                    submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                                        .unwrap_or_else(|e| {
+                                            panic!("two-phase write: unrecoverable I/O fault: {e}")
+                                        });
+                                cur = c.done;
                                 o += n;
                             }
                         }
@@ -395,6 +416,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 let fs = Arc::clone(&self.fs);
                 let fid = self.fid;
                 let cb = self.hints.cb_buffer_size.max(1);
+                let policy = self.retry;
                 chunks = self.comm.io(move |t, net| {
                     let mut fs = fs.lock();
                     let mut cur = t;
@@ -404,8 +426,13 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                         let end = off + len;
                         while o < end {
                             let n = cb.min(end - o);
-                            let (done, data) = fs.read_at(me, net, fid, o, n, cur);
-                            cur = done;
+                            let mut op = IoOp::Read { off: o, len: n };
+                            let c = submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                                .unwrap_or_else(|e| {
+                                    panic!("two-phase read: unrecoverable I/O fault: {e}")
+                                });
+                            cur = c.done;
+                            let data = c.data.expect("read completion carries data");
                             chunks.push((o, Bytes::from_vec(data)));
                             o += n;
                         }

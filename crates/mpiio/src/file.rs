@@ -2,7 +2,8 @@
 //! optimizations of Thakur/Gropp/Lusk 1999 that the paper builds on).
 
 use crate::datatype::{Datatype, Region};
-use amrio_disk::{FileId, FsConfig, Pfs};
+use crate::retry::submit_retrying;
+use amrio_disk::{FaultPlan, FileId, FsConfig, IoOp, IoResult, Pfs, RetryPolicy};
 use amrio_mpi::Comm;
 use amrio_simt::sync::Mutex;
 use amrio_simt::SimDur;
@@ -55,17 +56,39 @@ pub enum Mode {
 /// The MPI-IO context: wraps a simulated parallel file system.
 pub struct MpiIo {
     fs: Arc<Mutex<Pfs>>,
+    retry: RetryPolicy,
 }
 
 impl MpiIo {
     pub fn new(cfg: FsConfig) -> MpiIo {
         MpiIo {
             fs: Arc::new(Mutex::new(Pfs::new(cfg))),
+            retry: RetryPolicy::default(),
         }
     }
 
     pub fn from_fs(fs: Arc<Mutex<Pfs>>) -> MpiIo {
-        MpiIo { fs }
+        MpiIo {
+            fs,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Attach a fault-injection plan to the underlying file system.
+    /// Call before any file is opened; requests then consult the plan
+    /// and recover per the retry policy.
+    pub fn attach_faults(&self, plan: Arc<FaultPlan>) {
+        self.fs.lock().attach_faults(plan);
+    }
+
+    /// Retry/backoff/failover policy handed to files opened after this
+    /// call.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Shared handle to the underlying file system (inspection, reuse by
@@ -124,6 +147,7 @@ impl MpiIo {
             fs,
             fid,
             hints: Hints::default(),
+            retry: self.retry,
             view_disp: 0,
             view_type: None,
             write_behind: RefCell::new(None),
@@ -154,6 +178,7 @@ impl MpiIo {
             fs,
             fid,
             hints: Hints::default(),
+            retry: self.retry,
             view_disp: 0,
             view_type: None,
             write_behind: RefCell::new(None),
@@ -167,6 +192,7 @@ pub struct MpiFile<'c, 'w> {
     pub(crate) fs: Arc<Mutex<Pfs>>,
     pub(crate) fid: FileId,
     pub(crate) hints: Hints,
+    pub(crate) retry: RetryPolicy,
     view_disp: u64,
     view_type: Option<Datatype>,
     /// Two-stage write-behind buffer for independent writes (the
@@ -196,6 +222,36 @@ impl<'c, 'w> MpiFile<'c, 'w> {
 
     pub fn hints(&self) -> Hints {
         self.hints
+    }
+
+    /// Override the retry/backoff/failover policy for this handle.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Submit one raw file system request through the retry/failover
+    /// layer. This is the fallible face of the handle: the convenience
+    /// wrappers ([`MpiFile::write_at`] and friends) call the same path
+    /// and panic when recovery is exhausted, while `submit` surfaces the
+    /// typed [`amrio_disk::IoError`] to callers that want to handle it.
+    /// Returns the read-back bytes for [`IoOp::Read`], `None` otherwise.
+    pub fn submit(&self, op: &mut IoOp<'_, '_>) -> IoResult<Option<Vec<u8>>> {
+        self.flush_write_behind();
+        let fs = Arc::clone(&self.fs);
+        let fid = self.fid;
+        let me = self.comm.rank();
+        let policy = self.retry;
+        self.comm.io(move |t, net| {
+            let mut fs = fs.lock();
+            match submit_retrying(&mut fs, net, me, fid, op, t, policy) {
+                Ok(c) => (c.done, Ok(c.data)),
+                Err(e) => (e.at(), Err(e)),
+            }
+        })
     }
 
     pub fn file_id(&self) -> FileId {
@@ -293,10 +349,13 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let fs = Arc::clone(&self.fs);
         let fid = self.fid;
         let me = self.comm.rank();
+        let policy = self.retry;
         self.comm.io(move |t, net| {
             let mut fs = fs.lock();
-            let done = fs.write_at(me, net, fid, off, data, t);
-            (done, ())
+            let mut op = IoOp::Write { off, data };
+            let c = submit_retrying(&mut fs, net, me, fid, &mut op, t, policy)
+                .unwrap_or_else(|e| panic!("independent write: unrecoverable I/O fault: {e}"));
+            (c.done, ())
         });
     }
 
@@ -356,10 +415,13 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let fs = Arc::clone(&self.fs);
         let fid = self.fid;
         let me = self.comm.rank();
+        let policy = self.retry;
         self.comm.io(move |t, net| {
             let mut fs = fs.lock();
-            let done = fs.write_gather(me, net, fid, off, parts, t);
-            (done, ())
+            let mut op = IoOp::WriteGather { off, parts };
+            let c = submit_retrying(&mut fs, net, me, fid, &mut op, t, policy)
+                .unwrap_or_else(|e| panic!("gathered write: unrecoverable I/O fault: {e}"));
+            (c.done, ())
         });
     }
 
@@ -374,10 +436,13 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let fs = Arc::clone(&self.fs);
         let fid = self.fid;
         let me = self.comm.rank();
+        let policy = self.retry;
         self.comm.io(move |t, net| {
             let mut fs = fs.lock();
-            let done = fs.read_scatter(me, net, fid, off, parts, t);
-            (done, ())
+            let mut op = IoOp::ReadScatter { off, parts };
+            let c = submit_retrying(&mut fs, net, me, fid, &mut op, t, policy)
+                .unwrap_or_else(|e| panic!("scattered read: unrecoverable I/O fault: {e}"));
+            (c.done, ())
         });
     }
 
@@ -388,10 +453,13 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let fs = Arc::clone(&self.fs);
         let fid = self.fid;
         let me = self.comm.rank();
+        let policy = self.retry;
         self.comm.io(move |t, net| {
             let mut fs = fs.lock();
-            let (done, data) = fs.read_at(me, net, fid, off, len, t);
-            (done, data)
+            let mut op = IoOp::Read { off, len };
+            let c = submit_retrying(&mut fs, net, me, fid, &mut op, t, policy)
+                .unwrap_or_else(|e| panic!("independent read: unrecoverable I/O fault: {e}"));
+            (c.done, c.data.expect("read completion carries data"))
         })
     }
 
@@ -417,13 +485,20 @@ impl<'c, 'w> MpiFile<'c, 'w> {
             let fs = Arc::clone(&self.fs);
             let fid = self.fid;
             let me = self.comm.rank();
+            let policy = self.retry;
             let regions2 = regions.clone();
             self.comm.io(move |t, net| {
                 let mut fs = fs.lock();
                 let mut cur = t;
                 let mut pos = 0usize;
                 for (off, len) in regions2 {
-                    cur = fs.write_at(me, net, fid, off, &buf[pos..pos + len as usize], cur);
+                    let mut op = IoOp::Write {
+                        off,
+                        data: &buf[pos..pos + len as usize],
+                    };
+                    let c = submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                        .unwrap_or_else(|e| panic!("view write: unrecoverable I/O fault: {e}"));
+                    cur = c.done;
                     pos += len as usize;
                 }
                 (cur, ())
@@ -448,14 +523,18 @@ impl<'c, 'w> MpiFile<'c, 'w> {
             let fs = Arc::clone(&self.fs);
             let fid = self.fid;
             let me = self.comm.rank();
+            let policy = self.retry;
             let regions2 = regions.clone();
             self.comm.io(move |t, net| {
                 let mut fs = fs.lock();
                 let mut cur = t;
                 let mut out = Vec::with_capacity(total as usize);
                 for (off, len) in regions2 {
-                    let (done, data) = fs.read_at(me, net, fid, off, len, cur);
-                    cur = done;
+                    let mut op = IoOp::Read { off, len };
+                    let c = submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                        .unwrap_or_else(|e| panic!("view read: unrecoverable I/O fault: {e}"));
+                    cur = c.done;
+                    let data = c.data.expect("read completion carries data");
                     amrio_simt::count_copy(data.len());
                     out.extend_from_slice(&data);
                 }
@@ -470,6 +549,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let fs = Arc::clone(&self.fs);
         let fid = self.fid;
         let me = self.comm.rank();
+        let policy = self.retry;
         let sieve = self.hints.sieve_buffer_size.max(1);
         let mem_bw = self.comm.mem_bw();
         let regions = regions.to_vec();
@@ -500,8 +580,14 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                     win = regions[ri].0;
                     continue;
                 }
-                let (done, data) = fs.read_at(me, net, fid, win, wlen, cur);
-                cur = done;
+                let mut op = IoOp::Read {
+                    off: win,
+                    len: wlen,
+                };
+                let c = submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                    .unwrap_or_else(|e| panic!("sieved read: unrecoverable I/O fault: {e}"));
+                cur = c.done;
+                let data = c.data.expect("read completion carries data");
                 // Copy intersecting pieces out; charge memcpy.
                 let mut copied = 0u64;
                 for (i, (off, len)) in regions.iter().enumerate().skip(ri) {
@@ -532,6 +618,7 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         let fs = Arc::clone(&self.fs);
         let fid = self.fid;
         let me = self.comm.rank();
+        let policy = self.retry;
         let sieve = self.hints.sieve_buffer_size.max(1);
         let mem_bw = self.comm.mem_bw();
         let regions = regions.to_vec();
@@ -561,8 +648,14 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                     continue;
                 }
                 // Read-modify-write the window.
-                let (done, mut data) = fs.read_at(me, net, fid, win, wlen, cur);
-                cur = done;
+                let mut op = IoOp::Read {
+                    off: win,
+                    len: wlen,
+                };
+                let c = submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                    .unwrap_or_else(|e| panic!("sieved write: unrecoverable I/O fault: {e}"));
+                cur = c.done;
+                let mut data = c.data.expect("read completion carries data");
                 let mut copied = 0u64;
                 for (i, (off, len)) in regions.iter().enumerate().skip(ri) {
                     if *off >= win + wlen {
@@ -580,7 +673,13 @@ impl<'c, 'w> MpiFile<'c, 'w> {
                 }
                 amrio_simt::count_copy(copied as usize);
                 cur += SimDur::transfer(copied, mem_bw);
-                cur = fs.write_at(me, net, fid, win, &data, cur);
+                let mut op = IoOp::Write {
+                    off: win,
+                    data: &data,
+                };
+                let c = submit_retrying(&mut fs, net, me, fid, &mut op, cur, policy)
+                    .unwrap_or_else(|e| panic!("sieved write: unrecoverable I/O fault: {e}"));
+                cur = c.done;
                 win += wlen;
             }
             (cur, ())

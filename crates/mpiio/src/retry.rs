@@ -1,0 +1,65 @@
+//! Bounded retry, virtual-time backoff, and server failover around the
+//! fallible [`Pfs`] request path — the MPI-IO library's recovery layer.
+//!
+//! Every file system request issued by this crate funnels through
+//! [`submit_retrying`]. A transient error re-submits the same [`IoOp`]
+//! after an exponential virtual-time backoff, bounded by
+//! [`RetryPolicy::max_retries`]. A permanent server failure (when
+//! [`RetryPolicy::failover`] is set) drops the server from the stripe
+//! map via [`Pfs::degrade_server`] and re-submits against the
+//! survivors, so a dump in flight completes in degraded mode instead of
+//! failing. All recovery actions land in the attached fault plan's
+//! resilience stats; with no plan attached the loop succeeds on the
+//! first iteration and is timing-neutral.
+
+use amrio_disk::{FileId, IoCompletion, IoError, IoOp, IoResult, Pfs, RetryPolicy};
+use amrio_net::{Endpoint, Net};
+use amrio_simt::SimTime;
+
+/// Submit `op` at virtual time `t`, applying `policy` until the request
+/// completes or recovery is exhausted. Failed attempts charge time but
+/// have no other side effects, so a retried op is priced exactly like a
+/// fresh submission at its resume clock.
+pub(crate) fn submit_retrying(
+    fs: &mut Pfs,
+    net: &mut Net,
+    client: Endpoint,
+    fid: FileId,
+    op: &mut IoOp<'_, '_>,
+    t: SimTime,
+    policy: RetryPolicy,
+) -> IoResult<IoCompletion> {
+    let mut cur = t;
+    let mut retries = 0u32;
+    loop {
+        match fs.submit(client, net, fid, op, cur) {
+            Ok(c) => {
+                if policy
+                    .op_timeout
+                    .is_some_and(|limit| c.done.saturating_since(t) > limit)
+                {
+                    if let Some(plan) = fs.faults() {
+                        plan.note_timeout();
+                    }
+                }
+                return Ok(c);
+            }
+            Err(IoError::ServerDown { server, at }) if policy.failover => {
+                // Drop the dead server from the stripe map and re-price
+                // the op against the survivors. `degrade_server` records
+                // the failover; a `false` return means a concurrent op
+                // already degraded it, and the remap alone suffices.
+                fs.degrade_server(server, at);
+                cur = at;
+            }
+            Err(e @ IoError::Transient { .. }) if retries < policy.max_retries => {
+                if let Some(plan) = fs.faults() {
+                    plan.note_retry();
+                }
+                cur = e.at() + policy.backoff_for(retries);
+                retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

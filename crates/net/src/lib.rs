@@ -18,7 +18,9 @@
 //! [`Net::transfer`] from within `amrio-simt` ordered sections so requests
 //! arrive in nondecreasing virtual time and runs stay deterministic.
 
+use amrio_fault::FaultPlan;
 use amrio_simt::{SimDur, SimTime};
+use std::sync::Arc;
 
 /// An endpoint index: a compute rank or an I/O server, as assigned by the
 /// platform that built the [`Net`].
@@ -131,6 +133,8 @@ pub struct Net {
     pub inter_node_bytes: u64,
     /// Total messages priced.
     pub messages: u64,
+    /// Optional fault schedule consulted per message (drops/delays).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Net {
@@ -141,7 +145,14 @@ impl Net {
             adapter_free: vec![SimTime::ZERO; nodes],
             inter_node_bytes: 0,
             messages: 0,
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan: every subsequent [`Net::transfer`] consults
+    /// it for message drops/delays. An empty plan changes nothing.
+    pub fn attach_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     pub fn config(&self) -> &NetConfig {
@@ -163,32 +174,44 @@ impl Net {
     /// time. Intra-node messages and non-port-limited fabrics never queue.
     pub fn transfer(&mut self, src: Endpoint, dst: Endpoint, bytes: u64, t: SimTime) -> Xfer {
         self.messages += 1;
+        let sent_at = t;
         let (sn, dn) = (self.cfg.node_of[src], self.cfg.node_of[dst]);
         let t = t + self.cfg.per_message;
-        if sn == dn {
+        let mut xfer = if sn == dn {
             let done = t + self.cfg.intra.time_for(bytes);
-            return Xfer {
+            Xfer {
                 sender_free: done,
                 arrival: done,
-            };
-        }
-        self.inter_node_bytes += bytes;
-        let wire = SimDur::transfer(bytes, self.cfg.inter.bandwidth);
-        if self.cfg.port_limited {
-            let start = t.max(self.adapter_free[sn]).max(self.adapter_free[dn]);
-            let busy_until = start + wire;
-            self.adapter_free[sn] = busy_until;
-            self.adapter_free[dn] = busy_until;
-            Xfer {
-                sender_free: busy_until,
-                arrival: busy_until + self.cfg.inter.latency,
             }
         } else {
-            Xfer {
-                sender_free: t + wire,
-                arrival: t + self.cfg.inter.latency + wire,
+            self.inter_node_bytes += bytes;
+            let wire = SimDur::transfer(bytes, self.cfg.inter.bandwidth);
+            if self.cfg.port_limited {
+                let start = t.max(self.adapter_free[sn]).max(self.adapter_free[dn]);
+                let busy_until = start + wire;
+                self.adapter_free[sn] = busy_until;
+                self.adapter_free[dn] = busy_until;
+                Xfer {
+                    sender_free: busy_until,
+                    arrival: busy_until + self.cfg.inter.latency,
+                }
+            } else {
+                Xfer {
+                    sender_free: t + wire,
+                    arrival: t + self.cfg.inter.latency + wire,
+                }
+            }
+        };
+        // Message faults: delivery stays reliable (the MPI layer above
+        // assumes it), so a "dropped" message is retransmitted by the
+        // adapter and simply arrives late, exactly like a delayed one.
+        // Keyed to the submission time so the effect is reproducible.
+        if let Some(plan) = &self.faults {
+            if let Some(extra) = plan.message_penalty(src, dst, sent_at) {
+                xfer.arrival += extra;
             }
         }
+        xfer
     }
 
     /// When the adapter of `ep`'s node becomes free (ZERO if never used or

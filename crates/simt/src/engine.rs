@@ -29,6 +29,20 @@ use std::sync::Arc;
 /// A processor index in `0..nranks`.
 pub type Rank = usize;
 
+/// A fault hook consulted on every local clock advance. Installed via
+/// [`run_with_hook`]; used to model per-rank compute stragglers by
+/// dilating a rank's own work. Only [`Ctx::advance`] is hooked —
+/// [`Ctx::advance_to`] (waiting for an interaction to complete) is not,
+/// so a straggler slows down its own computation without inflating the
+/// completion times of resources it merely waits on.
+///
+/// Implementations must be deterministic functions of `(rank, now, d)`
+/// plus their own fixed schedule: the engine calls the hook under the
+/// scheduler lock, in the same order on every run.
+pub trait ClockHook: Send + Sync {
+    fn dilate(&self, rank: Rank, now: SimTime, d: SimDur) -> SimDur;
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum RankState {
     /// Running local work (or not yet at a yield point).
@@ -88,6 +102,7 @@ struct Shared {
     sched: Mutex<Sched>,
     cv: Condvar,
     ordered_ops: AtomicU64,
+    hook: Option<Arc<dyn ClockHook>>,
 }
 
 /// Per-rank handle passed to the rank closure; all engine services go
@@ -124,6 +139,10 @@ impl Ctx {
         }
         let mut g = self.shared.sched.lock();
         self.check_poison(&g);
+        let d = match &self.shared.hook {
+            Some(h) => h.dilate(self.rank, g.clocks[self.rank], d),
+            None => d,
+        };
         g.clocks[self.rank] += d;
         // Our clock moving forward may make another rank the unique minimum.
         drop(g);
@@ -293,6 +312,17 @@ where
     T: Send,
     F: Fn(&Ctx) -> T + Sync,
 {
+    run_with_hook(nranks, None, f)
+}
+
+/// [`run`], with an optional [`ClockHook`] dilating local advances
+/// (e.g. a fault plan's compute stragglers). `run(n, f)` is exactly
+/// `run_with_hook(n, None, f)`.
+pub fn run_with_hook<T, F>(nranks: usize, hook: Option<Arc<dyn ClockHook>>, f: F) -> SimReport<T>
+where
+    T: Send,
+    F: Fn(&Ctx) -> T + Sync,
+{
     assert!(nranks > 0, "need at least one rank");
     let shared = Arc::new(Shared {
         sched: Mutex::new(Sched {
@@ -304,6 +334,7 @@ where
         }),
         cv: Condvar::new(),
         ordered_ops: AtomicU64::new(0),
+        hook,
     });
 
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();

@@ -23,7 +23,7 @@ pub mod sync;
 pub mod time;
 
 pub use bytes::{copied_bytes, count_copy, reset_copied_bytes, Bytes};
-pub use engine::{run, Ctx, Rank, SimReport};
+pub use engine::{run, run_with_hook, ClockHook, Ctx, Rank, SimReport};
 pub use time::{SimDur, SimTime};
 
 #[cfg(test)]
@@ -185,6 +185,30 @@ mod tests {
                 ctx.advance(SimDur::from_micros(100));
             }
         });
+    }
+
+    #[test]
+    fn clock_hook_dilates_advance_but_not_advance_to() {
+        struct DoubleRank0;
+        impl ClockHook for DoubleRank0 {
+            fn dilate(&self, rank: Rank, _now: SimTime, d: SimDur) -> SimDur {
+                if rank == 0 {
+                    SimDur(d.0 * 2)
+                } else {
+                    d
+                }
+            }
+        }
+        let r = run_with_hook(2, Some(Arc::new(DoubleRank0)), |ctx| {
+            ctx.advance(SimDur::from_micros(10));
+            if ctx.rank() == 1 {
+                // advance_to must NOT be dilated.
+                ctx.advance_to(SimTime(15_000));
+            }
+            ctx.now()
+        });
+        assert_eq!(r.results[0], SimTime(20_000));
+        assert_eq!(r.results[1], SimTime(15_000));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 
 use amrio::check::{CheckMode, Checker};
-use amrio::enzo::{run_experiment_checked, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio::enzo::{Experiment, MpiIoOptimized, Platform, ProblemSize, SimConfig};
 use amrio::mpi::World;
 use amrio::mpiio::{Mode, MpiIo};
 use amrio::net::NetConfig;
@@ -21,8 +21,11 @@ fn main() {
     cfg.particle_fraction = 0.5;
     cfg.refine_threshold = 3.0;
     let platform = Platform::origin2000(nranks);
-    let (rep, check) =
-        run_experiment_checked(&platform, &cfg, &MpiIoOptimized, 1, CheckMode::Strict);
+    let out = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(1)
+        .check(CheckMode::Strict)
+        .run();
+    let (rep, check) = (out.report, out.check.expect("checker was attached"));
     println!(
         "clean pipeline: strategy={} verified={} write={:.3}s read={:.3}s -> {}",
         rep.strategy,

@@ -11,7 +11,8 @@
 //! overheads (paper §4.5).
 
 use amrio::enzo::{
-    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    SimConfig,
 };
 
 fn main() {
@@ -31,7 +32,10 @@ fn main() {
     );
     let mut times = Vec::new();
     for s in &strategies {
-        let r = driver::run_experiment(&platform, &cfg, s.as_ref(), 2);
+        let r = Experiment::new(&platform, &cfg, s.as_ref())
+            .cycles(2)
+            .run()
+            .report;
         println!(
             "{:<16} {:>10.3} {:>10.3} {:>10.1} {:>6}",
             r.strategy,

@@ -13,8 +13,8 @@
 
 use amrio::check::CheckMode;
 use amrio::enzo::{
-    run_experiment_probed, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform,
-    ProblemSize, SimConfig,
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    SimConfig,
 };
 use amrio::hdf5::OverheadModel;
 use amrio::plan::{
@@ -53,8 +53,15 @@ fn report(problem: ProblemSize, nranks: usize) -> bool {
     let mut ok = true;
     for (name, backend) in backends() {
         let strategy = strategy_for(name);
-        let (_, check, probe) =
-            run_experiment_probed(&platform, &cfg, strategy.as_ref(), 1, CheckMode::Strict);
+        let out = Experiment::new(&platform, &cfg, strategy.as_ref())
+            .cycles(1)
+            .check(CheckMode::Strict)
+            .probe()
+            .run();
+        let (check, probe) = (
+            out.check.expect("checker was attached"),
+            out.probe.expect("probe was requested"),
+        );
         if !check.is_clean() {
             println!("  {name}: CHECKER VIOLATIONS\n{check}");
             ok = false;

@@ -6,7 +6,7 @@
 //! cargo run --release --example platform_sweep
 //! ```
 
-use amrio::enzo::{driver, Hdf4Serial, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio::enzo::{Experiment, Hdf4Serial, MpiIoOptimized, Platform, ProblemSize, SimConfig};
 
 fn main() {
     let nranks = 8;
@@ -24,7 +24,10 @@ fn main() {
     );
     for platform in &platforms {
         for strategy in [&Hdf4Serial as &dyn amrio::enzo::IoStrategy, &MpiIoOptimized] {
-            let r = driver::run_experiment(platform, &cfg, strategy, 2);
+            let r = Experiment::new(platform, &cfg, strategy)
+                .cycles(2)
+                .run()
+                .report;
             assert!(r.verified);
             println!(
                 "{:<26} {:>14} {:>10.3} {:>10.3}",

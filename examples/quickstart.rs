@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use amrio::enzo::{driver, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio::enzo::{Experiment, MpiIoOptimized, Platform, ProblemSize, SimConfig};
 
 fn main() {
     // 8 simulated processors on the ccNUMA machine with the XFS volume.
@@ -18,7 +18,10 @@ fn main() {
     cfg.max_level = 2;
 
     // Evolve two cycles, dump a checkpoint, restart it, verify.
-    let report = driver::run_experiment(&platform, &cfg, &MpiIoOptimized, 2);
+    let report = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(2)
+        .run()
+        .report;
 
     println!("platform      : {}", report.platform);
     println!("problem       : {}", report.problem);

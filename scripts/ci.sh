@@ -20,6 +20,9 @@ cargo test -q --test checker
 echo "== planner self-verification (plan_report)"
 cargo run --release --example plan_report
 
+echo "== resilience fault-matrix smoke (fault injection + graceful degradation)"
+cargo run --release -q -p amrio-bench --bin resilience -- --smoke
+
 echo "== selfbench smoke (wall-clock regression gate)"
 cargo run --release -q -p amrio-bench --bin selfbench -- --smoke --out /tmp/selfbench_smoke.json
 baseline=$(grep -m1 '"smoke_total_wall_ms"' BENCH_selfbench.json | grep -o '[0-9.]*')

@@ -10,6 +10,7 @@ pub use amrio_amr as amr;
 pub use amrio_check as check;
 pub use amrio_disk as disk;
 pub use amrio_enzo as enzo;
+pub use amrio_fault as fault;
 pub use amrio_hdf4 as hdf4;
 pub use amrio_hdf5 as hdf5;
 pub use amrio_mdms as mdms;

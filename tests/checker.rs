@@ -5,7 +5,7 @@
 
 use amrio_check::{CheckMode, Checker, Violation};
 use amrio_disk::{DiskParams, FsConfig, Placement};
-use amrio_enzo::{run_experiment_checked, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio_enzo::{Experiment, MpiIoOptimized, Platform, ProblemSize, SimConfig};
 use amrio_mpi::coll::ReduceOp;
 use amrio_mpi::World;
 use amrio_mpiio::{Datatype, Mode, MpiIo};
@@ -191,8 +191,11 @@ fn checkpoint_restart_pipeline_is_clean_under_strict() {
     cfg.particle_fraction = 0.5;
     cfg.refine_threshold = 3.0;
     let platform = Platform::origin2000(4);
-    let (rep, check) =
-        run_experiment_checked(&platform, &cfg, &MpiIoOptimized, 1, CheckMode::Strict);
+    let out = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(1)
+        .check(CheckMode::Strict)
+        .run();
+    let (rep, check) = (out.report, out.check.expect("checker was attached"));
     assert!(rep.verified, "restart must verify");
     assert!(check.is_clean(), "report was:\n{check}");
 }

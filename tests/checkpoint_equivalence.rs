@@ -2,7 +2,8 @@
 //! produce a checkpoint that restores to the exact same simulation.
 
 use amrio::enzo::{
-    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    SimConfig,
 };
 
 fn cfg(nranks: usize) -> SimConfig {
@@ -13,7 +14,10 @@ fn cfg(nranks: usize) -> SimConfig {
 }
 
 fn verify(platform: Platform, strategy: &dyn IoStrategy, nranks: usize) {
-    let r = driver::run_experiment(&platform, &cfg(nranks), strategy, 1);
+    let r = Experiment::new(&platform, &cfg(nranks), strategy)
+        .cycles(1)
+        .run()
+        .report;
     assert!(
         r.verified,
         "{} on {} failed restart verification",

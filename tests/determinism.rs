@@ -3,7 +3,7 @@
 //! runs, regardless of host thread scheduling.
 
 use amrio::enzo::{
-    driver, Hdf4Serial, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
+    Experiment, Hdf4Serial, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
 };
 
 fn one(strategy: &dyn IoStrategy) -> (u64, u64, u64, u64) {
@@ -11,7 +11,10 @@ fn one(strategy: &dyn IoStrategy) -> (u64, u64, u64, u64) {
     let platform = Platform::ibm_sp2(nranks);
     let mut cfg = SimConfig::new(ProblemSize::Custom(16), nranks);
     cfg.particle_fraction = 0.5;
-    let r = driver::run_experiment(&platform, &cfg, strategy, 2);
+    let r = Experiment::new(&platform, &cfg, strategy)
+        .cycles(2)
+        .run()
+        .report;
     assert!(r.verified);
     (
         (r.write_time * 1e9) as u64,

@@ -1,0 +1,191 @@
+//! Fault injection end to end: an empty plan is a strict no-op (golden
+//! digests and virtual times reproduce exactly), seeded faults recover
+//! deterministically, and a PVFS server failure in the middle of a dump
+//! completes in degraded mode with the restart still verifying.
+
+use amrio::check::CheckMode;
+use amrio::enzo::{
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    RunOutcome, SimConfig,
+};
+use amrio::fault::{window_secs, FaultPlan};
+use amrio::simt::SimTime;
+use std::sync::Arc;
+
+const EVOLVE_CYCLES: u32 = 2;
+const NRANKS: usize = 4;
+const ROOT_N: u64 = 16;
+
+/// The golden image digests of tests/golden_bytes.rs — the empty-plan
+/// runs below must reproduce them bit for bit.
+const GOLDEN_HDF4: u64 = 0x33c1060cccaba736;
+const GOLDEN_MPIIO: u64 = 0xe775d975bcc484a4;
+const GOLDEN_HDF5: u64 = 0x48f25b415df8973e;
+
+fn run_sp2(strategy: &dyn IoStrategy, faults: Option<Arc<FaultPlan>>) -> RunOutcome {
+    let platform = Platform::ibm_sp2(NRANKS);
+    let cfg = SimConfig::new(ProblemSize::Custom(ROOT_N), NRANKS);
+    let mut exp = Experiment::new(&platform, &cfg, strategy).cycles(EVOLVE_CYCLES);
+    if let Some(plan) = faults {
+        exp = exp.faults(plan);
+    }
+    exp.run()
+}
+
+/// Attaching an empty fault plan must change nothing: same checkpoint
+/// image as the goldens, and bit-identical virtual times.
+#[test]
+fn empty_fault_plan_reproduces_goldens_exactly() {
+    let cases: [(&dyn IoStrategy, u64); 3] = [
+        (&Hdf4Serial, GOLDEN_HDF4),
+        (&MpiIoOptimized, GOLDEN_MPIIO),
+        (&Hdf5Parallel::default(), GOLDEN_HDF5),
+    ];
+    for (strategy, golden) in cases {
+        let base = run_sp2(strategy, None).report;
+        let faulted = run_sp2(strategy, Some(Arc::new(FaultPlan::new()))).report;
+        assert!(base.verified && faulted.verified);
+        assert_eq!(
+            base.image_digest, golden,
+            "{}: baseline digest",
+            base.strategy
+        );
+        assert_eq!(
+            faulted.image_digest, golden,
+            "{}: empty plan changed the image",
+            faulted.strategy
+        );
+        assert_eq!(
+            faulted.write_time.to_bits(),
+            base.write_time.to_bits(),
+            "{}: empty plan changed write time",
+            base.strategy
+        );
+        assert_eq!(
+            faulted.read_time.to_bits(),
+            base.read_time.to_bits(),
+            "{}: empty plan changed read time",
+            base.strategy
+        );
+        assert_eq!(
+            faulted.makespan.to_bits(),
+            base.makespan.to_bits(),
+            "{}: empty plan changed makespan",
+            base.strategy
+        );
+        assert!(faulted.resilience.is_quiet(), "empty plan recorded actions");
+    }
+}
+
+/// Seeded transient errors + a server slowdown: retries fire, the run
+/// slows down, the image stays correct, and everything is bit-identical
+/// across repeated runs.
+#[test]
+fn seeded_faults_recover_deterministically() {
+    let go = || {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .with_transient_errors(0, window_secs(0.0, 1.0e6), 4)
+                .with_server_slowdown(1, window_secs(0.0, 1.0e6), 3.0),
+        );
+        let out = run_sp2(&MpiIoOptimized, Some(Arc::clone(&plan)));
+        (
+            out.report.makespan.to_bits(),
+            out.report.image_digest,
+            out.report.resilience,
+        )
+    };
+    let (m1, d1, r1) = go();
+    let (m2, d2, r2) = go();
+    assert_eq!(m1, m2, "fault recovery must be deterministic");
+    assert_eq!(d1, d2);
+    assert_eq!(r1, r2);
+    assert!(r1.retries >= 4, "transient budget must be consumed: {r1:?}");
+    assert_eq!(r1.failovers, 0);
+    assert_eq!(d1, GOLDEN_MPIIO, "faults must not change the bytes");
+}
+
+/// Kill a PVFS server in the middle of the checkpoint dump: the stripe
+/// map degrades, survivors absorb the extents, the dump completes, and
+/// the restart read verifies bit-for-bit — under the strict checker.
+#[test]
+fn mid_dump_pvfs_server_failure_degrades_gracefully() {
+    let platform = Platform::chiba_pvfs(NRANKS);
+    let cfg = SimConfig::new(ProblemSize::Custom(ROOT_N), NRANKS);
+
+    // Probe a clean run to find the dump's time window.
+    let baseline = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(EVOLVE_CYCLES)
+        .check(CheckMode::Strict)
+        .probe()
+        .run();
+    let probe = baseline.probe.expect("probe was requested");
+    let writes: Vec<_> = probe.events.iter().filter(|e| e.write).collect();
+    assert!(!writes.is_empty(), "baseline dump must write");
+    let w0 = writes.iter().map(|e| e.start).min().unwrap();
+    let w1 = writes.iter().map(|e| e.end).max().unwrap();
+    // Fail server 2 a quarter of the way into the dump window.
+    let t_fail = SimTime(w0.0 + (w1.0 - w0.0) / 4);
+
+    let plan = Arc::new(FaultPlan::new().with_server_failure(2, t_fail));
+    let out = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(EVOLVE_CYCLES)
+        .check(CheckMode::Strict)
+        .faults(Arc::clone(&plan))
+        .run();
+    let rep = out.report;
+    let check = out.check.expect("checker was attached");
+
+    assert!(rep.verified, "degraded-mode restart must verify");
+    assert!(
+        check.is_clean(),
+        "checker violations under faults:\n{check}"
+    );
+    assert!(
+        rep.resilience.failovers >= 1,
+        "server failure must trigger a failover: {:?}",
+        rep.resilience
+    );
+    assert_eq!(rep.resilience.degraded_servers, 1);
+    assert!(
+        rep.resilience.degraded_mode_secs > 0.0,
+        "degraded-mode time must accrue: {:?}",
+        rep.resilience
+    );
+    // Note: the degraded makespan is not necessarily larger — remapping
+    // onto 7 survivors also means fewer pieces per striped request.
+    assert_eq!(
+        rep.image_digest, baseline.report.image_digest,
+        "bytes must survive degradation"
+    );
+}
+
+/// Per-rank compute stragglers dilate local work without breaking
+/// verification, and message faults on the interconnect are absorbed by
+/// retransmit/delay penalties.
+#[test]
+fn stragglers_and_message_faults_slow_but_do_not_break() {
+    let base = run_sp2(&MpiIoOptimized, None).report;
+    let plan = Arc::new(
+        FaultPlan::new()
+            .with_straggler(0, window_secs(0.0, 1.0e6), 2.0)
+            .with_message_delays(
+                None,
+                None,
+                window_secs(0.0, 1.0e6),
+                amrio::simt::SimDur::from_micros(200),
+                50,
+            ),
+    );
+    let out = run_sp2(&MpiIoOptimized, Some(Arc::clone(&plan))).report;
+    assert!(out.verified);
+    assert_eq!(out.image_digest, GOLDEN_MPIIO);
+    assert!(
+        out.makespan > base.makespan,
+        "straggler + delays must cost time: {} vs {}",
+        out.makespan,
+        base.makespan
+    );
+    assert!(out.resilience.straggler_secs > 0.0, "{:?}", out.resilience);
+    assert!(out.resilience.delayed_messages > 0, "{:?}", out.resilience);
+}

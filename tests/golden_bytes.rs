@@ -10,7 +10,8 @@
 //! is an FNV-1a hash over every file's path, length, and content.
 
 use amrio::enzo::{
-    driver, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    SimConfig,
 };
 
 const EVOLVE_CYCLES: u32 = 2;
@@ -20,7 +21,10 @@ const ROOT_N: u64 = 16;
 fn image_digest(strategy: &dyn IoStrategy) -> u64 {
     let platform = Platform::ibm_sp2(NRANKS);
     let cfg = SimConfig::new(ProblemSize::Custom(ROOT_N), NRANKS);
-    let r = driver::run_experiment(&platform, &cfg, strategy, EVOLVE_CYCLES);
+    let r = Experiment::new(&platform, &cfg, strategy)
+        .cycles(EVOLVE_CYCLES)
+        .run()
+        .report;
     assert!(r.verified, "restart verification failed");
     r.image_digest
 }

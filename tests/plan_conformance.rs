@@ -7,8 +7,8 @@
 
 use amrio::check::CheckMode;
 use amrio::enzo::{
-    run_experiment_probed, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform,
-    ProblemSize, SimConfig,
+    Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
+    SimConfig,
 };
 use amrio::hdf5::OverheadModel;
 use amrio::plan::{
@@ -25,8 +25,16 @@ fn cfg(nranks: usize) -> SimConfig {
 fn assert_conforms(strategy: &dyn IoStrategy, backend: Backend, nranks: usize) {
     let platform = Platform::origin2000(nranks);
     let cfg = cfg(nranks);
-    let (report, check, probe) =
-        run_experiment_probed(&platform, &cfg, strategy, 1, CheckMode::Strict);
+    let out = Experiment::new(&platform, &cfg, strategy)
+        .cycles(1)
+        .check(CheckMode::Strict)
+        .probe()
+        .run();
+    let (report, check, probe) = (
+        out.report,
+        out.check.expect("checker was attached"),
+        out.probe.expect("probe was requested"),
+    );
     assert!(report.verified, "{}: restart must verify", report.strategy);
     assert!(
         check.is_clean(),
