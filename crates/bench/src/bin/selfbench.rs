@@ -24,7 +24,9 @@ use amrio_enzo::{
     Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
     RunReport,
 };
+use amrio_plan::{plan, Backend, PlanInput};
 use amrio_simt::{copied_bytes, reset_copied_bytes};
+use amrio_tune::search;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -83,6 +85,54 @@ fn run_cell(
         wall_ms,
         copied_bytes: copied,
         report,
+    }
+}
+
+/// Host-side cost of the static tuner on the smoke cell: how long the
+/// full hint-space search takes on this machine, what it picked, and
+/// the executed outcome of shipping its advisory.
+struct TuneSummary {
+    candidates: usize,
+    search_wall_ms: f64,
+    best: String,
+    predicted_total_s: f64,
+    tuned_total_s: f64,
+    baseline_total_s: f64,
+    digest_ok: bool,
+}
+
+fn tune_summary() -> TuneSummary {
+    let nranks = 4;
+    let platform = Platform::origin2000(nranks);
+    let cfg = default_cfg(ProblemSize::Custom(16), nranks);
+    let probe = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(EVOLVE_CYCLES)
+        .probe()
+        .run()
+        .probe
+        .expect("probe requested");
+    let p = plan(&PlanInput::from_probe(&probe, &platform.fs), Backend::MpiIo);
+    let t0 = Instant::now();
+    let outcome = search(&p, &platform.fs, &platform.net);
+    let search_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let best = outcome.best();
+    let baseline = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(EVOLVE_CYCLES)
+        .run()
+        .report;
+    let tuned = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(EVOLVE_CYCLES)
+        .advisory(best.cfg.advisory())
+        .run()
+        .report;
+    TuneSummary {
+        candidates: outcome.candidates.len(),
+        search_wall_ms,
+        best: best.cfg.label.clone(),
+        predicted_total_s: best.cost.total_s(),
+        tuned_total_s: tuned.write_time + tuned.read_time,
+        baseline_total_s: baseline.write_time + baseline.read_time,
+        digest_ok: tuned.image_digest == baseline.image_digest,
     }
 }
 
@@ -158,7 +208,27 @@ fn main() {
         );
         j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
-    j.push_str("  ]");
+    j.push_str("  ],\n");
+
+    let t = tune_summary();
+    eprintln!(
+        "tune: searched {} candidates in {:.1} ms; best = {} (predicted {:.4}s, executed {:.4}s vs baseline {:.4}s, digest_ok {})",
+        t.candidates, t.search_wall_ms, t.best, t.predicted_total_s, t.tuned_total_s,
+        t.baseline_total_s, t.digest_ok
+    );
+    let _ = write!(
+        j,
+        "  \"tune\": {{\"cell\": \"origin2000/small/x4\", \"candidates\": {}, \
+         \"search_wall_ms\": {:.3}, \"best\": \"{}\", \"predicted_total_s\": {:.6}, \
+         \"tuned_total_s\": {:.6}, \"baseline_total_s\": {:.6}, \"digest_ok\": {}}}",
+        t.candidates,
+        t.search_wall_ms,
+        t.best,
+        t.predicted_total_s,
+        t.tuned_total_s,
+        t.baseline_total_s,
+        t.digest_ok
+    );
     if let Some(path) = embed_before {
         let before =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--embed-before {path}: {e}"));

@@ -24,7 +24,7 @@ use amrio_amr::Hierarchy;
 use amrio_check::{CheckMode, CheckReport, Checker, CollDesc};
 use amrio_disk::{FaultPlan, FileId, IoEvent, ResilienceReport, RetryPolicy};
 use amrio_mpi::{Comm, World};
-use amrio_mpiio::MpiIo;
+use amrio_mpiio::{Advisory, MpiIo};
 use amrio_simt::SimDur;
 use std::sync::Arc;
 
@@ -114,6 +114,7 @@ pub struct Experiment<'a> {
     probe: bool,
     faults: Option<Arc<FaultPlan>>,
     retry: Option<RetryPolicy>,
+    advisory: Option<Advisory>,
 }
 
 impl<'a> Experiment<'a> {
@@ -131,6 +132,7 @@ impl<'a> Experiment<'a> {
             probe: false,
             faults: None,
             retry: None,
+            advisory: None,
         }
     }
 
@@ -172,6 +174,15 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Install a statically derived tuning advisory (see `amrio-tune`):
+    /// its hints, write-behind capacity and application stripe become
+    /// the defaults for every file the run opens. Timing-only — the
+    /// checkpoint bytes (`image_digest`) are unchanged.
+    pub fn advisory(mut self, advisory: Advisory) -> Self {
+        self.advisory = Some(advisory);
+        self
+    }
+
     /// Execute the run.
     pub fn run(self) -> RunOutcome {
         let Experiment {
@@ -183,6 +194,7 @@ impl<'a> Experiment<'a> {
             probe,
             faults,
             retry,
+            advisory,
         } = self;
         assert_eq!(cfg.nranks, {
             // Compute endpoints precede any I/O server endpoints.
@@ -206,6 +218,9 @@ impl<'a> Experiment<'a> {
         let mut io = MpiIo::new(platform.fs.clone());
         if let Some(policy) = retry {
             io.set_retry_policy(policy);
+        }
+        if let Some(adv) = advisory {
+            io.set_advisory(adv);
         }
         if let Some(plan) = &faults {
             world = world.with_faults(Arc::clone(plan));
@@ -303,57 +318,4 @@ impl<'a> Experiment<'a> {
             probe,
         }
     }
-}
-
-/// Run the full experiment with no checker attached.
-#[deprecated(note = "use Experiment::new(platform, cfg, strategy).cycles(n).run()")]
-pub fn run_experiment(
-    platform: &Platform,
-    cfg: &SimConfig,
-    strategy: &dyn IoStrategy,
-    evolve_cycles: u32,
-) -> RunReport {
-    Experiment::new(platform, cfg, strategy)
-        .cycles(evolve_cycles)
-        .run()
-        .report
-}
-
-/// Experiment with an `amrio-check` correctness checker attached.
-#[deprecated(note = "use Experiment::new(...).cycles(n).check(mode).run()")]
-pub fn run_experiment_checked(
-    platform: &Platform,
-    cfg: &SimConfig,
-    strategy: &dyn IoStrategy,
-    evolve_cycles: u32,
-    mode: CheckMode,
-) -> (RunReport, CheckReport) {
-    let out = Experiment::new(platform, cfg, strategy)
-        .cycles(evolve_cycles)
-        .check(mode)
-        .run();
-    (out.report, out.check.expect("checker was attached"))
-}
-
-/// Checked experiment plus a [`RunProbe`]. `mode` must be enabled
-/// ([`CheckMode::Log`] or [`CheckMode::Strict`]) for the probe to
-/// capture collectives.
-#[deprecated(note = "use Experiment::new(...).cycles(n).check(mode).probe().run()")]
-pub fn run_experiment_probed(
-    platform: &Platform,
-    cfg: &SimConfig,
-    strategy: &dyn IoStrategy,
-    evolve_cycles: u32,
-    mode: CheckMode,
-) -> (RunReport, CheckReport, RunProbe) {
-    let out = Experiment::new(platform, cfg, strategy)
-        .cycles(evolve_cycles)
-        .check(mode)
-        .probe()
-        .run();
-    (
-        out.report,
-        out.check.expect("checker was attached"),
-        out.probe.expect("probe was requested"),
-    )
 }

@@ -193,7 +193,11 @@ impl IoStrategy for MpiIoOptimized {
     }
 
     fn write_checkpoint(&self, comm: &Comm, io: &MpiIo, st: &SimState, dump: u32) {
-        MpiIoOptimized::write_impl(comm, io, st, dump, false);
+        // An installed tuning advisory can opt the standard strategy into
+        // write-behind staging (the `MPI-IO+wb` ablation) without changing
+        // which bytes land where.
+        let wb = io.advisory().write_behind.is_some();
+        MpiIoOptimized::write_impl(comm, io, st, dump, wb);
     }
 
     fn read_checkpoint(&self, comm: &Comm, io: &MpiIo, cfg: &SimConfig, dump: u32) -> SimState {

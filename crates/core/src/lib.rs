@@ -24,8 +24,6 @@ pub mod sort;
 pub mod state;
 pub mod wire;
 
-#[allow(deprecated)]
-pub use driver::{run_experiment, run_experiment_checked, run_experiment_probed};
 pub use driver::{Experiment, RunOutcome, RunProbe, RunReport};
 pub use io::{
     Hdf4Serial, Hdf5Parallel, IoStrategy, MdmsAdvised, MpiIoAppStriped, MpiIoMultiFile, MpiIoNaive,

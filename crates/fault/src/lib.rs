@@ -362,6 +362,50 @@ impl FaultPlan {
         self
     }
 
+    // ---- static inspection (used by the `amrio-tune` lint pass) ----------
+
+    /// Every server index any server-level fault (slowdown, stall,
+    /// transient, permanent failure) targets, sorted and deduplicated.
+    pub fn server_targets(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .slowdowns
+            .iter()
+            .map(|s| s.server)
+            .chain(self.stalls.iter().map(|s| s.server))
+            .chain(self.transients.iter().map(|e| e.server))
+            .chain(self.failures.iter().map(|f| f.server))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Servers with a permanent failure scheduled, sorted and deduplicated.
+    pub fn failure_servers(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.failures.iter().map(|f| f.server).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total transient-error budget scheduled against `server` across
+    /// all windows.
+    pub fn transient_budget(&self, server: usize) -> u64 {
+        self.transients
+            .iter()
+            .filter(|e| e.server == server)
+            .map(|e| e.budget)
+            .sum()
+    }
+
+    /// Ranks targeted by straggler dilation, sorted and deduplicated.
+    pub fn straggler_ranks(&self) -> Vec<Rank> {
+        let mut out: Vec<Rank> = self.stragglers.iter().map(|s| s.rank).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     // ---- consultation (called from the stack's layers) -------------------
 
     /// Service-time multiplier for `server` at `t` (product of matching

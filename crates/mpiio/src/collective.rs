@@ -204,8 +204,13 @@ impl<'c, 'w> MpiFile<'c, 'w> {
         }
     }
 
-    /// Collective write through each rank's view (two-phase).
+    /// Collective write through each rank's view (two-phase). With the
+    /// `cb_write` hint off (ROMIO's `romio_cb_write disable`) this
+    /// degrades to independent per-rank writes — no collectives at all.
     pub fn write_all_view(&self, buf: &[u8]) {
+        if !self.hints().cb_write {
+            return self.write_view(buf);
+        }
         let regions = self.view_regions();
         let total: u64 = regions.iter().map(|(_, l)| l).sum();
         assert_eq!(buf.len() as u64, total, "buffer must match view size");
@@ -358,7 +363,12 @@ impl<'c, 'w> MpiFile<'c, 'w> {
     }
 
     /// Collective read through each rank's view (two-phase, reversed).
+    /// With the `cb_read` hint off this degrades to independent per-rank
+    /// reads (sieved per `ds_read`).
     pub fn read_all_view(&self) -> Vec<u8> {
+        if !self.hints().cb_read {
+            return self.read_view();
+        }
         let regions = self.view_regions();
         let total: u64 = regions.iter().map(|(_, l)| l).sum();
 

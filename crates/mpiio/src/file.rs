@@ -15,7 +15,7 @@ use std::sync::Arc;
 pub(crate) const PER_REGION_CPU: SimDur = SimDur(120);
 
 /// ROMIO-style tuning hints.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Hints {
     /// Number of collective-I/O aggregators (`cb_nodes`); `None` = all
     /// ranks aggregate.
@@ -31,6 +31,12 @@ pub struct Hints {
     pub sieve_buffer_size: u64,
     /// Align collective file domains to the file system stripe.
     pub align_file_domains: bool,
+    /// Use collective buffering for view writes (`romio_cb_write`);
+    /// when false, `write_all_view` degrades to independent per-rank
+    /// writes of the view regions (no collectives at all).
+    pub cb_write: bool,
+    /// Use collective buffering for view reads (`romio_cb_read`).
+    pub cb_read: bool,
 }
 
 impl Default for Hints {
@@ -42,8 +48,26 @@ impl Default for Hints {
             ds_write: false,
             sieve_buffer_size: 512 << 10,
             align_file_domains: true,
+            cb_write: true,
+            cb_read: true,
         }
     }
+}
+
+/// A tuned I/O configuration, typically derived statically by
+/// `amrio-tune`'s cost-model search and installed on an [`MpiIo`]
+/// context before a run. Every knob is timing/placement-only: applying
+/// an advisory never changes the bytes a strategy writes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Advisory {
+    /// Default hints for every file opened through the context.
+    pub hints: Option<Hints>,
+    /// Enable write-behind staging with this capacity on every opened
+    /// file.
+    pub write_behind: Option<usize>,
+    /// Install this application-specific stripe on every file the
+    /// context creates (the paper's §5 flexible-striping interface).
+    pub app_stripe: Option<u64>,
 }
 
 /// How to open a file.
@@ -57,6 +81,7 @@ pub enum Mode {
 pub struct MpiIo {
     fs: Arc<Mutex<Pfs>>,
     retry: RetryPolicy,
+    advisory: Advisory,
 }
 
 impl MpiIo {
@@ -64,6 +89,7 @@ impl MpiIo {
         MpiIo {
             fs: Arc::new(Mutex::new(Pfs::new(cfg))),
             retry: RetryPolicy::default(),
+            advisory: Advisory::default(),
         }
     }
 
@@ -71,7 +97,32 @@ impl MpiIo {
         MpiIo {
             fs,
             retry: RetryPolicy::default(),
+            advisory: Advisory::default(),
         }
+    }
+
+    /// Install a tuning advisory: its hints, write-behind capacity and
+    /// application stripe become the defaults for every file opened
+    /// through this context. Call before any file is opened.
+    pub fn set_advisory(&mut self, advisory: Advisory) {
+        self.advisory = advisory;
+    }
+
+    pub fn advisory(&self) -> Advisory {
+        self.advisory
+    }
+
+    fn default_hints(&self) -> Hints {
+        self.advisory.hints.unwrap_or_default()
+    }
+
+    /// Arm a freshly opened handle with the advisory's write-behind
+    /// staging buffer (hints are installed at construction).
+    fn arm<'c, 'w>(&self, file: MpiFile<'c, 'w>) -> MpiFile<'c, 'w> {
+        if let Some(cap) = self.advisory.write_behind {
+            file.enable_write_behind(cap);
+        }
+        file
     }
 
     /// Attach a fault-injection plan to the underlying file system.
@@ -109,6 +160,7 @@ impl MpiIo {
     /// `MPI_File_open` with `MPI_MODE_CREATE`).
     pub fn open<'c, 'w>(&self, comm: &'c Comm<'w>, path: &str, mode: Mode) -> MpiFile<'c, 'w> {
         let fs = Arc::clone(&self.fs);
+        let stripe = self.advisory.app_stripe;
         let fid = match mode {
             Mode::Create => {
                 let mut fid = 0;
@@ -117,6 +169,15 @@ impl MpiIo {
                     fid = comm.io(move |t, net| {
                         let mut fs = fs2.lock();
                         let (fid, done) = fs.create(0, net, path, t);
+                        let done = match stripe {
+                            // Advised flexible striping: one metadata-ish
+                            // request, same pricing as `set_app_striping`.
+                            Some(s) => {
+                                fs.set_file_striping(fid, s);
+                                done + SimDur::from_micros(50)
+                            }
+                            None => done,
+                        };
                         (done, fid)
                     });
                 }
@@ -142,16 +203,16 @@ impl MpiIo {
                 })
             }
         };
-        MpiFile {
+        self.arm(MpiFile {
             comm,
             fs,
             fid,
-            hints: Hints::default(),
+            hints: self.default_hints(),
             retry: self.retry,
             view_disp: 0,
             view_type: None,
             write_behind: RefCell::new(None),
-        }
+        })
     }
 
     /// Open independently from a single rank (no collective semantics) —
@@ -165,24 +226,32 @@ impl MpiIo {
         let fs = Arc::clone(&self.fs);
         let fs2 = Arc::clone(&fs);
         let me = comm.rank();
+        let stripe = self.advisory.app_stripe;
         let fid = comm.io(move |t, net| {
             let mut fs = fs2.lock();
             let (fid, done) = match mode {
                 Mode::Create => fs.create(me, net, path, t),
                 Mode::Open => fs.open(me, net, path, t),
             };
+            let done = match (mode, stripe) {
+                (Mode::Create, Some(s)) => {
+                    fs.set_file_striping(fid, s);
+                    done + SimDur::from_micros(50)
+                }
+                _ => done,
+            };
             (done, fid)
         });
-        MpiFile {
+        self.arm(MpiFile {
             comm,
             fs,
             fid,
-            hints: Hints::default(),
+            hints: self.default_hints(),
             retry: self.retry,
             view_disp: 0,
             view_type: None,
             write_behind: RefCell::new(None),
-        }
+        })
     }
 }
 

@@ -17,7 +17,7 @@ pub mod file;
 mod retry;
 
 pub use datatype::{normalize, Datatype, NumType, Region};
-pub use file::{Hints, Mode, MpiFile, MpiIo};
+pub use file::{Advisory, Hints, Mode, MpiFile, MpiIo};
 
 // Fault vocabulary of the fallible request path, re-exported so
 // applications can configure injection and recovery from here.

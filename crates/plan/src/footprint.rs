@@ -79,7 +79,8 @@ fn mpiio(input: &PlanInput) -> Footprint {
             name: ds_field(TOP_GRID, name),
             start,
             len,
-            collective: true,
+            // With `cb_write` off the fields are written independently.
+            collective: input.hints.cb_write,
             writers: top_field_writers(input, n, start),
         });
     }
@@ -268,7 +269,7 @@ fn hdf5(input: &PlanInput, model: OverheadModel) -> Footprint {
             name: dsname.clone(),
             start: e.data_addr,
             len: e.data_len,
-            collective: true,
+            collective: input.hints.cb_write,
             writers: top_field_writers(input, n, e.data_addr),
         });
         let ua = o.write_attr(&format!("{dsname}_units"), 32);

@@ -112,7 +112,7 @@ pub fn build(
     let write = (0..input.nranks)
         .map(|r| match backend {
             Backend::Hdf4 => hdf4_write(input, r),
-            Backend::MpiIo => mpiio_write(),
+            Backend::MpiIo => mpiio_write(input),
             Backend::Hdf5(m) => hdf5_write(input, &m, r),
         })
         .collect();
@@ -192,10 +192,14 @@ fn hdf4_read(input: &PlanInput, rank: usize) -> Vec<CollExpect> {
     v
 }
 
-fn mpiio_write() -> Vec<CollExpect> {
+fn mpiio_write(input: &PlanInput) -> Vec<CollExpect> {
     let mut v = vec![barrier("shared file create")];
-    for _ in BARYON_FIELDS.iter() {
-        two_phase_write(&mut v);
+    // With `cb_write` off, field writes run independently — the
+    // two-phase exchange disappears from the schedule.
+    if input.hints.cb_write {
+        for _ in BARYON_FIELDS.iter() {
+            two_phase_write(&mut v);
+        }
     }
     parallel_sort(&mut v);
     v.push(barrier("checkpoint complete"));
@@ -204,8 +208,10 @@ fn mpiio_write() -> Vec<CollExpect> {
 
 fn mpiio_read(input: &PlanInput, rank: usize) -> Vec<CollExpect> {
     let mut v = vec![bcast(rank, input.meta_len(), "hierarchy broadcast")];
-    for _ in BARYON_FIELDS.iter() {
-        two_phase_read(&mut v);
+    if input.hints.cb_read {
+        for _ in BARYON_FIELDS.iter() {
+            two_phase_read(&mut v);
+        }
     }
     v.push(alltoallv("particle redistribution by slab"));
     v.push(barrier("restart complete"));
@@ -249,7 +255,9 @@ fn hdf5_write(input: &PlanInput, m: &OverheadModel, rank: usize) -> Vec<CollExpe
     h5_attr(&mut v, m, "hierarchy attribute");
     for _ in BARYON_FIELDS.iter() {
         h5_dataset(&mut v, m, rank, |v| {
-            two_phase_write(v);
+            if input.hints.cb_write {
+                two_phase_write(v);
+            }
             h5_attr(v, m, "units attribute");
         });
     }
@@ -281,8 +289,10 @@ fn hdf5_read(input: &PlanInput, _m: &OverheadModel, rank: usize, cat_len: u64) -
         bcast(rank, cat_len, "catalog broadcast"),
         bcast(rank, input.meta_len(), "hierarchy attribute broadcast"),
     ];
-    for _ in BARYON_FIELDS.iter() {
-        two_phase_read(&mut v);
+    if input.hints.cb_read {
+        for _ in BARYON_FIELDS.iter() {
+            two_phase_read(&mut v);
+        }
     }
     v.push(alltoallv("particle redistribution by slab"));
     v.push(barrier("restart complete"));

@@ -1,0 +1,91 @@
+//! Typed, severity-ranked diagnostics with machine-readable spans.
+
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`. The CI gate
+/// allows no `Error` on shipped presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in the plan a diagnostic points: backend always, the rest as
+/// precise as the trigger allows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Strategy name of the plan (`AccessPlan::backend`).
+    pub backend: String,
+    /// Checkpoint file path, when the finding is file-scoped.
+    pub file: Option<String>,
+    /// Dataset name, when dataset-scoped.
+    pub dataset: Option<String>,
+    /// Inclusive rank range involved.
+    pub ranks: Option<(usize, usize)>,
+    /// `(offset, len)` byte range in the file.
+    pub bytes: Option<(u64, u64)>,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.backend)?;
+        if let Some(p) = &self.file {
+            write!(f, ":{p}")?;
+        }
+        if let Some(d) = &self.dataset {
+            write!(f, ":{d}")?;
+        }
+        if let Some((a, b)) = self.ranks {
+            write!(f, ":ranks[{a}..={b}]")?;
+        }
+        if let Some((o, l)) = self.bytes {
+            write!(f, ":bytes[{o}+{l}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// One lint finding: stable code, severity, human message, suggested
+/// fix, and the span it anchors to.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (e.g. `"small-writes"`).
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    /// What to change to make the finding go away.
+    pub suggestion: String,
+    pub span: Span,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} ({}) — fix: {}",
+            self.severity, self.code, self.message, self.span, self.suggestion
+        )
+    }
+}
+
+/// Sort by severity (worst first), then by code and span for a stable
+/// report order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| format!("{}", a.span).cmp(&format!("{}", b.span)))
+    });
+}

@@ -1,0 +1,375 @@
+//! Static lint rules over [`AccessPlan`]s.
+//!
+//! Each rule inspects only the statically derived plan (plus, for the
+//! fault rules, the platform and fault configuration) — nothing runs.
+//! Codes are stable strings; the CI gate requires zero
+//! [`Severity::Error`] findings on shipped presets.
+
+use crate::diag::{sort_diagnostics, Diagnostic, Severity, Span};
+use amrio_disk::{FaultPlan, FsConfig, Placement, RetryPolicy};
+use amrio_mpiio::collective::file_domains;
+use amrio_plan::{verify_lockstep, AccessPlan, DatasetPlan, FilePlan, PlanInput, Writers};
+
+/// Payload writes smaller than this count as "small" for the
+/// small-write frequency hazard (paper §2.3: ENZO's unoptimized dumps
+/// were dominated by requests well under a stripe).
+pub const SMALL_WRITE: u64 = 4096;
+
+/// Minimum region count before the frequency lints fire — a handful of
+/// tiny header/metadata writes is not a hazard.
+const MIN_REGIONS: u64 = 8;
+
+/// Lint a plan against its input. Returns findings sorted worst-first.
+pub fn lint(input: &PlanInput, plan: &AccessPlan) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &plan.files {
+        small_writes(plan, file, &mut out);
+        stripe_straddles(input, plan, file, &mut out);
+        for ds in &file.datasets {
+            aggregator_imbalance(input, plan, file, ds, &mut out);
+            sieving_rmw(input, plan, file, ds, &mut out);
+        }
+    }
+    lockstep(plan, &mut out);
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Lint a fault plan and retry policy against the access plan: faults
+/// that target hardware the plan never touches, failures with no
+/// failover, transient budgets the retry policy cannot absorb.
+pub fn lint_faults(
+    plan: &AccessPlan,
+    fs: &FsConfig,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let touched = touched_servers(plan, fs);
+    let span = || Span {
+        backend: plan.backend.to_string(),
+        ..Span::default()
+    };
+
+    for s in faults.server_targets() {
+        if s >= fs.nservers {
+            out.push(Diagnostic {
+                code: "fault-bad-server",
+                severity: Severity::Error,
+                message: format!(
+                    "fault plan targets server {s} but platform '{}' has only {} servers",
+                    fs.label, fs.nservers
+                ),
+                suggestion: format!("target a server in 0..{}", fs.nservers),
+                span: span(),
+            });
+        } else if !touched.contains(&s) {
+            out.push(Diagnostic {
+                code: "fault-untouched-server",
+                severity: Severity::Error,
+                message: format!(
+                    "fault plan targets server {s}, which the access plan never touches \
+                     (placement routes no bytes there)"
+                ),
+                suggestion: format!("retarget one of the touched servers {touched:?}"),
+                span: span(),
+            });
+        }
+    }
+
+    if !faults.failure_servers().is_empty() && !retry.failover {
+        out.push(Diagnostic {
+            code: "fault-no-failover",
+            severity: Severity::Error,
+            message: format!(
+                "permanent server failure scheduled on {:?} but the retry policy \
+                 has failover disabled — the run cannot complete",
+                faults.failure_servers()
+            ),
+            suggestion: "enable RetryPolicy::failover or drop the failure".into(),
+            span: span(),
+        });
+    }
+
+    for s in faults.server_targets() {
+        let budget = faults.transient_budget(s);
+        if budget > retry.max_retries as u64 {
+            out.push(Diagnostic {
+                code: "fault-retry-budget",
+                severity: Severity::Warning,
+                message: format!(
+                    "server {s} may return up to {budget} transient errors per op but the \
+                     retry policy allows only {} retries",
+                    retry.max_retries
+                ),
+                suggestion: "raise RetryPolicy::max_retries above the transient budget".into(),
+                span: span(),
+            });
+        }
+    }
+
+    for r in faults.straggler_ranks() {
+        if r >= plan.nranks {
+            out.push(Diagnostic {
+                code: "fault-bad-rank",
+                severity: Severity::Error,
+                message: format!(
+                    "straggler injection names rank {r} but the plan runs {} ranks",
+                    plan.nranks
+                ),
+                suggestion: format!("use a rank in 0..{}", plan.nranks),
+                span: span(),
+            });
+        }
+    }
+
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Every payload write region of a file as `(rank, offset, len)`.
+/// Partition datasets contribute their even static split — the real cut
+/// points are data-dependent, but the region *count* and rough sizes
+/// are what the frequency lints care about.
+fn write_regions(file: &FilePlan, nranks: usize) -> Vec<(usize, u64, u64)> {
+    let mut out = Vec::new();
+    for ds in &file.datasets {
+        match &ds.writers {
+            Writers::Ranks(rs) => {
+                for rr in rs {
+                    for &(o, l) in &rr.regions {
+                        out.push((rr.rank, o, l));
+                    }
+                }
+            }
+            Writers::Partition => {
+                let p = nranks as u64;
+                let chunk = ds.len / p;
+                let rem = ds.len % p;
+                let mut cur = ds.start;
+                for r in 0..nranks {
+                    let l = chunk + u64::from((r as u64) < rem);
+                    if l > 0 {
+                        out.push((r, cur, l));
+                        cur += l;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn small_writes(plan: &AccessPlan, file: &FilePlan, out: &mut Vec<Diagnostic>) {
+    let regions = write_regions(file, plan.nranks);
+    let total = regions.len() as u64;
+    let small = regions.iter().filter(|&&(_, _, l)| l < SMALL_WRITE).count() as u64;
+    if total >= MIN_REGIONS && small * 2 > total {
+        out.push(Diagnostic {
+            code: "small-writes",
+            severity: Severity::Warning,
+            message: format!(
+                "{small} of {total} payload writes are under {SMALL_WRITE} B — \
+                 per-request overhead will dominate the transfer time"
+            ),
+            suggestion: "gather adjacent arrays into one request per grid, or enable \
+                         write-behind staging to coalesce them"
+                .into(),
+            span: Span {
+                backend: plan.backend.to_string(),
+                file: Some(file.path.clone()),
+                ..Span::default()
+            },
+        });
+    }
+}
+
+fn stripe_straddles(
+    input: &PlanInput,
+    plan: &AccessPlan,
+    file: &FilePlan,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Lock granularity: explicit lock blocks when the platform has them,
+    // otherwise the stripe (GPFS-style whole-stripe tokens).
+    let block = input.lock_block.unwrap_or(input.stripe).max(1);
+    let regions = write_regions(file, plan.nranks);
+    let total = regions.len() as u64;
+    let straddling = regions
+        .iter()
+        .filter(|&&(_, o, l)| l > 0 && o / block != (o + l - 1) / block)
+        .count() as u64;
+    if total >= MIN_REGIONS && straddling * 4 > total {
+        out.push(Diagnostic {
+            code: "stripe-straddle",
+            severity: Severity::Warning,
+            message: format!(
+                "{straddling} of {total} writes straddle a {block}-byte lock block \
+                 boundary — each one serializes on shared lock tokens"
+            ),
+            suggestion: "install an application stripe matched to the aggregator file \
+                         domains (Advisory::app_stripe), or align file domains"
+                .into(),
+            span: Span {
+                backend: plan.backend.to_string(),
+                file: Some(file.path.clone()),
+                ..Span::default()
+            },
+        });
+    }
+}
+
+fn aggregator_imbalance(
+    input: &PlanInput,
+    plan: &AccessPlan,
+    file: &FilePlan,
+    ds: &DatasetPlan,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !ds.collective || ds.len == 0 {
+        return;
+    }
+    let naggs = input
+        .hints
+        .cb_nodes
+        .unwrap_or(plan.nranks)
+        .clamp(1, plan.nranks);
+    if naggs <= 1 {
+        return;
+    }
+    let align = if input.hints.align_file_domains {
+        input.stripe
+    } else {
+        1
+    };
+    let domains = file_domains(ds.start, ds.start + ds.len, naggs, align);
+    let max = domains.iter().map(|&(lo, hi)| hi - lo).max().unwrap_or(0);
+    // Perfect balance gives max == len/naggs; flag when the busiest
+    // aggregator carries > 1.5x its fair share (alignment rounding on
+    // small extents strands aggregators with empty domains).
+    if max * naggs as u64 * 2 > ds.len * 3 {
+        out.push(Diagnostic {
+            code: "agg-imbalance",
+            severity: Severity::Warning,
+            message: format!(
+                "busiest of {naggs} aggregators carries {max} B of a {} B extent \
+                 (fair share {}) — two-phase exchange waits on it",
+                ds.len,
+                ds.len / naggs as u64
+            ),
+            suggestion: "reduce cb_nodes or disable file-domain alignment for small \
+                         extents"
+                .into(),
+            span: Span {
+                backend: plan.backend.to_string(),
+                file: Some(file.path.clone()),
+                dataset: Some(ds.name.clone()),
+                bytes: Some((ds.start, ds.len)),
+                ..Span::default()
+            },
+        });
+    }
+}
+
+fn sieving_rmw(
+    input: &PlanInput,
+    plan: &AccessPlan,
+    file: &FilePlan,
+    ds: &DatasetPlan,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Data-sieving *writes* read-modify-write whole windows. When several
+    // ranks hold interleaved regions of the same dataset and write them
+    // independently (non-collective, or collectives disabled), their RMW
+    // windows overlap other ranks' live bytes: correct only under heavy
+    // locking, corrupting without it. Either way it is a plan smell.
+    if !input.hints.ds_write {
+        return;
+    }
+    let independent = !ds.collective || !input.hints.cb_write;
+    if !independent {
+        return;
+    }
+    let Writers::Ranks(rs) = &ds.writers else {
+        return;
+    };
+    let multi: Vec<&amrio_plan::RankRegions> =
+        rs.iter().filter(|rr| rr.regions.len() >= 2).collect();
+    if rs.len() < 2 || multi.is_empty() {
+        return;
+    }
+    let lo = multi.iter().map(|rr| rr.rank).min().unwrap_or(0);
+    let hi = multi.iter().map(|rr| rr.rank).max().unwrap_or(0);
+    out.push(Diagnostic {
+        code: "sieve-rmw",
+        severity: Severity::Error,
+        message: format!(
+            "data-sieving writes enabled while {} ranks write interleaved regions \
+             independently — read-modify-write windows cover other ranks' bytes",
+            rs.len()
+        ),
+        suggestion: "disable ds_write, or route this dataset through collective \
+                     two-phase I/O (cb_write)"
+            .into(),
+        span: Span {
+            backend: plan.backend.to_string(),
+            file: Some(file.path.clone()),
+            dataset: Some(ds.name.clone()),
+            ranks: Some((lo, hi)),
+            bytes: Some((ds.start, ds.len)),
+        },
+    });
+}
+
+fn lockstep(plan: &AccessPlan, out: &mut Vec<Diagnostic>) {
+    for issue in verify_lockstep(plan) {
+        out.push(Diagnostic {
+            code: "collective-lockstep",
+            severity: Severity::Error,
+            message: format!("collective schedules diverge across ranks: {issue}"),
+            suggestion: "every rank must issue the same collective sequence; make the \
+                         divergent call unconditional or independent"
+                .into(),
+            span: Span {
+                backend: plan.backend.to_string(),
+                ..Span::default()
+            },
+        });
+    }
+}
+
+/// The set of PFS servers the plan's writes actually land on, replicating
+/// the file system's placement math ([`amrio_disk::Pfs::map_pieces`]).
+fn touched_servers(plan: &AccessPlan, fs: &FsConfig) -> std::collections::BTreeSet<usize> {
+    let mut servers = std::collections::BTreeSet::new();
+    let n = fs.nservers.max(1);
+    let stripe = fs.stripe.max(1);
+    for (fid, file) in plan.files.iter().enumerate() {
+        let fid = fid as u64;
+        let mut regions = write_regions(file, plan.nranks);
+        for &(rank, off, len) in &file.meta_writes {
+            regions.push((rank, off, len));
+        }
+        for (rank, off, len) in regions {
+            if len == 0 {
+                continue;
+            }
+            match fs.placement {
+                Placement::ClientLocal => {
+                    servers.insert(rank % n);
+                }
+                Placement::Striped => {
+                    let first = off / stripe;
+                    let last = (off + len - 1) / stripe;
+                    for block in first..=last {
+                        servers.insert(((block + fid) % n as u64) as usize);
+                        if servers.len() == n {
+                            return servers;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    servers
+}

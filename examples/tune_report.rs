@@ -1,0 +1,115 @@
+//! `amrio-tune` in action: lint the static access plan of one
+//! experiment cell, search the MPI-IO hint space with the replay-based
+//! cost model, then execute both the untuned baseline and the advisory
+//! the search shipped — predicted next to actual virtual time, with the
+//! byte-identity (image digest) check that proves tuning never changed
+//! what was written.
+//!
+//! ```sh
+//! cargo run --release --example tune_report
+//! ```
+
+use amrio::enzo::{Experiment, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio::plan::{plan, Backend, PlanInput};
+use amrio::tune::{lint, predict_traced, search, TuneConfig};
+
+fn main() {
+    let nranks = 4;
+    let platform = Platform::origin2000(nranks);
+    let cfg = SimConfig::new(ProblemSize::Custom(16), nranks);
+    println!(
+        "== amrio-tune report: {} · {} x {nranks} ==\n",
+        platform.name,
+        cfg.problem.label()
+    );
+
+    // Static side: probe one run for the dump-time hierarchy, derive
+    // the plan, lint it, and search the hint space.
+    let probe = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(2)
+        .probe()
+        .run()
+        .probe
+        .expect("probe requested");
+    let input = PlanInput::from_probe(&probe, &platform.fs);
+    let p = plan(&input, Backend::MpiIo);
+
+    let diags = lint(&input, &p);
+    println!("-- lint: {} diagnostics --", diags.len());
+    for d in &diags {
+        println!("  {d}");
+    }
+
+    let outcome = search(&p, &platform.fs, &platform.net);
+    let best = outcome.best();
+    println!(
+        "\n-- search: {} candidates, best = {} --",
+        outcome.candidates.len(),
+        best.cfg.label
+    );
+    for c in outcome.candidates.iter().take(5) {
+        println!(
+            "  {:<40} predicted {:.4}s ({} knobs)",
+            c.cfg.label,
+            c.cost.total_s(),
+            c.cfg.knobs()
+        );
+    }
+
+    // Dynamic side: execute the untuned baseline and the shipped
+    // advisory; the replay's request stream sizes the comparison.
+    let (_, events) = predict_traced(&p, &platform.fs, &platform.net, &best.cfg);
+    println!(
+        "\n-- replay issued {} file-system requests statically --",
+        events.len()
+    );
+
+    let baseline = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(2)
+        .run()
+        .report;
+    let tuned = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(2)
+        .advisory(best.cfg.advisory())
+        .run()
+        .report;
+
+    let pred_base = outcome
+        .candidates
+        .iter()
+        .find(|c| c.cfg == TuneConfig::defaults())
+        .expect("defaults are in the candidate space");
+    println!("\n-- before / after --");
+    println!(
+        "  {:<22} {:>11} {:>11} {:>11} {:>11}",
+        "config", "predicted_s", "write_s", "read_s", "total_s"
+    );
+    for (name, pred, r) in [
+        ("baseline (MPI-IO)", pred_base.cost.total_s(), &baseline),
+        (best.cfg.label.as_str(), best.cost.total_s(), &tuned),
+    ] {
+        println!(
+            "  {:<22} {:>11.4} {:>11.4} {:>11.4} {:>11.4}",
+            name,
+            pred,
+            r.write_time,
+            r.read_time,
+            r.write_time + r.read_time
+        );
+    }
+
+    let beats = tuned.write_time + tuned.read_time <= baseline.write_time + baseline.read_time;
+    let identical = tuned.image_digest == baseline.image_digest;
+    println!(
+        "\n  tuned {} the baseline; checkpoint image {}",
+        if beats { "beats" } else { "LOSES TO" },
+        if identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    if !(beats && identical) {
+        std::process::exit(1);
+    }
+}

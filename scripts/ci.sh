@@ -20,6 +20,9 @@ cargo test -q --test checker
 echo "== planner self-verification (plan_report)"
 cargo run --release --example plan_report
 
+echo "== tune smoke (zero Error lints on presets; advisory beats every preset)"
+cargo run --release -q -p amrio-bench --bin tune -- --smoke
+
 echo "== resilience fault-matrix smoke (fault injection + graceful degradation)"
 cargo run --release -q -p amrio-bench --bin resilience -- --smoke
 

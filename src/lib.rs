@@ -19,3 +19,4 @@ pub use amrio_mpiio as mpiio;
 pub use amrio_net as net;
 pub use amrio_plan as plan;
 pub use amrio_simt as simt;
+pub use amrio_tune as tune;
