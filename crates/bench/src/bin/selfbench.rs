@@ -18,7 +18,7 @@
 //! `--embed-before` splices a previous run's JSON verbatim under the
 //! `"before"` key, so the committed file carries the before/after pair.
 
-use amrio_bench::{default_cfg, EVOLVE_CYCLES};
+use amrio_bench::{crash_sweep, default_cfg, EVOLVE_CYCLES};
 use amrio_check::CheckMode;
 use amrio_enzo::{
     Experiment, Hdf4Serial, Hdf5Parallel, IoStrategy, MpiIoOptimized, Platform, ProblemSize,
@@ -136,6 +136,40 @@ fn tune_summary() -> TuneSummary {
     }
 }
 
+/// Host-side cost of the crash-consistency sweep on the smoke cell: a
+/// reduced crash-point fuzz (the `crash` binary's protocol) plus its
+/// aggregate outcome — every cell must recover to the crash-free bytes.
+struct CrashSummary {
+    points: usize,
+    fired: usize,
+    resumed_from_commit: usize,
+    torn_generations: u64,
+    all_recovered: bool,
+    wall_ms: f64,
+}
+
+fn crash_summary() -> CrashSummary {
+    let nranks = 4;
+    let platform = Platform::ibm_sp2(nranks);
+    let cfg = default_cfg(ProblemSize::Custom(16), nranks);
+    let t0 = Instant::now();
+    let (_clean, cells) = crash_sweep(&platform, &cfg, &MpiIoOptimized, 6, 0x0c0a_57a1_c0de_cafe);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    CrashSummary {
+        points: cells.len(),
+        fired: cells.iter().filter(|c| c.fired).count(),
+        resumed_from_commit: cells
+            .iter()
+            .filter(|c| c.resumed_generation.is_some())
+            .count(),
+        torn_generations: cells.iter().map(|c| c.torn_generations).sum(),
+        all_recovered: cells
+            .iter()
+            .all(|c| c.verified && c.check_clean && c.image_match && c.resume_verified),
+        wall_ms,
+    }
+}
+
 fn main() {
     let mut smoke_only = false;
     let mut out_path = String::from("BENCH_selfbench.json");
@@ -228,6 +262,25 @@ fn main() {
         t.tuned_total_s,
         t.baseline_total_s,
         t.digest_ok
+    );
+
+    let cs = crash_summary();
+    eprintln!(
+        "crash: {} seeded crash points in {:.1} ms; {} fired, {} resumed from a committed generation, {} torn generations, all_recovered {}",
+        cs.points, cs.wall_ms, cs.fired, cs.resumed_from_commit, cs.torn_generations,
+        cs.all_recovered
+    );
+    let _ = write!(
+        j,
+        ",\n  \"crash_sweep\": {{\"cell\": \"ibm_sp2/small/x4\", \"points\": {}, \
+         \"fired\": {}, \"resumed_from_commit\": {}, \"torn_generations\": {}, \
+         \"all_recovered\": {}, \"wall_ms\": {:.3}}}",
+        cs.points,
+        cs.fired,
+        cs.resumed_from_commit,
+        cs.torn_generations,
+        cs.all_recovered,
+        cs.wall_ms
     );
     if let Some(path) = embed_before {
         let before =

@@ -21,11 +21,14 @@ use crate::platform::Platform;
 use crate::problem::SimConfig;
 use crate::state::{global_digest, SimState};
 use amrio_amr::Hierarchy;
-use amrio_check::{CheckMode, CheckReport, Checker, CollDesc};
-use amrio_disk::{FaultPlan, FileId, IoEvent, ResilienceReport, RetryPolicy};
+use amrio_check::{CheckMode, CheckReport, Checker, CollDesc, Violation};
+use amrio_disk::{Crashed, FaultPlan, FileId, IoEvent, Pfs, ResilienceReport, RetryPolicy};
 use amrio_mpi::{Comm, World};
-use amrio_mpiio::{Advisory, MpiIo};
+use amrio_mpiio::{Advisory, Mode, MpiIo};
+use amrio_recover::{manifest_path, Manifest};
+use amrio_simt::sync::Mutex;
 use amrio_simt::SimDur;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Result of one experiment run (virtual seconds).
@@ -92,13 +95,36 @@ pub struct RunProbe {
     pub events: Vec<IoEvent>,
 }
 
+/// What the crash-recovery path did; present on [`RunOutcome`] iff at
+/// least one simulated crash interrupted the run.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// Crash→restart iterations the run went through.
+    pub crashes: u64,
+    /// Generation the final (successful) incarnation resumed from;
+    /// `None` means no committed generation existed yet and it
+    /// restarted from scratch.
+    pub resumed_generation: Option<u32>,
+    /// Cycle recorded in the resumed generation's manifest (0 when
+    /// restarting from scratch).
+    pub resumed_cycle: u64,
+    /// Torn or orphaned generations the recovery scans discarded,
+    /// summed over all restarts.
+    pub torn_generations: u64,
+    /// The resumed state reproduced the manifest's state digest
+    /// bit-for-bit (vacuously true when restarting from scratch).
+    pub resume_verified: bool,
+}
+
 /// Everything one [`Experiment`] run produced. `check` is present iff a
-/// check mode was requested; `probe` iff probing was requested.
+/// check mode was requested; `probe` iff probing was requested;
+/// `recovery` iff a simulated crash interrupted the run.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
     pub report: RunReport,
     pub check: Option<CheckReport>,
     pub probe: Option<RunProbe>,
+    pub recovery: Option<RecoveryOutcome>,
 }
 
 /// One configurable experiment run. See the module docs for the shape;
@@ -115,6 +141,7 @@ pub struct Experiment<'a> {
     faults: Option<Arc<FaultPlan>>,
     retry: Option<RetryPolicy>,
     advisory: Option<Advisory>,
+    dump_every: Option<u32>,
 }
 
 impl<'a> Experiment<'a> {
@@ -133,6 +160,7 @@ impl<'a> Experiment<'a> {
             faults: None,
             retry: None,
             advisory: None,
+            dump_every: None,
         }
     }
 
@@ -183,8 +211,37 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Dump (and atomically commit) a checkpoint generation every `k`
+    /// cycles instead of one dump at the end. Selects the generational
+    /// run path: each dump is published by a self-checksummed manifest
+    /// written in a single request, and the in-memory state is replaced
+    /// by the dump's own restart read — so a crashed run can resume
+    /// from the newest committed generation on a bit-identical state
+    /// trajectory.
+    pub fn dump_every(mut self, k: u32) -> Self {
+        assert!(k > 0, "dump interval must be positive");
+        self.dump_every = Some(k);
+        self
+    }
+
     /// Execute the run.
+    ///
+    /// Without [`Experiment::dump_every`] and without a crash armed in
+    /// the fault plan this is the exact legacy path — timings and
+    /// checkpoint bytes are bit-identical to what it always produced.
+    /// Otherwise the generational path runs, and an armed
+    /// [`Crashed`] fault triggers restart-from-latest recovery.
     pub fn run(self) -> RunOutcome {
+        let crash_armed = self.faults.as_ref().is_some_and(|p| p.crash_at().is_some());
+        if self.dump_every.is_none() && !crash_armed {
+            self.run_exact()
+        } else {
+            self.run_generational()
+        }
+    }
+
+    /// The legacy single-dump measurement loop, preserved bit-for-bit.
+    fn run_exact(self) -> RunOutcome {
         let Experiment {
             platform,
             cfg,
@@ -195,18 +252,9 @@ impl<'a> Experiment<'a> {
             faults,
             retry,
             advisory,
+            dump_every: _,
         } = self;
-        assert_eq!(cfg.nranks, {
-            // Compute endpoints precede any I/O server endpoints.
-            let eps = platform.net.node_of.len();
-            let servers = platform
-                .fs
-                .server_endpoints
-                .as_ref()
-                .map(|v| v.len())
-                .unwrap_or(0);
-            eps - servers
-        });
+        assert_endpoints(platform, cfg);
         let mode = match (check, probe) {
             (Some(m), _) => Some(m),
             (None, true) => Some(CheckMode::Log),
@@ -316,6 +364,305 @@ impl<'a> Experiment<'a> {
             },
             check,
             probe,
+            recovery: None,
         }
     }
+
+    /// The generational (crash-consistent) path: dump a checkpoint
+    /// generation every `dump_every` cycles, commit each atomically via
+    /// its manifest, and — when a simulated [`Crashed`] panic cuts the
+    /// world short — salvage the file-system image, scan it for the
+    /// newest committed generation, and restart from it until the run
+    /// completes.
+    fn run_generational(self) -> RunOutcome {
+        let Experiment {
+            platform,
+            cfg,
+            strategy,
+            cycles,
+            check,
+            probe,
+            faults,
+            retry,
+            advisory,
+            dump_every,
+        } = self;
+        assert_endpoints(platform, cfg);
+        let mode = match (check, probe) {
+            (Some(m), _) => Some(m),
+            (None, true) => Some(CheckMode::Log),
+            (None, false) => None,
+        };
+        let k = dump_every.unwrap_or(cycles).max(1) as u64;
+        if faults.as_ref().is_some_and(|p| p.crash_at().is_some()) {
+            // Crashes unwind rank threads by design; keep the default
+            // panic hook from reporting the expected payloads.
+            amrio_fault::silence_crash_panics();
+        }
+
+        let mut crashes = 0u64;
+        let mut torn = 0u64;
+        let mut resume: Option<Manifest> = None;
+        let mut salvaged: Option<Arc<Mutex<Pfs>>> = None;
+        let mut prior_violations: Vec<Violation> = Vec::new();
+
+        let (report, io, checker) = loop {
+            let checker = mode.map(|m| Arc::new(Checker::new(m, cfg.nranks)));
+            let mut world = World::new(cfg.nranks, platform.net.clone());
+            let mut io = match salvaged.take() {
+                Some(fs) => MpiIo::from_fs(fs),
+                None => MpiIo::new(platform.fs.clone()),
+            };
+            if let Some(policy) = retry {
+                io.set_retry_policy(policy);
+            }
+            if let Some(adv) = advisory {
+                io.set_advisory(adv);
+            }
+            // Faults apply to the first incarnation only: by the time a
+            // restart runs, the armed crash has already fired, and the
+            // recovered incarnation must not re-fire it.
+            if crashes == 0 {
+                if let Some(plan) = &faults {
+                    world = world.with_faults(Arc::clone(plan));
+                    io.attach_faults(Arc::clone(plan));
+                }
+            }
+            if let Some(ck) = &checker {
+                if probe {
+                    ck.record_collectives();
+                }
+                world = world.with_checker(Arc::clone(ck));
+                io.attach_checker(ck);
+            }
+
+            let resume_man = resume.clone();
+            let next_gen = resume_man.as_ref().map(|m| m.generation + 1).unwrap_or(0);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                world.run(|comm| {
+                    let (resume_verified, mut st) = match &resume_man {
+                        // Resume exactly like the dump's own read-back:
+                        // same reader, same generation, same state.
+                        Some(man) => {
+                            let st = strategy.read_checkpoint(comm, &io, cfg, man.generation);
+                            (global_digest(comm, &st) == man.state_digest, st)
+                        }
+                        None => {
+                            let mut st = SimState::init(comm, cfg.clone());
+                            rebuild_refinement(comm, &mut st);
+                            (true, st)
+                        }
+                    };
+                    let mut gen = next_gen;
+                    // A crash that lands after the final generation had
+                    // already committed leaves nothing to compute: do
+                    // not write a generation the crash-free run never
+                    // wrote. Re-read the committed image as the timed
+                    // verification pass and finish byte-identical.
+                    if st.cycle >= cycles as u64 && next_gen > 0 {
+                        let d0 = global_digest(comm, &st);
+                        let (rt, (rep, st2)) = timed(comm, || {
+                            let e0 = comm.coll_epoch();
+                            let st2 = strategy.read_checkpoint(comm, &io, cfg, next_gen - 1);
+                            ((e0, comm.coll_epoch()), st2)
+                        });
+                        let verified = d0 == global_digest(comm, &st2);
+                        let e = comm.coll_epoch();
+                        return (
+                            SimDur::ZERO,
+                            rt,
+                            verified,
+                            st2.hierarchy.clone(),
+                            st2.time,
+                            st2.cycle,
+                            (e, e),
+                            rep,
+                            resume_verified,
+                        );
+                    }
+                    let (wt, rt, wep, rep, verified) = loop {
+                        let todo = (cycles as u64).saturating_sub(st.cycle).min(k);
+                        if todo > 0 {
+                            for _ in 0..todo {
+                                evolve_step(comm, &mut st, 1.0);
+                            }
+                            rebuild_refinement(comm, &mut st);
+                        }
+                        let (w, we) = timed(comm, || {
+                            let e0 = comm.coll_epoch();
+                            strategy.write_checkpoint(comm, &io, &st, gen);
+                            (e0, comm.coll_epoch())
+                        });
+                        let d0 = global_digest(comm, &st);
+                        commit_generation(comm, &io, gen, &st, d0);
+                        let (r, (re, st2)) = timed(comm, || {
+                            let e0 = comm.coll_epoch();
+                            let st2 = strategy.read_checkpoint(comm, &io, cfg, gen);
+                            ((e0, comm.coll_epoch()), st2)
+                        });
+                        let d1 = global_digest(comm, &st2);
+                        // Read-back replacement: continue from the bytes
+                        // on disk, so a later crash-resume of this
+                        // generation retraces the identical trajectory.
+                        st = st2;
+                        gen += 1;
+                        if st.cycle >= cycles as u64 {
+                            break (w, r, we, re, d0 == d1);
+                        }
+                    };
+                    (
+                        wt,
+                        rt,
+                        verified,
+                        st.hierarchy.clone(),
+                        st.time,
+                        st.cycle,
+                        wep,
+                        rep,
+                        resume_verified,
+                    )
+                })
+            }));
+            match attempt {
+                Ok(report) => {
+                    if let Some(plan) = &faults {
+                        for _ in 0..crashes {
+                            plan.note_recovery();
+                        }
+                    }
+                    break (report, io, checker);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<Crashed>().is_none() {
+                        resume_unwind(payload);
+                    }
+                    crashes += 1;
+                    assert!(crashes <= 8, "crash-restart loop did not converge");
+                    if let Some(plan) = &faults {
+                        plan.note_crash();
+                    }
+                    // The crashed incarnation's checker: keep real
+                    // findings, forgive the traffic the crash cut
+                    // mid-flight.
+                    if let Some(ck) = &checker {
+                        prior_violations.extend(ck.finalize_truncated().violations);
+                    }
+                    // Salvage the file-system image the dead world left
+                    // behind (the Pfs mutex tolerates poisoning), detach
+                    // the spent fault plan, and drop the crashed
+                    // incarnation's trace — conflict analysis across
+                    // incarnations would be meaningless.
+                    let mut fs = io.fs().lock().clone();
+                    fs.clear_faults();
+                    fs.trace.events.clear();
+                    let scan = amrio_recover::scan(&fs);
+                    torn += scan.damaged();
+                    if let Some(plan) = &faults {
+                        plan.note_torn_generations(scan.damaged());
+                    }
+                    resume = scan.latest_committed().and_then(|g| g.manifest.clone());
+                    salvaged = Some(Arc::new(Mutex::new(fs)));
+                }
+            }
+        };
+
+        let makespan = report.makespan;
+        let (wt, rt, verified, hierarchy, time, cycle, write_epochs, read_epochs, resume_verified) =
+            report
+                .results
+                .into_iter()
+                .next()
+                .expect("at least one rank");
+        let (stats, files, events, image_digest) = {
+            let fs = io.fs();
+            let fs = fs.lock();
+            let (files, events) = fs.trace_snapshot();
+            (fs.stats, files, events, fs.image_digest())
+        };
+        let resilience = faults
+            .as_ref()
+            .map(|p| p.report(makespan))
+            .unwrap_or_default();
+        let mut check = checker.as_ref().map(|ck| ck.finalize());
+        if let Some(report) = &mut check {
+            if !prior_violations.is_empty() {
+                prior_violations.append(&mut report.violations);
+                report.violations = prior_violations;
+            }
+        }
+        let recovery = (crashes > 0).then(|| RecoveryOutcome {
+            crashes,
+            resumed_generation: resume.as_ref().map(|m| m.generation),
+            resumed_cycle: resume.as_ref().map(|m| m.cycle).unwrap_or(0),
+            torn_generations: torn,
+            resume_verified,
+        });
+        let probe = probe.then(|| RunProbe {
+            nranks: cfg.nranks,
+            write_epochs,
+            read_epochs,
+            collectives: checker
+                .as_ref()
+                .map(|ck| ck.collective_log())
+                .unwrap_or_default(),
+            files,
+            events,
+            hierarchy: hierarchy.clone(),
+            time,
+            cycle,
+        });
+        RunOutcome {
+            report: RunReport {
+                platform: platform.name,
+                strategy: strategy.name(),
+                problem: cfg.problem.label(),
+                nranks: cfg.nranks,
+                write_time: wt.as_secs_f64(),
+                read_time: rt.as_secs_f64(),
+                bytes_written: stats.bytes_written,
+                bytes_read: stats.bytes_read,
+                grids: hierarchy.grids.len(),
+                max_level: hierarchy.max_level(),
+                verified,
+                makespan: makespan.as_secs_f64(),
+                image_digest,
+                resilience,
+            },
+            check,
+            probe,
+            recovery,
+        }
+    }
+}
+
+/// Compute endpoints precede any I/O server endpoints in the platform's
+/// network; the rank count must account for exactly the rest.
+fn assert_endpoints(platform: &Platform, cfg: &SimConfig) {
+    let eps = platform.net.node_of.len();
+    let servers = platform
+        .fs
+        .server_endpoints
+        .as_ref()
+        .map(|v| v.len())
+        .unwrap_or(0);
+    assert_eq!(cfg.nranks, eps - servers);
+}
+
+/// Atomically publish generation `gen`: rank 0 captures a manifest of
+/// every `DD{gen:04}.*` data file (host-side and cost-free — the dump's
+/// writes have all completed by the preceding collective) and writes it
+/// in one request. The write is crash-cuttable: a torn manifest fails
+/// its self-checksum, leaving the generation uncommitted — a generation
+/// is visible to recovery either fully verified or not at all.
+fn commit_generation(comm: &Comm, io: &MpiIo, gen: u32, st: &SimState, state_digest: u64) {
+    if comm.rank() == 0 {
+        let bytes = {
+            let fs = io.fs();
+            let fs = fs.lock();
+            Manifest::capture(&fs, gen, st.cycle, st.time, state_digest).encode()
+        };
+        let file = io.open_single(comm, &manifest_path(gen), Mode::Create);
+        file.write_at(0, &bytes);
+    }
+    comm.barrier();
 }

@@ -24,7 +24,7 @@
 use crate::dev::{BlockDev, DiskParams};
 use crate::store::ExtentStore;
 use crate::trace::{IoEvent, IoTrace};
-use amrio_fault::{FaultPlan, IoError, IoResult};
+use amrio_fault::{Crashed, FaultPlan, IoError, IoResult};
 use amrio_net::{Endpoint, Net};
 use amrio_simt::{SimDur, SimTime};
 use std::collections::HashMap;
@@ -217,6 +217,13 @@ impl Pfs {
         self.faults = Some(plan);
     }
 
+    /// Detach the fault schedule. A restarted incarnation salvaging this
+    /// file system after a crash runs fault-free: the armed crash has
+    /// already fired, and the restart must not re-fire it.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
     pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
         self.faults.as_ref()
     }
@@ -263,6 +270,17 @@ impl Pfs {
         &self.servers[i]
     }
 
+    /// Halt with a [`Crashed`] panic if an armed crash is due at `t`.
+    /// Metadata ops check only their submission time: a create/open
+    /// that *started* before the crash instant completes atomically
+    /// (metadata updates are journaled in one piece; only data I/O
+    /// tears).
+    fn check_crash(&self, t: SimTime) {
+        if let Some(at) = self.faults.as_ref().and_then(|p| p.crash_due(t)) {
+            std::panic::panic_any(Crashed { at });
+        }
+    }
+
     /// Create (or truncate) a file; charges one metadata round trip.
     pub fn create(
         &mut self,
@@ -271,6 +289,7 @@ impl Pfs {
         path: &str,
         t: SimTime,
     ) -> (FileId, SimTime) {
+        self.check_crash(t);
         let id = *self.names.entry(path.to_string()).or_insert_with(|| {
             self.files.push(FileData::default());
             self.files.len() - 1
@@ -288,6 +307,7 @@ impl Pfs {
         path: &str,
         t: SimTime,
     ) -> (FileId, SimTime) {
+        self.check_crash(t);
         let id = *self
             .names
             .get(path)
@@ -363,8 +383,23 @@ impl Pfs {
     /// (when nothing is degraded the mapping is bit-identical to the
     /// full layout).
     pub fn map_pieces(&self, client: Endpoint, f: FileId, off: u64, len: u64) -> Vec<Piece> {
+        self.map_pieces_frags(client, f, off, len).0
+    }
+
+    /// [`Pfs::map_pieces`] plus the un-coalesced stripe fragments, each
+    /// as `(piece index, file offset, length)`. A coalesced piece covers
+    /// *non-contiguous* file ranges (successive stripe blocks of one
+    /// server), so torn-write landing needs the fragments to know which
+    /// file bytes a completed piece actually persisted.
+    fn map_pieces_frags(
+        &self,
+        client: Endpoint,
+        f: FileId,
+        off: u64,
+        len: u64,
+    ) -> (Vec<Piece>, Vec<(usize, u64, u64)>) {
         if len == 0 {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         }
         // Identity map while healthy; survivor list once degraded.
         let survivors: Option<Vec<usize>> = if self.alive_servers() == self.cfg.nservers {
@@ -377,17 +412,21 @@ impl Pfs {
         match self.cfg.placement {
             Placement::ClientLocal => {
                 let server = resolve(client % nmap);
-                vec![Piece {
-                    server,
-                    dev_off: off,
-                    len,
-                    file_off: off,
-                }]
+                (
+                    vec![Piece {
+                        server,
+                        dev_off: off,
+                        len,
+                        file_off: off,
+                    }],
+                    vec![(0, off, len)],
+                )
             }
             Placement::Striped => {
                 let s = self.stripe_of(f);
                 let n = nmap as u64;
                 let mut pieces: Vec<Piece> = Vec::new();
+                let mut frags: Vec<(usize, u64, u64)> = Vec::new();
                 let mut cur = off;
                 let end = off + len;
                 while cur < end {
@@ -402,9 +441,10 @@ impl Pfs {
                     // successive blocks of a server land on adjacent local
                     // blocks, so long sequential file ranges become one
                     // large disk request per server).
-                    if let Some(last) = pieces.iter_mut().rev().find(|p| p.server == server) {
-                        if last.dev_off + last.len == dev_off {
-                            last.len += piece_len;
+                    if let Some(i) = pieces.iter().rposition(|p| p.server == server) {
+                        if pieces[i].dev_off + pieces[i].len == dev_off {
+                            pieces[i].len += piece_len;
+                            frags.push((i, cur, piece_len));
                             cur += piece_len;
                             continue;
                         }
@@ -415,9 +455,10 @@ impl Pfs {
                         len: piece_len,
                         file_off: cur,
                     });
+                    frags.push((pieces.len() - 1, cur, piece_len));
                     cur += piece_len;
                 }
-                pieces
+                (pieces, frags)
             }
         }
     }
@@ -468,12 +509,21 @@ impl Pfs {
     ///
     /// Fault semantics (all keyed to the submission time `t`, so runs
     /// are reproducible):
+    /// * an armed crash at or before `t` ⇒ the whole application halts:
+    ///   a [`Crashed`] panic before any side effect;
     /// * a permanently-failed server in the request's stripe map ⇒
     ///   `Err(ServerDown)` after a request round trip; nothing is
     ///   priced, landed, traced, or counted in [`FsStats`];
     /// * a transient-error budget hit ⇒ `Err(Transient)`, same rules;
     /// * slowdown/stall windows stretch the server's service time but
-    ///   the request still succeeds.
+    ///   the request still succeeds;
+    /// * a crash *during* the request (submitted before the crash
+    ///   instant, completing after it) tears it at extent granularity:
+    ///   a write persists exactly the stripe fragments whose server had
+    ///   them durably on disk by the crash instant, a read returns
+    ///   nothing; either way nothing is traced and the [`Crashed`]
+    ///   panic halts the world. [`FsStats`] count the full request as
+    ///   issued — the store, not the counters, is the durability truth.
     pub fn submit(
         &mut self,
         client: Endpoint,
@@ -486,6 +536,9 @@ impl Pfs {
         let off = op.offset();
         let len = op.total_len();
         if let Some(plan) = self.faults.clone() {
+            if let Some(at) = plan.crash_due(t) {
+                std::panic::panic_any(Crashed { at });
+            }
             let pieces = self.map_pieces(client, f, off, len);
             for p in &pieces {
                 if plan.server_failed(p.server, t) {
@@ -507,9 +560,18 @@ impl Pfs {
             }
         }
         let (start, completion) = if write {
-            self.transfer_write(client, net, f, off, len, t)
+            let (start, completion, piece_done) = self.transfer_write(client, net, f, off, len, t);
+            if let Some(at) = self.crash_cut(completion) {
+                self.land_torn_write(client, f, op, &piece_done, at);
+                std::panic::panic_any(Crashed { at });
+            }
+            (start, completion)
         } else {
-            self.transfer_read(client, net, f, off, len, t)
+            let (start, completion) = self.transfer_read(client, net, f, off, len, t);
+            if let Some(at) = self.crash_cut(completion) {
+                std::panic::panic_any(Crashed { at });
+            }
+            (start, completion)
         };
         let data = match op {
             IoOp::Write { data, .. } => {
@@ -554,6 +616,68 @@ impl Pfs {
             done: completion,
             data,
         })
+    }
+
+    /// If an armed crash fires strictly inside a request that completes
+    /// at `completion`, the crash instant. (A crash at or before the
+    /// submission time is caught earlier, before any side effect.)
+    fn crash_cut(&self, completion: SimTime) -> Option<SimTime> {
+        self.faults
+            .as_ref()
+            .and_then(|p| p.crash_at())
+            .filter(|&at| completion > at)
+    }
+
+    /// Land the surviving extents of a write torn by a crash at `at`:
+    /// exactly the stripe fragments whose coalesced server piece was
+    /// durably on disk (`piece_done[i] <= at`). Fragments of pieces
+    /// still in flight are lost — the file keeps whatever those ranges
+    /// held before, which is how a real striped volume looks after
+    /// power loss mid-`pwritev`.
+    fn land_torn_write(
+        &mut self,
+        client: Endpoint,
+        f: FileId,
+        op: &IoOp<'_, '_>,
+        piece_done: &[SimTime],
+        at: SimTime,
+    ) {
+        let off = op.offset();
+        let len = op.total_len();
+        let (_, frags) = self.map_pieces_frags(client, f, off, len);
+        for &(pi, file_off, frag_len) in &frags {
+            if piece_done[pi] > at {
+                continue;
+            }
+            // Copy this fragment's bytes out of the host buffer(s).
+            match op {
+                IoOp::Write { data, .. } => {
+                    let s = (file_off - off) as usize;
+                    let e = s + frag_len as usize;
+                    amrio_simt::count_copy(e - s);
+                    self.files[f].store.write(file_off, &data[s..e]);
+                }
+                IoOp::WriteGather { parts, .. } => {
+                    let mut cur = off;
+                    for p in parts.iter() {
+                        let pstart = cur;
+                        let pend = cur + p.len() as u64;
+                        let s = file_off.max(pstart);
+                        let e = (file_off + frag_len).min(pend);
+                        if s < e {
+                            let a = (s - pstart) as usize;
+                            let b = (e - pstart) as usize;
+                            amrio_simt::count_copy(b - a);
+                            self.files[f].store.write(s, &p[a..b]);
+                        }
+                        cur = pend;
+                    }
+                }
+                IoOp::Read { .. } | IoOp::ReadScatter { .. } => {
+                    unreachable!("torn landing is for writes only")
+                }
+            }
+        }
     }
 
     /// Cost of observing a request failure: a header round trip to the
@@ -645,7 +769,11 @@ impl Pfs {
     /// The simulated-time model of one contiguous write: stats, client
     /// queue + streaming path, striping into per-server pieces, GPFS
     /// token traffic, and server disk access. Returns `(queued start,
-    /// completion)`; the caller lands the bytes and records the trace.
+    /// completion, per-piece disk-completion times)`; the caller lands
+    /// the bytes and records the trace. The per-piece times (parallel to
+    /// [`Pfs::map_pieces`] order) are the instants each server had the
+    /// piece durably on disk — the crash fault cuts at exactly this
+    /// granularity.
     fn transfer_write(
         &mut self,
         client: Endpoint,
@@ -654,12 +782,13 @@ impl Pfs {
         off: u64,
         len: u64,
         t: SimTime,
-    ) -> (SimTime, SimTime) {
+    ) -> (SimTime, SimTime, Vec<SimTime>) {
         self.stats.writes += 1;
         self.stats.bytes_written += len;
         let t = self.client_queue(client, net, t);
         let stream_done = self.client_stream(client, len, t);
         let pieces = self.map_pieces(client, f, off, len);
+        let mut piece_done = Vec::with_capacity(pieces.len());
         let mut completion = stream_done;
         let mut send_clock = t;
         for p in &pieces {
@@ -693,6 +822,7 @@ impl Pfs {
             };
             let begin = arrival.max(start_floor) + token_penalty;
             let disk_done = self.server_access(p.server, p.dev_off, p.len, begin, true);
+            piece_done.push(disk_done);
             if let Some(lb) = self.lock_block_of(f) {
                 let b0 = p.file_off / lb;
                 let b1 = (p.file_off + p.len - 1) / lb;
@@ -711,7 +841,7 @@ impl Pfs {
             };
             completion = completion.max(acked);
         }
-        (t, completion)
+        (t, completion, piece_done)
     }
 
     /// Synchronous read. Returns `(completion, data)`. Thin wrapper over
@@ -827,6 +957,14 @@ impl Pfs {
             }
         }
         h
+    }
+
+    /// FNV-1a digest of one file: its length followed by its full
+    /// contents (see [`ExtentStore::digest`]). Cost-free and
+    /// copy-ledger-free; the checkpoint manifest stores this per file so
+    /// recovery can tell a committed generation from a torn one.
+    pub fn file_digest(&self, f: FileId) -> u64 {
+        self.files[f].store.digest()
     }
 }
 
@@ -1366,6 +1504,216 @@ mod fault_tests {
         )));
         let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
         fs.write_at(0, &mut net, f, 0, &[1u8; 4096], t0);
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use amrio_fault::Crashed;
+    use amrio_net::NetConfig;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn striped(nservers: usize) -> (Pfs, Net) {
+        let fs = Pfs::new(FsConfig {
+            label: "test".into(),
+            stripe: 1024,
+            nservers,
+            disk: DiskParams::new(100, 5, 50.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        });
+        (fs, Net::new(NetConfig::ccnuma(4)))
+    }
+
+    /// Striped over networked servers: piece sends serialize through the
+    /// client NIC, so per-piece disk completions spread out in time and a
+    /// mid-write crash genuinely tears the request.
+    fn networked() -> (Pfs, Net) {
+        let eps = vec![8, 9, 10, 11];
+        let fs = Pfs::new(FsConfig {
+            label: "pvfs".into(),
+            stripe: 1024,
+            nservers: 4,
+            disk: DiskParams::new(100, 5, 50.0),
+            server_endpoints: Some(eps),
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        });
+        (
+            fs,
+            Net::new(NetConfig::fast_ethernet(8).with_extra_endpoints(&[8, 9, 10, 11])),
+        )
+    }
+
+    fn crash_of(payload: Box<dyn std::any::Any + Send>) -> Crashed {
+        *payload
+            .downcast::<Crashed>()
+            .expect("panic payload must be Crashed")
+    }
+
+    #[test]
+    fn crash_before_submission_has_no_side_effects() {
+        amrio_fault::silence_crash_panics();
+        let (mut fs, mut net) = striped(4);
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        fs.attach_faults(Arc::new(FaultPlan::new().with_crash(t0)));
+        fs.trace.enable();
+        let mut op = IoOp::Write {
+            off: 0,
+            data: &[1u8; 4096],
+        };
+        let c = crash_of(
+            catch_unwind(AssertUnwindSafe(|| {
+                let _ = fs.submit(0, &mut net, f, &mut op, t0 + SimDur::from_millis(1));
+            }))
+            .unwrap_err(),
+        );
+        assert_eq!(c.at, t0);
+        assert_eq!(fs.stats.writes, 0, "no pricing before the crash check");
+        assert_eq!(fs.file_size(f), 0);
+        assert!(fs.trace.events.is_empty());
+    }
+
+    #[test]
+    fn mid_write_crash_tears_at_extent_granularity() {
+        amrio_fault::silence_crash_panics();
+        // Find the clean completion time of a large striped write, then
+        // crash strictly inside it. Data bytes are nonzero so surviving
+        // bytes never alias with holes.
+        let data: Vec<u8> = (0..64 * 1024u32).map(|i| 1 + (i % 241) as u8).collect();
+        let clean_done = {
+            let (mut fs, mut net) = networked();
+            let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+            fs.write_at(0, &mut net, f, 0, &data, t0)
+        };
+        let (mut fs, mut net) = networked();
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let tc = SimTime(t0.0 + (clean_done.0 - t0.0) / 2);
+        fs.attach_faults(Arc::new(FaultPlan::new().with_crash(tc)));
+        let mut op = IoOp::Write {
+            off: 0,
+            data: &data,
+        };
+        let c = crash_of(
+            catch_unwind(AssertUnwindSafe(|| {
+                let _ = fs.submit(0, &mut net, f, &mut op, t0);
+            }))
+            .unwrap_err(),
+        );
+        assert_eq!(c.at, tc);
+        // Some extents survived, and every surviving byte is correct;
+        // the rest of the range still reads as holes (zeros).
+        let got = fs.peek(f, 0, data.len());
+        let survived: usize = (0..data.len()).filter(|&i| got[i] == data[i]).count();
+        let lost = got.iter().filter(|&&b| b == 0).count();
+        assert!(survived > 0, "a mid-write crash should persist something");
+        assert!(lost > 0, "a mid-write crash should lose something");
+        for (i, &b) in got.iter().enumerate() {
+            assert!(
+                b == data[i] || b == 0,
+                "byte {i} is neither written nor hole"
+            );
+        }
+        // The cut is at stripe granularity: surviving bytes form whole
+        // 1 KiB stripe fragments.
+        for frag in 0..data.len() / 1024 {
+            let s = frag * 1024;
+            let whole = (s..s + 1024).all(|i| got[i] == data[i]);
+            let hole = (s..s + 1024).all(|i| got[i] == 0);
+            assert!(whole || hole, "fragment {frag} is torn inside a stripe");
+        }
+    }
+
+    #[test]
+    fn torn_writes_are_deterministic() {
+        amrio_fault::silence_crash_panics();
+        let data: Vec<u8> = (0..100_000u32).map(|i| 1 + (i % 239) as u8).collect();
+        let clean_done = {
+            let (mut fs, mut net) = networked();
+            let (f, t0) = fs.create(0, &mut net, "crash", SimTime::ZERO);
+            fs.write_at(0, &mut net, f, 0, &data, t0)
+        };
+        let run = |tc: SimTime| {
+            let (mut fs, mut net) = networked();
+            let (f, t0) = fs.create(0, &mut net, "crash", SimTime::ZERO);
+            fs.attach_faults(Arc::new(FaultPlan::new().with_crash(tc)));
+            let mut op = IoOp::Write {
+                off: 0,
+                data: &data,
+            };
+            let c = crash_of(
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _ = fs.submit(0, &mut net, f, &mut op, t0);
+                }))
+                .unwrap_err(),
+            );
+            (c.at, fs.image_digest())
+        };
+        let tc = SimTime(clean_done.0 / 3);
+        let (a1, d1) = run(tc);
+        let (a2, d2) = run(tc);
+        assert_eq!(a1, a2);
+        assert_eq!(d1, d2, "same crash instant, bit-identical torn image");
+        let (_, d3) = run(SimTime(clean_done.0 * 2 / 3));
+        assert_ne!(d1, d3, "a later crash persists more");
+    }
+
+    #[test]
+    fn read_crossing_crash_returns_nothing() {
+        amrio_fault::silence_crash_panics();
+        let (mut fs, mut net) = striped(4);
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let data = vec![7u8; 32 * 1024];
+        let t1 = fs.write_at(0, &mut net, f, 0, &data, t0);
+        fs.attach_faults(Arc::new(
+            FaultPlan::new().with_crash(t1 + SimDur::from_nanos(1)),
+        ));
+        fs.trace.enable();
+        let reads_before = fs.stats.reads;
+        let mut op = IoOp::Read {
+            off: 0,
+            len: data.len() as u64,
+        };
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let _ = fs.submit(0, &mut net, f, &mut op, t1);
+        }))
+        .unwrap_err();
+        let _ = crash_of(payload);
+        assert_eq!(fs.stats.reads, reads_before + 1, "request was issued");
+        assert!(fs.trace.events.is_empty(), "but never completed");
+    }
+
+    #[test]
+    fn file_digest_distinguishes_files() {
+        let (mut fs, mut net) = striped(2);
+        let (a, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        let (b, t1) = fs.create(0, &mut net, "b", t0);
+        assert_eq!(fs.file_digest(a), fs.file_digest(b), "both empty");
+        let t2 = fs.write_at(0, &mut net, a, 0, b"same", t1);
+        fs.write_at(0, &mut net, b, 0, b"same", t2);
+        assert_eq!(fs.file_digest(a), fs.file_digest(b));
+        fs.write_at(0, &mut net, b, 4, b"!", t2);
+        assert_ne!(fs.file_digest(a), fs.file_digest(b));
+    }
+
+    #[test]
+    fn clear_faults_disarms_the_crash() {
+        amrio_fault::silence_crash_panics();
+        let (mut fs, mut net) = striped(2);
+        let (f, t0) = fs.create(0, &mut net, "a", SimTime::ZERO);
+        fs.attach_faults(Arc::new(FaultPlan::new().with_crash(SimTime::ZERO)));
+        fs.clear_faults();
+        assert!(fs.faults().is_none());
+        fs.write_at(0, &mut net, f, 0, &[1u8; 128], t0);
+        assert_eq!(fs.file_size(f), 128);
     }
 }
 

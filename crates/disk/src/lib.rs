@@ -21,6 +21,6 @@ pub use trace::{IoEvent, IoTrace, TraceReport};
 // The fault vocabulary of the fallible request path, re-exported so
 // layers above can speak it without a direct `amrio-fault` dependency.
 pub use amrio_fault::{
-    window_secs, FaultPlan, IoError, IoResult, ResilienceReport, ResilienceStats, RetryPolicy,
-    Window,
+    window_secs, Crashed, FaultError, FaultPlan, IoError, IoResult, ResilienceReport,
+    ResilienceStats, RetryPolicy, Window,
 };

@@ -26,7 +26,7 @@
 use amrio_simt::{ClockHook, Rank, SimDur, SimTime};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// Result of a fallible simulated I/O request.
 pub type IoResult<T> = Result<T, IoError>;
@@ -71,6 +71,58 @@ impl fmt::Display for IoError {
         }
     }
 }
+
+/// Panic payload raised by the disk layer when an armed crash fault
+/// fires: the whole simulated application halts at virtual time `at`,
+/// as if the node lost power. Any I/O in flight is cut at extent
+/// granularity (torn writes); the driver catches this payload with
+/// `catch_unwind`, salvages the surviving file-system image, and runs
+/// recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crashed {
+    /// The virtual time at which the world halted.
+    pub at: SimTime,
+}
+
+impl fmt::Display for Crashed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "application crashed at {}s", self.at)
+    }
+}
+
+/// A fault schedule rejected at construction time by the `try_with_*`
+/// builders (the panicking `with_*` builders wrap these).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultError {
+    /// A window with `from > until`.
+    InvertedWindow { from: SimTime, until: SimTime },
+    /// A slowdown/straggler factor that is not finite and `>= 1`.
+    BadFactor { factor: f64 },
+    /// A server index outside the bound set by
+    /// [`FaultPlan::with_server_count`].
+    ServerOutOfRange { server: usize, nservers: usize },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvertedWindow { from, until } => {
+                write!(f, "window must be ordered: {from:?}..{until:?}")
+            }
+            FaultError::BadFactor { factor } => {
+                write!(f, "fault factor must be finite and >= 1: {factor}")
+            }
+            FaultError::ServerOutOfRange { server, nservers } => {
+                write!(
+                    f,
+                    "server {server} out of range (plan bound: {nservers} servers)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// Retry/backoff policy applied by the `mpiio` layer to every request.
 ///
@@ -126,9 +178,17 @@ pub struct Window {
 }
 
 impl Window {
+    /// Fallible constructor: rejects inverted windows with a typed error.
+    pub fn try_new(from: SimTime, until: SimTime) -> Result<Window, FaultError> {
+        if from > until {
+            return Err(FaultError::InvertedWindow { from, until });
+        }
+        Ok(Window { from, until })
+    }
+
     pub fn new(from: SimTime, until: SimTime) -> Window {
-        assert!(from <= until, "window must be ordered: {from:?}..{until:?}");
-        Window { from, until }
+        Window::try_new(from, until)
+            .unwrap_or_else(|_| panic!("window must be ordered: {from:?}..{until:?}"))
     }
 
     pub fn contains(&self, t: SimTime) -> bool {
@@ -203,6 +263,12 @@ pub struct ResilienceStats {
     pub delayed_messages: AtomicU64,
     /// Extra virtual nanoseconds added by straggler dilation.
     pub straggler_ns: AtomicU64,
+    /// Application crashes (armed crash faults that fired).
+    pub crashes: AtomicU64,
+    /// Successful restart-from-checkpoint recoveries after a crash.
+    pub recoveries: AtomicU64,
+    /// Checkpoint generations found torn or orphaned by recovery scans.
+    pub torn_generations: AtomicU64,
     /// `(server, when)` for each server dropped from the stripe map.
     degraded: Mutex<Vec<(usize, SimTime)>>,
 }
@@ -222,6 +288,12 @@ pub struct ResilienceReport {
     pub degraded_servers: u64,
     /// Sum over degraded servers of (end of run - degradation time).
     pub degraded_mode_secs: f64,
+    /// Application crashes (armed crash faults that fired).
+    pub crashes: u64,
+    /// Successful restart-from-checkpoint recoveries after a crash.
+    pub recoveries: u64,
+    /// Checkpoint generations found torn or orphaned by recovery scans.
+    pub torn_generations: u64,
 }
 
 impl ResilienceReport {
@@ -242,6 +314,10 @@ pub struct FaultPlan {
     failures: Vec<ServerFailure>,
     messages: Vec<MessageFault>,
     stragglers: Vec<Straggler>,
+    /// Earliest armed crash instant, if any.
+    crash: Option<SimTime>,
+    /// Optional server-index bound enforced by the `try_with_*` builders.
+    servers: Option<usize>,
     stats: ResilienceStats,
 }
 
@@ -258,53 +334,135 @@ impl FaultPlan {
             && self.failures.is_empty()
             && self.messages.is_empty()
             && self.stragglers.is_empty()
+            && self.crash.is_none()
+    }
+
+    // ---- builder validation ----------------------------------------------
+
+    /// Record the cluster's server count; subsequent `try_with_*`
+    /// builders reject server indices at or beyond it.
+    pub fn with_server_count(mut self, nservers: usize) -> FaultPlan {
+        self.servers = Some(nservers);
+        self
+    }
+
+    fn check_server(&self, server: usize) -> Result<(), FaultError> {
+        match self.servers {
+            Some(n) if server >= n => Err(FaultError::ServerOutOfRange {
+                server,
+                nservers: n,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    fn check_factor(factor: f64) -> Result<(), FaultError> {
+        if factor.is_finite() && factor >= 1.0 {
+            Ok(())
+        } else {
+            Err(FaultError::BadFactor { factor })
+        }
     }
 
     // ---- schedule construction -------------------------------------------
 
     /// PFS server `server` serves requests `factor`× slower inside the
     /// window (seek, transfer, and per-request overhead all scale).
-    pub fn with_server_slowdown(mut self, server: usize, window: Window, factor: f64) -> FaultPlan {
-        assert!(factor >= 1.0, "slowdown factor must be >= 1: {factor}");
+    pub fn with_server_slowdown(self, server: usize, window: Window, factor: f64) -> FaultPlan {
+        self.try_with_server_slowdown(server, window, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_server_slowdown`](Self::with_server_slowdown).
+    pub fn try_with_server_slowdown(
+        mut self,
+        server: usize,
+        window: Window,
+        factor: f64,
+    ) -> Result<FaultPlan, FaultError> {
+        self.check_server(server)?;
+        FaultPlan::check_factor(factor)?;
         self.slowdowns.push(SlowWindow {
             server,
             window,
             factor,
         });
-        self
+        Ok(self)
     }
 
     /// PFS server `server` accepts no work inside the window; requests
     /// arriving during it start at `window.until`.
-    pub fn with_server_stall(mut self, server: usize, window: Window) -> FaultPlan {
+    pub fn with_server_stall(self, server: usize, window: Window) -> FaultPlan {
+        self.try_with_server_stall(server, window)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_server_stall`](Self::with_server_stall).
+    pub fn try_with_server_stall(
+        mut self,
+        server: usize,
+        window: Window,
+    ) -> Result<FaultPlan, FaultError> {
+        self.check_server(server)?;
         self.stalls.push(StallWindow { server, window });
-        self
+        Ok(self)
     }
 
     /// PFS server `server` fails up to `budget` requests with a
     /// transient error inside the window. The budget is consumed in
     /// request-arrival order (deterministic under the engine's
     /// ordering).
-    pub fn with_transient_errors(
+    pub fn with_transient_errors(self, server: usize, window: Window, budget: u64) -> FaultPlan {
+        self.try_with_transient_errors(server, window, budget)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_transient_errors`](Self::with_transient_errors).
+    pub fn try_with_transient_errors(
         mut self,
         server: usize,
         window: Window,
         budget: u64,
-    ) -> FaultPlan {
+    ) -> Result<FaultPlan, FaultError> {
+        self.check_server(server)?;
         self.transients.push(TransientErrors {
             server,
             window,
             budget,
             used: AtomicU64::new(0),
         });
-        self
+        Ok(self)
     }
 
     /// PFS server `server` fails permanently at `at`: every request
     /// submitted at or after `at` that touches it gets `ServerDown`
     /// until the stripe map drops the server.
-    pub fn with_server_failure(mut self, server: usize, at: SimTime) -> FaultPlan {
+    pub fn with_server_failure(self, server: usize, at: SimTime) -> FaultPlan {
+        self.try_with_server_failure(server, at)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_server_failure`](Self::with_server_failure).
+    pub fn try_with_server_failure(
+        mut self,
+        server: usize,
+        at: SimTime,
+    ) -> Result<FaultPlan, FaultError> {
+        self.check_server(server)?;
         self.failures.push(ServerFailure { server, at });
+        Ok(self)
+    }
+
+    /// Halt the whole simulated application at virtual time `at`. The
+    /// disk layer raises a [`Crashed`] panic from the first request
+    /// observing `t >= at`; in-flight writes persist only the extents
+    /// the servers had completed before `at` (torn writes). Arming more
+    /// than one crash keeps the earliest instant.
+    pub fn with_crash(mut self, at: SimTime) -> FaultPlan {
+        self.crash = Some(match self.crash {
+            Some(prev) => prev.min(at),
+            None => at,
+        });
         self
     }
 
@@ -352,14 +510,25 @@ impl FaultPlan {
 
     /// Rank `rank` computes `factor`× slower inside the window (every
     /// local time advance is dilated; waits on other ranks are not).
-    pub fn with_straggler(mut self, rank: Rank, window: Window, factor: f64) -> FaultPlan {
-        assert!(factor >= 1.0, "straggler factor must be >= 1: {factor}");
+    pub fn with_straggler(self, rank: Rank, window: Window, factor: f64) -> FaultPlan {
+        self.try_with_straggler(rank, window, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_straggler`](Self::with_straggler).
+    pub fn try_with_straggler(
+        mut self,
+        rank: Rank,
+        window: Window,
+        factor: f64,
+    ) -> Result<FaultPlan, FaultError> {
+        FaultPlan::check_factor(factor)?;
         self.stragglers.push(Straggler {
             rank,
             window,
             factor,
         });
-        self
+        Ok(self)
     }
 
     // ---- static inspection (used by the `amrio-tune` lint pass) ----------
@@ -396,6 +565,11 @@ impl FaultPlan {
             .filter(|e| e.server == server)
             .map(|e| e.budget)
             .sum()
+    }
+
+    /// The armed crash instant, if any.
+    pub fn crash_at(&self) -> Option<SimTime> {
+        self.crash
     }
 
     /// Ranks targeted by straggler dilation, sorted and deduplicated.
@@ -481,7 +655,31 @@ impl FaultPlan {
         None
     }
 
+    /// If a crash is armed at or before `t`, the crash instant. The
+    /// disk layer calls this on every request submission and panics
+    /// with [`Crashed`] when it returns `Some`.
+    pub fn crash_due(&self, t: SimTime) -> Option<SimTime> {
+        self.crash.filter(|&tc| tc <= t)
+    }
+
     // ---- recovery bookkeeping --------------------------------------------
+
+    /// Record that the armed crash fired (counted once per crash by the
+    /// driver that catches the [`Crashed`] payload).
+    pub fn note_crash(&self) {
+        self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a successful restart-from-checkpoint recovery.
+    pub fn note_recovery(&self) {
+        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` checkpoint generations found torn or orphaned by a
+    /// recovery scan.
+    pub fn note_torn_generations(&self, n: u64) {
+        self.stats.torn_generations.fetch_add(n, Ordering::Relaxed);
+    }
 
     pub fn note_retry(&self) {
         self.stats.retries.fetch_add(1, Ordering::Relaxed);
@@ -528,6 +726,9 @@ impl FaultPlan {
             straggler_secs: s.straggler_ns.load(Ordering::Relaxed) as f64 / 1e9,
             degraded_servers: degraded.len() as u64,
             degraded_mode_secs,
+            crashes: s.crashes.load(Ordering::Relaxed),
+            recoveries: s.recoveries.load(Ordering::Relaxed),
+            torn_generations: s.torn_generations.load(Ordering::Relaxed),
         }
     }
 }
@@ -553,6 +754,33 @@ impl ClockHook for FaultPlan {
             .fetch_add(dilated.0 - d.0, Ordering::Relaxed);
         dilated
     }
+}
+
+/// Install a process-wide panic hook (once) that suppresses the default
+/// panic report for the payloads a *deliberate* crash fault produces:
+/// [`Crashed`] itself and the engine's "peer rank panicked" cascade that
+/// follows it on the other ranks. Every other panic chains to the
+/// previously installed hook unchanged. The driver calls this when it
+/// arms a crash so that crash sweeps don't flood stderr with expected
+/// unwinds.
+pub fn silence_crash_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.downcast_ref::<Crashed>().is_some() {
+                return;
+            }
+            let cascade = |s: &str| s.contains("peer rank panicked");
+            if p.downcast_ref::<String>().is_some_and(|s| cascade(s))
+                || p.downcast_ref::<&str>().is_some_and(|s| cascade(s))
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 /// Convenience: a window given in (possibly fractional) virtual seconds.
@@ -664,5 +892,98 @@ mod tests {
         assert_eq!(pol.backoff_for(1), SimDur(16));
         assert_eq!(pol.backoff_for(3), SimDur(64));
         assert_eq!(pol.backoff_for(63), SimDur(u64::MAX));
+    }
+
+    #[test]
+    fn backoff_boundary_at_leading_zeros() {
+        // The last shift that still fits is exactly `attempt ==
+        // leading_zeros(backoff)`; one past it must saturate, not wrap.
+        let pol = RetryPolicy {
+            backoff: SimDur(8),
+            ..RetryPolicy::default()
+        };
+        let edge = 8u64.leading_zeros(); // 60
+        assert_eq!(pol.backoff_for(edge), SimDur(8u64 << edge));
+        assert_eq!(pol.backoff_for(edge + 1), SimDur(u64::MAX));
+        // A zero base never backs off, at any attempt count.
+        let zero = RetryPolicy {
+            backoff: SimDur(0),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff_for(u32::MAX), SimDur::ZERO);
+    }
+
+    #[test]
+    fn try_builders_reject_bad_inputs() {
+        assert_eq!(
+            Window::try_new(SimTime(5), SimTime(4)),
+            Err(FaultError::InvertedWindow {
+                from: SimTime(5),
+                until: SimTime(4),
+            })
+        );
+        assert!(Window::try_new(SimTime(4), SimTime(4)).is_ok(), "empty ok");
+
+        let w = window_secs(0.0, 1.0);
+        let bad_factor = FaultPlan::new().try_with_server_slowdown(0, w, 0.5);
+        assert_eq!(
+            bad_factor.unwrap_err(),
+            FaultError::BadFactor { factor: 0.5 }
+        );
+        let nan = FaultPlan::new().try_with_straggler(0, w, f64::NAN);
+        assert!(matches!(nan.unwrap_err(), FaultError::BadFactor { .. }));
+
+        let bounded = FaultPlan::new().with_server_count(4);
+        let oob = bounded.try_with_server_failure(4, SimTime(0));
+        assert_eq!(
+            oob.unwrap_err(),
+            FaultError::ServerOutOfRange {
+                server: 4,
+                nservers: 4,
+            }
+        );
+        let ok = FaultPlan::new()
+            .with_server_count(4)
+            .try_with_server_stall(3, w)
+            .and_then(|p| p.try_with_transient_errors(0, w, 2))
+            .and_then(|p| p.try_with_server_slowdown(1, w, 2.0));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn panicking_builder_wraps_typed_error() {
+        let _ = FaultPlan::new()
+            .with_server_count(2)
+            .with_server_stall(7, window_secs(0.0, 1.0));
+    }
+
+    #[test]
+    fn crash_arming_and_consultation() {
+        let p = FaultPlan::new();
+        assert_eq!(p.crash_at(), None);
+        assert_eq!(p.crash_due(SimTime(u64::MAX)), None);
+
+        let p = FaultPlan::new()
+            .with_crash(SimTime(500))
+            .with_crash(SimTime(900));
+        assert!(!p.is_empty(), "an armed crash is not a no-op plan");
+        assert_eq!(p.crash_at(), Some(SimTime(500)), "earliest instant wins");
+        assert_eq!(p.crash_due(SimTime(499)), None);
+        assert_eq!(p.crash_due(SimTime(500)), Some(SimTime(500)));
+        assert_eq!(p.crash_due(SimTime(501)), Some(SimTime(500)));
+    }
+
+    #[test]
+    fn crash_counters_flow_into_report() {
+        let p = FaultPlan::new().with_crash(SimTime(100));
+        p.note_crash();
+        p.note_recovery();
+        p.note_torn_generations(2);
+        let r = p.report(SimTime(1_000));
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.torn_generations, 2);
+        assert!(!r.is_quiet());
     }
 }

@@ -56,7 +56,9 @@ pub(crate) fn submit_retrying(
                 if let Some(plan) = fs.faults() {
                     plan.note_retry();
                 }
-                cur = e.at() + policy.backoff_for(retries);
+                // Saturating: `backoff_for` clamps to u64::MAX at high
+                // attempt counts, which a plain `+` would overflow.
+                cur = e.at().saturating_add(policy.backoff_for(retries));
                 retries += 1;
             }
             Err(e) => return Err(e),

@@ -1,0 +1,545 @@
+//! `amrio-recover` — crash-consistent checkpoint recovery.
+//!
+//! The commit protocol (driver side, `amrio-enzo`) makes a checkpoint
+//! *generation* atomic: every dump `g` writes only files under the
+//! generation-named shadow prefix `DD{g:04}.` (never overwriting an
+//! older generation), then publishes the generation with a single final
+//! write of a [`Manifest`] — per-file lengths and FNV digests plus the
+//! run's state digest, self-checksummed. A crash before the manifest
+//! write leaves the generation invisible (orphaned data files); a crash
+//! *during* it leaves a torn manifest that fails its self-checksum;
+//! only a complete, verifying manifest makes the generation committed.
+//!
+//! This crate is the read side: an fsck-style [`scan`] walks a [`Pfs`]
+//! namespace, groups files into generations, validates each manifest
+//! against the actual file contents, and classifies every generation as
+//! committed, torn, or orphaned. [`ScanReport::latest_committed`] is
+//! the restart rule: resume from the newest committed generation,
+//! ignore everything newer. Scanning is host-side and cost-free — the
+//! restarted incarnation begins at virtual time zero, like a fresh
+//! process inspecting the file system left behind by the crashed one.
+
+use amrio_disk::Pfs;
+use std::collections::BTreeMap;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"AMRIOMAN";
+const VERSION: u32 = 1;
+
+/// FNV-1a over `bytes`, continuing from `h`.
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Path of generation `g`'s manifest.
+pub fn manifest_path(generation: u32) -> String {
+    format!("DD{generation:04}.manifest")
+}
+
+/// The shadow prefix all of generation `g`'s files share.
+pub fn generation_prefix(generation: u32) -> String {
+    format!("DD{generation:04}.")
+}
+
+/// Parse the generation number out of a checkpoint path
+/// (`DD{g:04}.suffix`); `None` for non-checkpoint files.
+pub fn parse_generation(path: &str) -> Option<u32> {
+    let rest = path.strip_prefix("DD")?;
+    let (digits, rest) = rest.split_at_checked(4)?;
+    if !rest.starts_with('.') {
+        return None;
+    }
+    if !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// One file of a checkpoint generation: its path, length, and content
+/// digest ([`amrio_disk::ExtentStore::digest`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    pub path: String,
+    pub len: u64,
+    pub digest: u64,
+}
+
+/// The commit record of one checkpoint generation. Serialized as a
+/// single self-checksummed binary blob and written in one request, so a
+/// crash can tear it but never leave a silently-wrong one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    pub generation: u32,
+    /// Simulation cycle the checkpointed state had reached.
+    pub cycle: u64,
+    /// Simulation (physics) time of the checkpointed state.
+    pub time: f64,
+    /// The run's global state digest at dump time; a restarted run that
+    /// reads this generation back must reproduce it bit-for-bit.
+    pub state_digest: u64,
+    /// Every data file of the generation, sorted by path.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Why a manifest failed to decode or verify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManifestError {
+    /// Shorter than the fixed header + trailer.
+    TooShort,
+    /// The magic bytes don't match (not a manifest, or its head was
+    /// lost).
+    BadMagic,
+    /// A version this reader does not understand.
+    BadVersion(u32),
+    /// The trailing self-checksum does not match: the manifest write
+    /// itself was torn by the crash.
+    SelfChecksum,
+    /// Structurally invalid (truncated entry table, bad counts).
+    Malformed,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::TooShort => write!(f, "manifest too short"),
+            ManifestError::BadMagic => write!(f, "bad manifest magic"),
+            ManifestError::BadVersion(v) => write!(f, "unsupported manifest version {v}"),
+            ManifestError::SelfChecksum => write!(f, "manifest self-checksum mismatch (torn)"),
+            ManifestError::Malformed => write!(f, "malformed manifest"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl Manifest {
+    /// Build the manifest for generation `g` from the live file system:
+    /// every `DD{g:04}.*` file except the manifest itself, sorted by
+    /// path, with its current length and content digest. Host-side and
+    /// cost-free — the driver calls this after the dump barrier, when
+    /// all data writes of the generation have landed.
+    pub fn capture(
+        fs: &Pfs,
+        generation: u32,
+        cycle: u64,
+        time: f64,
+        state_digest: u64,
+    ) -> Manifest {
+        let prefix = generation_prefix(generation);
+        let own = manifest_path(generation);
+        let mut paths: Vec<String> = fs
+            .paths()
+            .filter(|p| p.starts_with(&prefix) && **p != own)
+            .map(|p| p.to_string())
+            .collect();
+        paths.sort();
+        let entries = paths
+            .into_iter()
+            .map(|path| {
+                let id = fs.file_id(&path).expect("listed path must resolve");
+                ManifestEntry {
+                    len: fs.file_size(id),
+                    digest: fs.file_digest(id),
+                    path,
+                }
+            })
+            .collect();
+        Manifest {
+            generation,
+            cycle,
+            time,
+            state_digest,
+            entries,
+        }
+    }
+
+    /// Serialize to the self-checksummed wire format (little-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.cycle.to_le_bytes());
+        out.extend_from_slice(&self.time.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.state_digest.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&(e.path.len() as u32).to_le_bytes());
+            out.extend_from_slice(e.path.as_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.digest.to_le_bytes());
+        }
+        let sum = fnv(FNV_OFFSET, &out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parse and verify the self-checksum. Any torn or corrupted blob
+    /// fails loudly — recovery treats every [`ManifestError`] as "this
+    /// generation is not committed".
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, ManifestError> {
+        // magic + version + generation + cycle + time + state digest +
+        // nfiles .. + trailing checksum
+        const HEADER: usize = 8 + 4 + 4 + 8 + 8 + 8 + 4;
+        if bytes.len() < HEADER + 8 {
+            return Err(ManifestError::TooShort);
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let sum = u64::from_le_bytes(tail.try_into().unwrap());
+        if fnv(FNV_OFFSET, body) != sum {
+            return Err(ManifestError::SelfChecksum);
+        }
+        if &body[..8] != MAGIC {
+            return Err(ManifestError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(body[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != VERSION {
+            return Err(ManifestError::BadVersion(version));
+        }
+        let generation = u32_at(12);
+        let cycle = u64_at(16);
+        let time = f64::from_bits(u64_at(24));
+        let state_digest = u64_at(32);
+        let nfiles = u32_at(40) as usize;
+        let mut off = HEADER;
+        let mut entries = Vec::with_capacity(nfiles);
+        for _ in 0..nfiles {
+            if off + 4 > body.len() {
+                return Err(ManifestError::Malformed);
+            }
+            let plen = u32_at(off) as usize;
+            off += 4;
+            if off + plen + 16 > body.len() {
+                return Err(ManifestError::Malformed);
+            }
+            let path = std::str::from_utf8(&body[off..off + plen])
+                .map_err(|_| ManifestError::Malformed)?
+                .to_string();
+            off += plen;
+            let len = u64_at(off);
+            let digest = u64_at(off + 8);
+            off += 16;
+            entries.push(ManifestEntry { path, len, digest });
+        }
+        if off != body.len() {
+            return Err(ManifestError::Malformed);
+        }
+        Ok(Manifest {
+            generation,
+            cycle,
+            time,
+            state_digest,
+            entries,
+        })
+    }
+}
+
+/// Classification of one checkpoint generation found on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenStatus {
+    /// Manifest present, self-checksum valid, and every listed file
+    /// exists with matching length and digest: safe to restart from.
+    Committed,
+    /// A manifest exists but fails verification (torn manifest write,
+    /// or data files that don't match it).
+    Torn,
+    /// Data files with no manifest at all: the crash hit before the
+    /// commit write. Invisible to restart.
+    Orphaned,
+}
+
+/// One generation's scan result.
+#[derive(Clone, Debug)]
+pub struct GenInfo {
+    pub generation: u32,
+    pub status: GenStatus,
+    /// The decoded manifest, for committed generations.
+    pub manifest: Option<Manifest>,
+    /// Number of `DD{g:04}.*` files found (manifest included).
+    pub files: usize,
+    /// Human-readable reason for a non-committed classification.
+    pub reason: Option<String>,
+}
+
+/// Result of walking a file system for checkpoint generations.
+#[derive(Clone, Debug, Default)]
+pub struct ScanReport {
+    /// All generations found, in ascending generation order.
+    pub generations: Vec<GenInfo>,
+}
+
+impl ScanReport {
+    /// The newest committed generation — the restart-from-latest rule.
+    pub fn latest_committed(&self) -> Option<&GenInfo> {
+        self.generations
+            .iter()
+            .rev()
+            .find(|g| g.status == GenStatus::Committed)
+    }
+
+    /// Generations that are torn or orphaned (counted into
+    /// `ResilienceReport::torn_generations`).
+    pub fn damaged(&self) -> u64 {
+        self.generations
+            .iter()
+            .filter(|g| g.status != GenStatus::Committed)
+            .count() as u64
+    }
+}
+
+/// Walk the file system, group checkpoint files into generations, and
+/// verify each generation's manifest against the actual contents.
+pub fn scan(fs: &Pfs) -> ScanReport {
+    let mut gens: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for path in fs.paths() {
+        if let Some(g) = parse_generation(path) {
+            gens.entry(g).or_default().push(path.to_string());
+        }
+    }
+    let generations = gens
+        .into_iter()
+        .map(|(g, paths)| classify(fs, g, paths.len()))
+        .collect();
+    ScanReport { generations }
+}
+
+fn classify(fs: &Pfs, g: u32, files: usize) -> GenInfo {
+    let man_path = manifest_path(g);
+    let mut info = GenInfo {
+        generation: g,
+        status: GenStatus::Orphaned,
+        manifest: None,
+        files,
+        reason: None,
+    };
+    let Some(mid) = fs.file_id(&man_path) else {
+        info.reason = Some("no manifest".into());
+        return info;
+    };
+    let bytes = fs.peek(mid, 0, fs.file_size(mid) as usize);
+    let man = match Manifest::decode(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            info.status = GenStatus::Torn;
+            info.reason = Some(e.to_string());
+            return info;
+        }
+    };
+    if man.generation != g {
+        info.status = GenStatus::Torn;
+        info.reason = Some(format!("manifest names generation {}", man.generation));
+        return info;
+    }
+    for e in &man.entries {
+        let Some(id) = fs.file_id(&e.path) else {
+            info.status = GenStatus::Torn;
+            info.reason = Some(format!("{} missing", e.path));
+            return info;
+        };
+        if fs.file_size(id) != e.len {
+            info.status = GenStatus::Torn;
+            info.reason = Some(format!(
+                "{}: length {} != manifest {}",
+                e.path,
+                fs.file_size(id),
+                e.len
+            ));
+            return info;
+        }
+        if fs.file_digest(id) != e.digest {
+            info.status = GenStatus::Torn;
+            info.reason = Some(format!("{}: content digest mismatch", e.path));
+            return info;
+        }
+    }
+    info.status = GenStatus::Committed;
+    info.manifest = Some(man);
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrio_disk::{DiskParams, FsConfig, Placement};
+    use amrio_net::{Net, NetConfig};
+    use amrio_simt::{SimDur, SimTime};
+
+    fn fs_pair() -> (Pfs, Net) {
+        let fs = Pfs::new(FsConfig {
+            label: "test".into(),
+            stripe: 1024,
+            nservers: 4,
+            disk: DiskParams::new(100, 5, 50.0),
+            server_endpoints: None,
+            placement: Placement::Striped,
+            lock_block: None,
+            token_cost: SimDur::ZERO,
+            client_queue_cost: None,
+            single_stream_bw: None,
+        });
+        (fs, Net::new(NetConfig::ccnuma(4)))
+    }
+
+    /// Write generation `g`: two data files, then (optionally) the
+    /// manifest.
+    fn dump(fs: &mut Pfs, net: &mut Net, g: u32, commit: bool) {
+        let a = format!("{}topgrid", generation_prefix(g));
+        let b = format!("{}grid000001", generation_prefix(g));
+        let (fa, t) = fs.create(0, net, &a, SimTime::ZERO);
+        let t = fs.write_at(0, net, fa, 0, &vec![g as u8 + 1; 5000], t);
+        let (fb, t) = fs.create(0, net, &b, t);
+        let t = fs.write_at(0, net, fb, 0, &vec![g as u8 + 7; 3000], t);
+        if commit {
+            let man = Manifest::capture(fs, g, g as u64, g as f64 * 0.5, 0xabcd + g as u64);
+            let (fm, t) = fs.create(0, net, &manifest_path(g), t);
+            fs.write_at(0, net, fm, 0, &man.encode(), t);
+        }
+    }
+
+    #[test]
+    fn path_parsing() {
+        assert_eq!(parse_generation("DD0003.topgrid"), Some(3));
+        assert_eq!(parse_generation("DD0042.manifest"), Some(42));
+        assert_eq!(parse_generation("DD12.grid"), None, "needs four digits");
+        assert_eq!(parse_generation("XX0003.topgrid"), None);
+        assert_eq!(parse_generation("DD00a3.x"), None);
+        assert_eq!(parse_generation("DD0003"), None, "needs the dot");
+        assert_eq!(manifest_path(7), "DD0007.manifest");
+        assert_eq!(generation_prefix(7), "DD0007.");
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = Manifest {
+            generation: 3,
+            cycle: 17,
+            time: 2.25,
+            state_digest: 0xdeadbeef,
+            entries: vec![
+                ManifestEntry {
+                    path: "DD0003.topgrid".into(),
+                    len: 100,
+                    digest: 42,
+                },
+                ManifestEntry {
+                    path: "DD0003.grid000001".into(),
+                    len: 7,
+                    digest: 43,
+                },
+            ],
+        };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        // Any single-byte corruption is caught by the self-checksum.
+        for i in [0, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            assert!(Manifest::decode(&bad).is_err(), "corruption at {i}");
+        }
+        // A torn (truncated) manifest never decodes.
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn scan_classifies_generations() {
+        let (mut fs, mut net) = fs_pair();
+        dump(&mut fs, &mut net, 0, true);
+        dump(&mut fs, &mut net, 1, true);
+        dump(&mut fs, &mut net, 2, false); // crashed before commit
+        let report = scan(&fs);
+        assert_eq!(report.generations.len(), 3);
+        assert_eq!(report.generations[0].status, GenStatus::Committed);
+        assert_eq!(report.generations[1].status, GenStatus::Committed);
+        assert_eq!(report.generations[2].status, GenStatus::Orphaned);
+        assert_eq!(report.damaged(), 1);
+        let latest = report.latest_committed().unwrap();
+        assert_eq!(latest.generation, 1);
+        let man = latest.manifest.as_ref().unwrap();
+        assert_eq!(man.cycle, 1);
+        assert_eq!(man.state_digest, 0xabcd + 1);
+        assert_eq!(man.entries.len(), 2);
+    }
+
+    #[test]
+    fn torn_manifest_is_not_committed() {
+        let (mut fs, mut net) = fs_pair();
+        dump(&mut fs, &mut net, 0, true);
+        dump(&mut fs, &mut net, 1, true);
+        // Tear generation 1's manifest: overwrite its tail.
+        let mid = fs.file_id(&manifest_path(1)).unwrap();
+        let sz = fs.file_size(mid);
+        fs.write_at(0, &mut net, mid, sz - 4, &[0xff; 4], SimTime::ZERO);
+        let report = scan(&fs);
+        assert_eq!(report.generations[1].status, GenStatus::Torn);
+        assert_eq!(report.latest_committed().unwrap().generation, 0);
+        assert_eq!(report.damaged(), 1);
+    }
+
+    #[test]
+    fn torn_data_file_is_detected() {
+        let (mut fs, mut net) = fs_pair();
+        dump(&mut fs, &mut net, 0, true);
+        // Flip one data byte after commit: the digest check catches it.
+        let id = fs.file_id("DD0000.grid000001").unwrap();
+        fs.write_at(0, &mut net, id, 100, &[0x00], SimTime::ZERO);
+        let report = scan(&fs);
+        assert_eq!(report.generations[0].status, GenStatus::Torn);
+        assert!(report.generations[0]
+            .reason
+            .as_ref()
+            .unwrap()
+            .contains("digest mismatch"));
+        assert!(report.latest_committed().is_none());
+    }
+
+    #[test]
+    fn missing_entry_file_is_torn() {
+        let (mut fs, mut net) = fs_pair();
+        dump(&mut fs, &mut net, 0, false);
+        // Commit a manifest naming a file that was never written.
+        let mut man = Manifest::capture(&fs, 0, 0, 0.0, 1);
+        man.entries.push(ManifestEntry {
+            path: "DD0000.grid000099".into(),
+            len: 10,
+            digest: 0,
+        });
+        let (fm, t) = fs.create(0, &mut net, &manifest_path(0), SimTime::ZERO);
+        fs.write_at(0, &mut net, fm, 0, &man.encode(), t);
+        let report = scan(&fs);
+        assert_eq!(report.generations[0].status, GenStatus::Torn);
+        assert!(report.generations[0]
+            .reason
+            .as_ref()
+            .unwrap()
+            .contains("missing"));
+    }
+
+    #[test]
+    fn empty_fs_scans_empty() {
+        let (fs, _) = fs_pair();
+        let report = scan(&fs);
+        assert!(report.generations.is_empty());
+        assert!(report.latest_committed().is_none());
+        assert_eq!(report.damaged(), 0);
+    }
+
+    #[test]
+    fn non_checkpoint_files_are_ignored() {
+        let (mut fs, mut net) = fs_pair();
+        fs.create(0, &mut net, "scratch.dat", SimTime::ZERO);
+        fs.create(0, &mut net, "DDnope.x", SimTime::ZERO);
+        let report = scan(&fs);
+        assert!(report.generations.is_empty());
+    }
+}

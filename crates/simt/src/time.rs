@@ -32,6 +32,13 @@ impl SimTime {
     pub fn saturating_since(self, earlier: SimTime) -> SimDur {
         SimDur(self.0.saturating_sub(earlier.0))
     }
+
+    /// `self + d`, clamped to the end of virtual time instead of
+    /// overflowing. Use wherever `d` can be adversarially large (e.g.
+    /// saturated retry backoffs).
+    pub fn saturating_add(self, d: SimDur) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
 }
 
 impl SimDur {
@@ -162,6 +169,15 @@ mod tests {
         let b = SimTime(9);
         assert_eq!(b.saturating_since(a), SimDur(4));
         assert_eq!(a.saturating_since(b), SimDur::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(SimTime(5).saturating_add(SimDur(4)), SimTime(9));
+        assert_eq!(
+            SimTime(2).saturating_add(SimDur(u64::MAX)),
+            SimTime(u64::MAX)
+        );
     }
 
     #[test]

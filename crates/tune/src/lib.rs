@@ -188,6 +188,41 @@ mod tests {
     }
 
     #[test]
+    fn crash_before_first_possible_commit_is_flagged() {
+        let ds = DatasetPlan {
+            name: "g000001_density".into(),
+            start: 64,
+            len: 1 << 20,
+            collective: false,
+            writers: ranks(&[(0, &[(64, 1 << 20)])]),
+        };
+        let plan = plan_with(vec![ds], 2);
+        let fs = amrio_disk::presets::xfs_origin2000();
+
+        // 1 MiB of payload cannot commit within 1µs of virtual time:
+        // recovery would be guaranteed to restart from scratch.
+        let early = FaultPlan::new().with_crash(SimTime(1_000));
+        let diags = lint_faults(&plan, &fs, &early, &RetryPolicy::default());
+        let hit = diags
+            .iter()
+            .find(|d| d.code == "crash-before-commit")
+            .expect("early crash must be flagged");
+        assert_eq!(hit.severity, Severity::Warning);
+
+        // A crash armed well past the write floor is a legitimate
+        // experiment; so is a plan with no crash at all.
+        let late = FaultPlan::new().with_crash(SimTime(u64::MAX));
+        assert!(lint_faults(&plan, &fs, &late, &RetryPolicy::default())
+            .iter()
+            .all(|d| d.code != "crash-before-commit"));
+        assert!(
+            lint_faults(&plan, &fs, &FaultPlan::new(), &RetryPolicy::default())
+                .iter()
+                .all(|d| d.code != "crash-before-commit")
+        );
+    }
+
+    #[test]
     fn diagnostics_sort_worst_first_and_render() {
         let mut ds = vec![
             Diagnostic {

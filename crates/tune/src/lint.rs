@@ -108,6 +108,37 @@ pub fn lint_faults(
         }
     }
 
+    if let Some(tc) = faults.crash_at() {
+        // A hard lower bound on the first checkpoint commit: every
+        // payload byte of the plan must cross the aggregate disk
+        // bandwidth, and the commit manifest only lands after the data.
+        // A crash armed earlier than that can never find a committed
+        // generation — recovery is guaranteed to restart from scratch,
+        // re-running the whole job.
+        let bytes: u64 = plan
+            .files
+            .iter()
+            .flat_map(|f| write_regions(f, plan.nranks))
+            .map(|(_, _, l)| l)
+            .sum();
+        let floor_s = bytes as f64 / (fs.disk.bandwidth * fs.nservers as f64);
+        let crash_s = tc.0 as f64 / 1.0e9;
+        if crash_s < floor_s {
+            out.push(Diagnostic {
+                code: "crash-before-commit",
+                severity: Severity::Warning,
+                message: format!(
+                    "crash armed at {crash_s:.3}s virtual, but the plan's {bytes} payload \
+                     bytes need at least {floor_s:.3}s of aggregate disk time — no \
+                     checkpoint generation can commit first, so recovery will restart \
+                     from scratch"
+                ),
+                suggestion: "arm the crash after the first dump window, or dump more often".into(),
+                span: span(),
+            });
+        }
+    }
+
     for r in faults.straggler_ranks() {
         if r >= plan.nranks {
             out.push(Diagnostic {

@@ -26,6 +26,9 @@ cargo run --release -q -p amrio-bench --bin tune -- --smoke
 echo "== resilience fault-matrix smoke (fault injection + graceful degradation)"
 cargo run --release -q -p amrio-bench --bin resilience -- --smoke
 
+echo "== crash-point sweep smoke (atomic commit + restart-from-latest)"
+cargo run --release -q -p amrio-bench --bin crash -- --smoke
+
 echo "== selfbench smoke (wall-clock regression gate)"
 cargo run --release -q -p amrio-bench --bin selfbench -- --smoke --out /tmp/selfbench_smoke.json
 baseline=$(grep -m1 '"smoke_total_wall_ms"' BENCH_selfbench.json | grep -o '[0-9.]*')

@@ -18,5 +18,6 @@ pub use amrio_mpi as mpi;
 pub use amrio_mpiio as mpiio;
 pub use amrio_net as net;
 pub use amrio_plan as plan;
+pub use amrio_recover as recover;
 pub use amrio_simt as simt;
 pub use amrio_tune as tune;

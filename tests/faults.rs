@@ -160,6 +160,88 @@ fn mid_dump_pvfs_server_failure_degrades_gracefully() {
     );
 }
 
+/// Crash-consistency end to end: arm a crash in the middle of a
+/// generational run, let the driver recover from the newest committed
+/// generation, and require the finished run to be byte-identical to the
+/// clean generational run — deterministically, under the strict checker.
+#[test]
+fn crash_recovery_is_deterministic_and_byte_identical() {
+    let platform = Platform::ibm_sp2(NRANKS);
+    let cfg = SimConfig::new(ProblemSize::Custom(ROOT_N), NRANKS);
+
+    // The clean generational baseline: dump + commit every cycle.
+    let clean = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(EVOLVE_CYCLES)
+        .dump_every(1)
+        .check(CheckMode::Strict)
+        .run();
+    assert!(clean.report.verified);
+    assert!(clean.recovery.is_none(), "no crash was armed");
+
+    let crashed_run = |t: SimTime| {
+        let plan = Arc::new(FaultPlan::new().with_crash(t));
+        Experiment::new(&platform, &cfg, &MpiIoOptimized)
+            .cycles(EVOLVE_CYCLES)
+            .dump_every(1)
+            .check(CheckMode::Strict)
+            .faults(plan)
+            .run()
+    };
+
+    // Crash halfway through the clean run's virtual makespan: some
+    // generations are committed, later ones are torn or unwritten.
+    let mid = SimTime((clean.report.makespan * 0.5e9) as u64);
+    let a = crashed_run(mid);
+    let rec = a
+        .recovery
+        .as_ref()
+        .expect("the crash must trigger recovery");
+    assert_eq!(rec.crashes, 1, "{rec:?}");
+    assert!(rec.resume_verified, "resumed state must match its manifest");
+    assert!(a.report.verified, "post-recovery restart must verify");
+    assert!(a.check.as_ref().unwrap().is_clean());
+    assert_eq!(a.report.resilience.crashes, 1);
+    assert_eq!(a.report.resilience.recoveries, 1);
+    assert_eq!(
+        a.report.image_digest, clean.report.image_digest,
+        "recovered run must finish with the clean run's bytes"
+    );
+
+    // Same seed + same crash time → bit-identical everything.
+    let b = crashed_run(mid);
+    assert_eq!(a.report.image_digest, b.report.image_digest);
+    assert_eq!(
+        a.report.makespan.to_bits(),
+        b.report.makespan.to_bits(),
+        "crash recovery must be deterministic"
+    );
+    assert_eq!(
+        a.recovery.as_ref().unwrap().resumed_generation,
+        b.recovery.as_ref().unwrap().resumed_generation
+    );
+
+    // A crash before any commit restarts from scratch and still
+    // converges to the same bytes.
+    let early = crashed_run(SimTime(1));
+    let rec = early.recovery.as_ref().expect("early crash must recover");
+    assert_eq!(rec.resumed_generation, None, "nothing was committed yet");
+    assert!(early.report.verified);
+    assert_eq!(early.report.image_digest, clean.report.image_digest);
+}
+
+/// A fault plan without a crash keeps the legacy single-dump path:
+/// the goldens of `empty_fault_plan_reproduces_goldens_exactly` remain
+/// in force, and `crash_at` stays unarmed.
+#[test]
+fn crash_free_plans_keep_the_exact_path() {
+    assert!(FaultPlan::new().crash_at().is_none());
+    let plan = Arc::new(FaultPlan::new().with_transient_errors(0, window_secs(0.0, 1.0e6), 1));
+    assert!(plan.crash_at().is_none());
+    let out = run_sp2(&MpiIoOptimized, Some(plan));
+    assert!(out.recovery.is_none(), "no crash, no recovery path");
+    assert_eq!(out.report.image_digest, GOLDEN_MPIIO);
+}
+
 /// Per-rank compute stragglers dilate local work without breaking
 /// verification, and message faults on the interconnect are absorbed by
 /// retransmit/delay penalties.
