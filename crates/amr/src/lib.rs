@@ -4,6 +4,8 @@
 //! Berger–Rigoutsos-style refinement clustering, LPT load balancing, and
 //! a toy clustering solver that drives adaptive, irregular refinement.
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod balance;
 pub mod decomp;

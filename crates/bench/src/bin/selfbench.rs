@@ -148,6 +148,102 @@ struct CrashSummary {
     wall_ms: f64,
 }
 
+/// Host-side cost of the static verifier on the smoke cell: the full
+/// happens-before analysis over the three shipped backends plus one
+/// seeded mutation corpus, against the strict simulation it replaces.
+struct VerifySummary {
+    presets: usize,
+    presets_safe: usize,
+    corpus_cases: usize,
+    corpus_flagged: usize,
+    false_negatives: usize,
+    analysis_wall_ms: f64,
+    sim_wall_ms: f64,
+}
+
+fn verify_summary() -> VerifySummary {
+    use amrio_verify::mutate::corpus;
+    use amrio_verify::{replay, runtime_kind, verify, Verdict, VerifyInput};
+
+    let nranks = 4;
+    let platform = Platform::origin2000(nranks);
+    let cfg = default_cfg(ProblemSize::Custom(16), nranks);
+    let probe = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(EVOLVE_CYCLES)
+        .probe()
+        .run()
+        .probe
+        .expect("probe requested");
+    let input = PlanInput::from_probe(&probe, &platform.fs);
+
+    let mut presets_safe = 0;
+    let mut analysis_s = 0.0f64;
+    let t_sim = Instant::now();
+    for name in ["hdf4-serial", "mpiio-optimized", "hdf5-parallel"] {
+        let strategy = strategy_for(name);
+        let _ = Experiment::new(&platform, &cfg, &*strategy)
+            .cycles(EVOLVE_CYCLES)
+            .check(CheckMode::Strict)
+            .run();
+    }
+    let sim_wall_ms = t_sim.elapsed().as_secs_f64() * 1e3;
+    for backend in [
+        Backend::Hdf4,
+        Backend::MpiIo,
+        Backend::Hdf5(amrio_hdf5::OverheadModel::default()),
+    ] {
+        let p = plan(&input, backend);
+        let t0 = Instant::now();
+        let report = verify(&VerifyInput::plain(&p, &input.hints, &platform.fs));
+        analysis_s += t0.elapsed().as_secs_f64();
+        if report.verdict() == Verdict::Safe {
+            presets_safe += 1;
+        }
+    }
+
+    let cases = corpus(&input, 42);
+    let corpus_cases = cases.len();
+    let mut corpus_flagged = 0;
+    let mut false_negatives = 0;
+    for case in cases {
+        let t0 = Instant::now();
+        let report = verify(&VerifyInput {
+            plan: &case.plan,
+            hints: &case.hints,
+            fs: &platform.fs,
+            faults: case.faults.as_ref(),
+            retry: case.retry,
+            commit: case.commit,
+        });
+        analysis_s += t0.elapsed().as_secs_f64();
+        if report.verdict() == case.expect_verdict {
+            corpus_flagged += 1;
+        }
+        if case.replay_flags {
+            let kinds = report.kinds();
+            let runtime = replay(&case.plan, &case.hints, &platform.fs, CheckMode::Log);
+            let covered = !runtime.is_clean()
+                && runtime
+                    .violations
+                    .iter()
+                    .all(|v| runtime_kind(v).is_some_and(|k| kinds.contains(&k)));
+            if !covered {
+                false_negatives += 1;
+            }
+        }
+    }
+
+    VerifySummary {
+        presets: 3,
+        presets_safe,
+        corpus_cases,
+        corpus_flagged,
+        false_negatives,
+        analysis_wall_ms: analysis_s * 1e3,
+        sim_wall_ms,
+    }
+}
+
 fn crash_summary() -> CrashSummary {
     let nranks = 4;
     let platform = Platform::ibm_sp2(nranks);
@@ -282,6 +378,29 @@ fn main() {
         cs.all_recovered,
         cs.wall_ms
     );
+    let vs = verify_summary();
+    eprintln!(
+        "verify: {}/{} presets Safe, {}/{} corpus cases flagged, {} false negatives; static {:.2} ms vs strict sim {:.1} ms ({:.0}x)",
+        vs.presets_safe, vs.presets, vs.corpus_flagged, vs.corpus_cases, vs.false_negatives,
+        vs.analysis_wall_ms, vs.sim_wall_ms,
+        vs.sim_wall_ms / vs.analysis_wall_ms.max(1e-9)
+    );
+    let _ = write!(
+        j,
+        ",\n  \"verify\": {{\"cell\": \"origin2000/small/x4\", \"presets\": {}, \
+         \"presets_safe\": {}, \"corpus_cases\": {}, \"corpus_flagged\": {}, \
+         \"false_negatives\": {}, \"analysis_wall_ms\": {:.3}, \"sim_wall_ms\": {:.3}, \
+         \"speedup\": {:.1}}}",
+        vs.presets,
+        vs.presets_safe,
+        vs.corpus_cases,
+        vs.corpus_flagged,
+        vs.false_negatives,
+        vs.analysis_wall_ms,
+        vs.sim_wall_ms,
+        vs.sim_wall_ms / vs.analysis_wall_ms.max(1e-9)
+    );
+
     if let Some(path) = embed_before {
         let before =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--embed-before {path}: {e}"));

@@ -25,7 +25,7 @@ use amrio_enzo::{
 };
 use amrio_hdf5::OverheadModel;
 use amrio_plan::{plan, Backend, PlanInput};
-use amrio_tune::{lint, search, Severity, TuneConfig};
+use amrio_tune::{lint, search_verified, Severity, TuneConfig};
 use std::io::Write as _;
 
 fn cfg(problem: ProblemSize, nranks: usize) -> SimConfig {
@@ -114,7 +114,8 @@ fn tune_cell(
     let probe = probe_cell(platform, problem, nranks);
     let input = PlanInput::from_probe(&probe, &platform.fs);
     let p = plan(&input, Backend::MpiIo);
-    let outcome = search(&p, &platform.fs, &platform.net);
+    let verified = search_verified(&p, &platform.fs, &platform.net);
+    let outcome = &verified.outcome;
     let best = outcome.best();
 
     let presets: Vec<(&dyn IoStrategy, &'static str)> = vec![
@@ -139,11 +140,16 @@ fn tune_cell(
         problem.label()
     );
     println!(
-        "  searched {} candidates; best = {} (predicted {:.4}s)",
+        "  searched {} candidates ({} statically pruned); best = {} (predicted {:.4}s)",
         outcome.candidates.len(),
+        verified.pruned.len(),
         best.cfg.label,
         best.cost.total_s()
     );
+    for p in &verified.pruned {
+        let kinds: Vec<String> = p.kinds.iter().map(|k| k.to_string()).collect();
+        println!("    pruned {:<12} [{}]", p.cfg.label, kinds.join(", "));
+    }
 
     let mut ok = true;
     let mut baseline_digest = None;

@@ -2,6 +2,8 @@
 //! and figure of the paper. Each `src/bin/*` binary prints one
 //! table/figure; `cargo run -p amrio-bench --bin all` runs everything.
 
+#![forbid(unsafe_code)]
+
 use amrio_enzo::{Experiment, IoStrategy, Platform, ProblemSize, RunReport, SimConfig};
 
 /// Evolution cycles before the timed dump (enough to grow a refinement

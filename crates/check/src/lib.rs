@@ -33,12 +33,14 @@
 //!
 //! [`IoTrace`]: amrio_disk::IoTrace
 
+#![forbid(unsafe_code)]
+
 pub mod conform;
 
 use amrio_disk::{IoEvent, Pfs};
 use amrio_simt::sync::Mutex;
 use amrio_simt::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -338,18 +340,19 @@ struct Inner {
     dropped: usize,
     /// Per-rank ring buffers of recent MPI/MPI-IO calls.
     ledgers: Vec<VecDeque<String>>,
-    /// Collective epochs awaiting descriptors from some ranks.
-    colls: HashMap<u64, CollSlot>,
+    /// Collective epochs awaiting descriptors from some ranks. Ordered
+    /// maps keep every drain/report deterministic across runs.
+    colls: BTreeMap<u64, CollSlot>,
     /// Outstanding sends: (src, dst, tag) -> byte counts, FIFO.
-    pending_sends: HashMap<(usize, usize, u32), VecDeque<u64>>,
+    pending_sends: BTreeMap<(usize, usize, u32), VecDeque<u64>>,
     /// Sync-epoch boundaries (barrier release times), ascending.
     boundaries: Vec<SimTime>,
     /// File systems whose traces we analyze incrementally.
     traced: Vec<TracedFs>,
     /// Collective-view collection points: (file, call#) -> per-rank regions.
-    views: HashMap<(usize, u64), ViewSlot>,
+    views: BTreeMap<(usize, u64), ViewSlot>,
     /// Next collective-write call number per (file, rank).
-    view_next: HashMap<(usize, usize), u64>,
+    view_next: BTreeMap<(usize, usize), u64>,
     /// Opt-in log of cross-checked collectives (rank 0's descriptor per
     /// epoch), for plan↔trace conformance.
     coll_log: Option<Vec<(u64, CollDesc)>>,
@@ -799,18 +802,16 @@ fn overlapping_pairs(ranges: &mut [AccessRange]) -> Vec<(AccessRange, AccessRang
 /// within each epoch. Pure function — usable directly over an
 /// [`amrio_disk::IoTrace`] too.
 pub fn scan_conflicts(events: &[IoEvent], boundaries: &[SimTime]) -> Vec<Violation> {
-    // Group by (file, epoch).
-    let mut groups: HashMap<(usize, usize), Vec<&IoEvent>> = HashMap::new();
+    // Group by (file, epoch); the ordered map makes the scan (and the
+    // order violations are reported in) deterministic by construction.
+    let mut groups: BTreeMap<(usize, usize), Vec<&IoEvent>> = BTreeMap::new();
     for e in events {
         let epoch = boundaries.partition_point(|b| *b <= e.start);
         groups.entry((e.file, epoch)).or_default().push(e);
     }
-    let mut keys: Vec<(usize, usize)> = groups.keys().copied().collect();
-    keys.sort_unstable();
     let mut out = Vec::new();
-    for key in keys {
-        let (file, epoch) = key;
-        scan_group(file, epoch, &groups[&key], &mut out);
+    for (&(file, epoch), group) in &groups {
+        scan_group(file, epoch, group, &mut out);
     }
     out
 }

@@ -127,6 +127,19 @@ pub struct RunOutcome {
     pub recovery: Option<RecoveryOutcome>,
 }
 
+/// A read-only snapshot of an [`Experiment`]'s statically-checkable
+/// configuration (see [`Experiment::static_inputs`]).
+pub struct StaticInputs<'a> {
+    pub platform: &'a Platform,
+    pub cfg: &'a SimConfig,
+    /// [`IoStrategy::name`] of the configured strategy.
+    pub strategy: &'static str,
+    pub faults: Option<Arc<FaultPlan>>,
+    pub retry: RetryPolicy,
+    pub cycles: u32,
+    pub dump_every: Option<u32>,
+}
+
 /// One configurable experiment run. See the module docs for the shape;
 /// [`Experiment::run`] executes init → refine → `cycles` evolve steps →
 /// timed checkpoint write → timed restart read → verification, with the
@@ -222,6 +235,24 @@ impl<'a> Experiment<'a> {
         assert!(k > 0, "dump interval must be positive");
         self.dump_every = Some(k);
         self
+    }
+
+    /// Everything a static analyzer needs to verify this experiment
+    /// without running it: the platform, problem, strategy name, and
+    /// the fault/retry/commit configuration in force. `amrio-verify`'s
+    /// `VerifyStatic` extension trait consumes this — the accessor
+    /// lives here because the experiment's fields are private by
+    /// design.
+    pub fn static_inputs(&self) -> StaticInputs<'a> {
+        StaticInputs {
+            platform: self.platform,
+            cfg: self.cfg,
+            strategy: self.strategy.name(),
+            faults: self.faults.clone(),
+            retry: self.retry.unwrap_or_default(),
+            cycles: self.cycles,
+            dump_every: self.dump_every,
+        }
     }
 
     /// Execute the run.

@@ -14,6 +14,8 @@
 //! println!("write {:.3}s read {:.3}s", report.write_time, report.read_time);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod evolve;
 pub mod ic;
@@ -24,7 +26,7 @@ pub mod sort;
 pub mod state;
 pub mod wire;
 
-pub use driver::{Experiment, RecoveryOutcome, RunOutcome, RunProbe, RunReport};
+pub use driver::{Experiment, RecoveryOutcome, RunOutcome, RunProbe, RunReport, StaticInputs};
 pub use io::{
     Hdf4Serial, Hdf5Parallel, IoStrategy, MdmsAdvised, MpiIoAppStriped, MpiIoMultiFile, MpiIoNaive,
     MpiIoOptimized, MpiIoWriteBehind,

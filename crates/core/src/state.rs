@@ -6,6 +6,7 @@ use amrio_amr::grid::GridMeta;
 use amrio_amr::solver;
 use amrio_amr::{BlockDecomp, CellBox, GridPatch, Hierarchy, ParticleSet};
 use amrio_mpi::Comm;
+use amrio_simt::digest::{fnv1a, FNV_OFFSET};
 
 /// The distributed root grid always has id 0.
 pub const TOP_GRID: u64 = 0;
@@ -176,22 +177,14 @@ impl SimState {
     }
 }
 
-fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
 fn patch_digest(p: &GridPatch) -> u64 {
-    let mut h = fnv1a(&p.id.to_le_bytes(), 0xcbf29ce484222325);
-    h = fnv1a(&[p.level], h);
+    let mut h = fnv1a(FNV_OFFSET, &p.id.to_le_bytes());
+    h = fnv1a(h, &[p.level]);
     for v in p.bbox.lo.iter().chain(p.bbox.hi.iter()) {
-        h = fnv1a(&v.to_le_bytes(), h);
+        h = fnv1a(h, &v.to_le_bytes());
     }
     for f in &p.fields {
-        h = fnv1a(&f.to_bytes(), h);
+        h = fnv1a(h, &f.to_bytes());
     }
     // Particle order is not semantically meaningful; digest in id order.
     let mut ps = p.particles.clone();
@@ -200,7 +193,7 @@ fn patch_digest(p: &GridPatch) -> u64 {
     for i in 0..ps.len() {
         crate::wire::push_particle(&mut rec, &ps, i);
     }
-    fnv1a(&rec, h)
+    fnv1a(h, &rec)
 }
 
 /// A deterministic digest of the *global* simulation content that is
@@ -241,11 +234,11 @@ pub fn global_digest(comm: &Comm, st: &SimState) -> u64 {
         })
         .collect();
     triples.sort_unstable();
-    let mut h = 0xcbf29ce484222325;
+    let mut h = FNV_OFFSET;
     for (id, key, d) in triples {
-        h = fnv1a(&id.to_le_bytes(), h);
-        h = fnv1a(&key.to_le_bytes(), h);
-        h = fnv1a(&d.to_le_bytes(), h);
+        h = fnv1a(h, &id.to_le_bytes());
+        h = fnv1a(h, &key.to_le_bytes());
+        h = fnv1a(h, &d.to_le_bytes());
     }
     h
 }

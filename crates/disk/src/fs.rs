@@ -934,14 +934,9 @@ impl Pfs {
     /// copy-ledger-free; used to prove two runs produced byte-identical
     /// checkpoints.
     pub fn image_digest(&self) -> u64 {
-        const PRIME: u64 = 0x100000001b3;
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut mix = |bytes: &[u8]| {
-            for b in bytes {
-                h ^= *b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
+        use amrio_simt::digest::{fnv1a, FNV_OFFSET};
+        let mut h: u64 = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| h = fnv1a(h, bytes);
         let mut names: Vec<(&String, &FileId)> = self.names.iter().collect();
         names.sort();
         for (path, id) in names {

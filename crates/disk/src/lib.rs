@@ -7,6 +7,8 @@
 //! models. All methods that touch shared state must be called from
 //! `amrio-simt` ordered sections.
 
+#![forbid(unsafe_code)]
+
 pub mod dev;
 pub mod fs;
 pub mod presets;

@@ -91,14 +91,9 @@ impl ExtentStore {
     /// every byte of `[0, len)` (holes digest as zeros, exactly as they
     /// read). Checkpoint manifests store this per file.
     pub fn digest(&self) -> u64 {
-        const PRIME: u64 = 0x100000001b3;
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut mix = |bytes: &[u8]| {
-            for b in bytes {
-                h ^= *b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
+        use amrio_simt::digest::{fnv1a, FNV_OFFSET};
+        let mut h: u64 = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| h = fnv1a(h, bytes);
         mix(&self.len.to_le_bytes());
         let mut off = 0u64;
         while off < self.len {

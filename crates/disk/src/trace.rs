@@ -116,10 +116,10 @@ impl TraceReport {
         if events.is_empty() {
             return r;
         }
-        use std::collections::HashMap;
-        let mut last_end: HashMap<(usize, usize), u64> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut last_end: BTreeMap<(usize, usize), u64> = BTreeMap::new();
         let mut sequential = 0u64;
-        let mut clients: std::collections::HashSet<usize> = Default::default();
+        let mut clients: std::collections::BTreeSet<usize> = Default::default();
         for e in events {
             clients.insert(e.client);
             if e.write {

@@ -23,6 +23,8 @@
 //! transient-error budgets are handed out in arrival order, which the
 //! engine already makes reproducible.
 
+#![forbid(unsafe_code)]
+
 use amrio_simt::{ClockHook, Rank, SimDur, SimTime};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

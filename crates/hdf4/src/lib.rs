@@ -22,6 +22,8 @@
 //! via single-rank `MpiIo` handles; HDF4 itself has no knowledge of MPI,
 //! matching the original library.
 
+#![forbid(unsafe_code)]
+
 use amrio_mpi::Comm;
 use amrio_mpiio::{Mode, MpiFile, MpiIo, NumType};
 

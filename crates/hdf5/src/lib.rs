@@ -24,6 +24,8 @@
 //! collective and deterministic, each rank maintains an identical catalog
 //! replica; only rank 0's metadata *writes* are priced.
 
+#![forbid(unsafe_code)]
+
 use amrio_mpi::Comm;
 use amrio_mpiio::{Datatype, Hints, Mode, MpiFile, MpiIo, NumType};
 use amrio_simt::SimDur;

@@ -22,6 +22,8 @@
 //! is queryable before the data is touched — is preserved; see
 //! DESIGN.md's substitution rule).
 
+#![forbid(unsafe_code)]
+
 use amrio_mpi::Comm;
 use amrio_mpiio::{Hints, Mode, MpiIo, NumType};
 use std::collections::BTreeMap;

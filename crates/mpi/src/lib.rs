@@ -16,6 +16,8 @@
 //! time. This keeps event counts low while remaining mechanistic about
 //! ports and latencies.
 
+#![forbid(unsafe_code)]
+
 pub mod coll;
 
 use amrio_check::{Checker, CollDesc};

@@ -11,6 +11,8 @@
 //!   [`MpiFile::read_all_view`]) with configurable aggregators and
 //!   stripe-aligned file domains.
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 pub mod datatype;
 pub mod file;

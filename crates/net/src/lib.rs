@@ -18,6 +18,8 @@
 //! [`Net::transfer`] from within `amrio-simt` ordered sections so requests
 //! arrive in nondecreasing virtual time and runs stay deterministic.
 
+#![forbid(unsafe_code)]
+
 use amrio_fault::FaultPlan;
 use amrio_simt::{SimDur, SimTime};
 use std::sync::Arc;

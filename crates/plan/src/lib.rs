@@ -24,6 +24,8 @@
 //! collective log ([`amrio_enzo::RunProbe`]), and any divergence from
 //! the static plan is reported as a hard error.
 
+#![forbid(unsafe_code)]
+
 use amrio_amr::{BlockDecomp, CellBox, Hierarchy};
 use amrio_check::conform::{CollExpect, Region};
 use amrio_disk::FsConfig;

@@ -19,24 +19,15 @@
 //! restarted incarnation begins at virtual time zero, like a fresh
 //! process inspecting the file system left behind by the crashed one.
 
+#![forbid(unsafe_code)]
+
 use amrio_disk::Pfs;
+use amrio_simt::digest::{fnv1a as fnv, FNV_OFFSET};
 use std::collections::BTreeMap;
 use std::fmt;
 
 const MAGIC: &[u8; 8] = b"AMRIOMAN";
 const VERSION: u32 = 1;
-
-/// FNV-1a over `bytes`, continuing from `h`.
-fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
-    const PRIME: u64 = 0x100000001b3;
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 
 /// Path of generation `g`'s manifest.
 pub fn manifest_path(generation: u32) -> String {

@@ -1,0 +1,66 @@
+//! The one FNV-1a implementation in the workspace.
+//!
+//! Checkpoint manifests ([`amrio-recover`]), file-system image digests
+//! and per-file content digests ([`amrio-disk`]), and the global
+//! simulation digest ([`amrio-enzo`]) all hash with 64-bit FNV-1a.
+//! They used to each carry a hand-rolled copy; the golden digests baked
+//! into tests and manifests depend on every copy agreeing, so the
+//! algorithm lives here once and call sites fold bytes through
+//! [`fnv1a`].
+
+/// FNV-1a 64-bit offset basis — the seed for a fresh digest.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Fold `bytes` into a running FNV-1a digest `h`.
+///
+/// Start from [`FNV_OFFSET`] and chain calls to digest a record
+/// incrementally; the result is identical to hashing the concatenated
+/// bytes in one call.
+#[inline]
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One-shot digest of `bytes` from the standard offset basis.
+#[inline]
+pub fn fnv1a_once(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a 64-bit test vectors (Noll's reference set).
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(fnv1a_once(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_once(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_once(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let whole = fnv1a_once(b"amrio checkpoint manifest");
+        let mut h = FNV_OFFSET;
+        h = fnv1a(h, b"amrio ");
+        h = fnv1a(h, b"checkpoint");
+        h = fnv1a(h, b" manifest");
+        assert_eq!(h, whole);
+        // Empty chunks are identity.
+        assert_eq!(fnv1a(h, b""), h);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(fnv1a_once(b"ab"), fnv1a_once(b"ba"));
+        assert_ne!(fnv1a(fnv1a_once(b"a"), b"b"), fnv1a(fnv1a_once(b"b"), b"a"));
+    }
+}

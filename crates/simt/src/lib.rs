@@ -17,7 +17,10 @@
 //! assert_eq!(report.makespan.0, 40_000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bytes;
+pub mod digest;
 pub mod engine;
 pub mod sync;
 pub mod time;

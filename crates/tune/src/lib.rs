@@ -21,7 +21,13 @@
 //!    write-behind staging) and returns the ranked [`TuneOutcome`]. The
 //!    winner ships as an [`amrio_mpiio::Advisory`] through
 //!    `Experiment::advisory(..)` — timing-only knobs, so tuned runs
-//!    stay byte-identical to untuned ones.
+//!    stay byte-identical to untuned ones. [`search_verified`] adds
+//!    static admission control: candidates `amrio-verify` refutes
+//!    (e.g. data sieving over interleaved independent writers) are
+//!    pruned before the cost model ever prices them, so a
+//!    fast-but-racing configuration can never win.
+
+#![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod diag;
@@ -31,7 +37,10 @@ pub mod search;
 pub use cost::{predict, predict_traced, PredictedCost, TuneConfig};
 pub use diag::{sort_diagnostics, Diagnostic, Severity, Span};
 pub use lint::{lint, lint_faults};
-pub use search::{candidate_space, search, Candidate, TuneOutcome, RANK_TOLERANCE};
+pub use search::{
+    candidate_space, search, search_verified, Candidate, PrunedCandidate, TuneOutcome,
+    VerifiedOutcome, RANK_TOLERANCE,
+};
 
 #[cfg(test)]
 mod tests {
@@ -308,6 +317,53 @@ mod tests {
             t.total_s(),
             a.total_s()
         );
+    }
+
+    #[test]
+    fn verified_search_prunes_racing_candidates_before_costing() {
+        let inp = input(4);
+        let plan = amrio_plan::plan(&inp, amrio_plan::Backend::MpiIo);
+        let fs = amrio_disk::presets::xfs_origin2000();
+        let net = amrio_net::NetConfig::ccnuma(4);
+        let v = search_verified(&plan, &fs, &net);
+
+        // The sieving-over-independent-writers candidate is refuted
+        // statically (its RMW windows cover foreign bytes) and must
+        // never reach the cost model.
+        let sieved = v
+            .pruned
+            .iter()
+            .find(|p| p.cfg.label == "indw+ds")
+            .expect("indw+ds must be pruned");
+        assert!(
+            sieved
+                .kinds
+                .contains(&amrio_verify::ViolationKind::SievingRmw),
+            "{:?}",
+            sieved.kinds
+        );
+        for p in &v.pruned {
+            assert!(!p.kinds.is_empty(), "pruning must carry a refutation");
+            assert!(
+                !v.outcome.candidates.iter().any(|c| c.cfg == p.cfg),
+                "{} both pruned and ranked",
+                p.cfg.label
+            );
+        }
+
+        // The admitted ranking matches the unverified search minus the
+        // pruned configurations — admission control only removes.
+        let plain = search(&plan, &fs, &net);
+        assert_eq!(
+            v.outcome.candidates.len() + v.pruned.len(),
+            plain.candidates.len()
+        );
+        assert_eq!(v.outcome.best().cfg, plain.best().cfg);
+        assert!(v
+            .outcome
+            .candidates
+            .iter()
+            .any(|c| c.cfg == TuneConfig::defaults()));
     }
 
     #[test]

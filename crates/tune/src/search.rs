@@ -13,6 +13,7 @@ use amrio_disk::FsConfig;
 use amrio_mpiio::Hints;
 use amrio_net::NetConfig;
 use amrio_plan::AccessPlan;
+use amrio_verify::{verify, Verdict, VerifyInput, ViolationKind};
 
 /// One priced candidate.
 #[derive(Clone, Debug)]
@@ -152,21 +153,84 @@ pub const RANK_TOLERANCE: f64 = 0.02;
 /// minimum re-rank simplest-first ([`TuneConfig::knobs`]); enumeration
 /// order breaks remaining ties, so the ROMIO defaults win a dead heat.
 pub fn search(plan: &AccessPlan, fs: &FsConfig, net: &NetConfig) -> TuneOutcome {
-    let mut candidates: Vec<Candidate> = candidate_space(plan.nranks)
+    rank(price(candidate_space(plan.nranks), plan, fs, net))
+}
+
+/// A candidate the static verifier refuted before it was ever costed.
+#[derive(Clone, Debug)]
+pub struct PrunedCandidate {
+    pub cfg: TuneConfig,
+    /// The violation kinds that refuted it (e.g. `SievingRmw` for data
+    /// sieving over interleaved independent writers).
+    pub kinds: Vec<ViolationKind>,
+}
+
+/// Result of [`search_verified`]: the ranked verified candidates plus
+/// everything the static verifier refused to cost.
+#[derive(Clone, Debug)]
+pub struct VerifiedOutcome {
+    pub outcome: TuneOutcome,
+    pub pruned: Vec<PrunedCandidate>,
+}
+
+/// [`search`] with static admission control: every candidate's hints
+/// are run through `amrio-verify`'s happens-before analysis against the
+/// plan first, and candidates whose verdict is `Violation` (a cheap
+/// configuration that would *race* — data sieving over interleaved
+/// independent writers being the canonical case) are pruned before the
+/// cost model ever prices them. A fast-but-unsafe candidate can
+/// therefore never win the search. Candidates that merely verify
+/// `Unknown` are kept — unprovable is not refuted.
+///
+/// If the plan itself is structurally broken (schedule divergence, a
+/// commit-protocol violation), every candidate inherits the refutation
+/// and the outcome's candidate list is empty — callers gate on that.
+pub fn search_verified(plan: &AccessPlan, fs: &FsConfig, net: &NetConfig) -> VerifiedOutcome {
+    let mut pruned = Vec::new();
+    let mut admitted = Vec::new();
+    for cfg in candidate_space(plan.nranks) {
+        let report = verify(&VerifyInput::plain(plan, &cfg.hints, fs));
+        if report.verdict() == Verdict::Violation {
+            pruned.push(PrunedCandidate {
+                kinds: report.kinds().into_iter().collect(),
+                cfg,
+            });
+        } else {
+            admitted.push(cfg);
+        }
+    }
+    VerifiedOutcome {
+        outcome: rank(price(admitted, plan, fs, net)),
+        pruned,
+    }
+}
+
+fn price(
+    space: Vec<TuneConfig>,
+    plan: &AccessPlan,
+    fs: &FsConfig,
+    net: &NetConfig,
+) -> Vec<Candidate> {
+    space
         .into_iter()
         .map(|cfg| {
             let cost = predict(plan, fs, net, &cfg);
             Candidate { cfg, cost }
         })
-        .collect();
+        .collect()
+}
+
+fn rank(mut candidates: Vec<Candidate>) -> TuneOutcome {
     candidates.sort_by(|a, b| {
         a.cost
             .total_s()
             .partial_cmp(&b.cost.total_s())
             .expect("predicted costs are finite")
     });
-    let cutoff = candidates[0].cost.total_s() * (1.0 + RANK_TOLERANCE);
-    let band = candidates.partition_point(|c| c.cost.total_s() <= cutoff);
-    candidates[..band].sort_by_key(|c| c.cfg.knobs());
+    if let Some(first) = candidates.first() {
+        let cutoff = first.cost.total_s() * (1.0 + RANK_TOLERANCE);
+        let band = candidates.partition_point(|c| c.cost.total_s() <= cutoff);
+        candidates[..band].sort_by_key(|c| c.cfg.knobs());
+    }
     TuneOutcome { candidates }
 }

@@ -1,0 +1,192 @@
+//! The *effective* byte accesses a plan performs, after the MPI-IO
+//! hint machinery has transformed the application's requests.
+//!
+//! Both sides of the differential gate consume this: the static race
+//! classifier ([`crate::races`]) classifies these accesses with vector
+//! clocks, and the replay oracle ([`crate::replay`]) materializes them
+//! as trace events for the real runtime checker. Sharing the
+//! transformation (and nothing else) is what makes "zero false
+//! negatives" a property of the *analysis* rather than of two
+//! accidentally-agreeing footprint models.
+//!
+//! Transformations modeled:
+//!
+//! * `Writers::Partition` datasets (post-sort particle blocks) have
+//!   data-dependent cut points; any contiguous partition of the extent
+//!   is cross-rank disjoint, so they are materialized as the canonical
+//!   even split — the same synthesis `amrio-tune`'s lints use.
+//! * Data sieving (`ds_write` on a dataset written *independently*,
+//!   i.e. non-collective or with collective buffering disabled) turns a
+//!   rank's noncontiguous regions into one read-modify-write of the
+//!   covering window — the ROMIO behavior §5.2 of the paper warns
+//!   about. The window is the access that races, not the regions.
+//! * Restart reads have no static rank attribution (any rank may
+//!   service them), so they are assigned round-robin; the classifier
+//!   and the oracle use the same assignment.
+
+use amrio_mpiio::Hints;
+use amrio_plan::{AccessPlan, Writers};
+
+/// What kind of effective access this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A plain dataset payload write.
+    Data,
+    /// A metadata write (header, superblock, catalog, attribute).
+    Meta,
+    /// A data-sieving read-modify-write window: the rank reads the
+    /// whole window, modifies its pieces, and writes the window back.
+    RmwWindow,
+}
+
+/// One effective write access.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteAccess {
+    pub rank: usize,
+    /// Index into `plan.files`.
+    pub file: usize,
+    pub offset: u64,
+    pub len: u64,
+    pub kind: AccessKind,
+}
+
+/// One effective restart read.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadAccess {
+    /// Synthetic round-robin servicing rank.
+    pub rank: usize,
+    pub file: usize,
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// The canonical contiguous partition of `(start, len)` across
+/// `nranks`: `len / n` bytes each, the first `len % n` ranks one byte
+/// more. Disjoint and exactly covering by construction.
+pub fn partition_split(start: u64, len: u64, nranks: usize) -> Vec<(usize, u64, u64)> {
+    let p = nranks as u64;
+    let chunk = len / p;
+    let rem = len % p;
+    let mut cur = start;
+    let mut out = Vec::new();
+    for r in 0..nranks {
+        let l = chunk + u64::from((r as u64) < rem);
+        if l > 0 {
+            out.push((r, cur, l));
+            cur += l;
+        }
+    }
+    out
+}
+
+/// A dataset is written *independently* (each rank issues its own
+/// requests, no two-phase aggregation) when it is not collective or
+/// collective buffering is off — the precondition for data sieving to
+/// engage on the write path.
+pub fn independent(collective: bool, hints: &Hints) -> bool {
+    !collective || !hints.cb_write
+}
+
+/// All effective accesses of `plan` under `hints`, write phase and
+/// read phase.
+pub fn effective(plan: &AccessPlan, hints: &Hints) -> (Vec<WriteAccess>, Vec<ReadAccess>) {
+    let mut writes = Vec::new();
+    let mut reads = Vec::new();
+    for (fi, file) in plan.files.iter().enumerate() {
+        for &(rank, offset, len) in &file.meta_writes {
+            if len > 0 {
+                writes.push(WriteAccess {
+                    rank,
+                    file: fi,
+                    offset,
+                    len,
+                    kind: AccessKind::Meta,
+                });
+            }
+        }
+        for ds in &file.datasets {
+            match &ds.writers {
+                Writers::Ranks(rs) => {
+                    let sieving = hints.ds_write && independent(ds.collective, hints);
+                    for rr in rs {
+                        if sieving && rr.regions.len() >= 2 {
+                            // The rank's noncontiguous pieces collapse
+                            // into one RMW of the covering window.
+                            let lo = rr.regions.iter().map(|&(o, _)| o).min().unwrap();
+                            let hi = rr.regions.iter().map(|&(o, l)| o + l).max().unwrap();
+                            writes.push(WriteAccess {
+                                rank: rr.rank,
+                                file: fi,
+                                offset: lo,
+                                len: hi - lo,
+                                kind: AccessKind::RmwWindow,
+                            });
+                        } else {
+                            for &(offset, len) in &rr.regions {
+                                if len > 0 {
+                                    writes.push(WriteAccess {
+                                        rank: rr.rank,
+                                        file: fi,
+                                        offset,
+                                        len,
+                                        kind: AccessKind::Data,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Writers::Partition => {
+                    for (rank, offset, len) in partition_split(ds.start, ds.len, plan.nranks) {
+                        writes.push(WriteAccess {
+                            rank,
+                            file: fi,
+                            offset,
+                            len,
+                            kind: AccessKind::Data,
+                        });
+                    }
+                }
+            }
+        }
+        for (i, &(offset, len)) in file.reads.iter().enumerate() {
+            if len > 0 {
+                reads.push(ReadAccess {
+                    rank: i % plan.nranks,
+                    file: fi,
+                    offset,
+                    len,
+                });
+            }
+        }
+    }
+    (writes, reads)
+}
+
+pub fn overlap(a_off: u64, a_len: u64, b_off: u64, b_len: u64) -> bool {
+    a_off < b_off + b_len && b_off < a_off + a_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_split_is_disjoint_and_covering() {
+        let parts = partition_split(100, 10, 4);
+        assert_eq!(parts.len(), 4);
+        let total: u64 = parts.iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, 10);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].1 + w[0].2, w[1].1, "contiguous, no overlap");
+        }
+        assert_eq!(parts[0], (0, 100, 3));
+        assert_eq!(parts[3], (3, 108, 2));
+    }
+
+    #[test]
+    fn partition_split_fewer_bytes_than_ranks() {
+        let parts = partition_split(0, 2, 4);
+        assert_eq!(parts.len(), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Static verification of the crash-commit protocol.
+//!
+//! The driver's generational protocol (see `amrio-enzo::driver` and
+//! DESIGN §5i) is: all ranks write generation `g`'s data, a timed
+//! barrier closes the write, *then* rank 0 captures and publishes the
+//! self-checksummed manifest in a single request, then a final barrier.
+//! Two structural facts make it crash-consistent, and both are checked
+//! here against a [`CommitSpec`] describing the protocol actually in
+//! force (mutations flip the fields):
+//!
+//! 1. **Ordering** — every data write happens-before the manifest
+//!    publish. Statically this is the same clock-domination proof as
+//!    the write→read ordering: the write phase must end in a barrier
+//!    all ranks reach, and the manifest must be published after it.
+//!    If not, a crash can land a *visible* manifest over incomplete
+//!    data: [`StaticViolation::CommitNotOrdered`].
+//! 2. **Atomic visibility** — the manifest is self-checksummed, so a
+//!    torn manifest write is indistinguishable from no manifest. If
+//!    the checksum is stripped while a crash is armed, a cut mid-write
+//!    can decode as a committed generation:
+//!    [`StaticViolation::UncommittedExposure`].
+//!
+//! With an intact protocol, an armed `Crash(at)` can *never* expose an
+//! uncommitted generation — but it may still fire before any
+//! generation can possibly commit. The plan's virtual-time lower bound
+//! for one dump is `payload bytes / aggregate disk bandwidth`; a crash
+//! armed earlier than that means no durable progress is provable, which
+//! downgrades the verdict to [`UnknownReason::CrashBeforeFirstCommit`]
+//! (the run is safe — recovery restarts from scratch — just not
+//! provably productive).
+
+use crate::accesses;
+use crate::clock::ScheduleAnalysis;
+use crate::{StaticViolation, UnknownReason};
+use amrio_disk::FsConfig;
+use amrio_fault::FaultPlan;
+use amrio_plan::AccessPlan;
+
+/// The commit protocol under verification. The default is the
+/// protocol the driver actually implements; mutations flip fields.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitSpec {
+    /// The manifest is published after the barrier that closes the
+    /// generation's data writes.
+    pub manifest_after_data_barrier: bool,
+    /// The manifest carries a self-checksum (torn writes are invisible).
+    pub manifest_checksummed: bool,
+}
+
+impl Default for CommitSpec {
+    fn default() -> CommitSpec {
+        CommitSpec {
+            manifest_after_data_barrier: true,
+            manifest_checksummed: true,
+        }
+    }
+}
+
+/// Earliest virtual time (seconds) at which one generation's payload
+/// could possibly be durable: aggregate-bandwidth transfer time of the
+/// planned payload bytes.
+pub fn commit_floor_s(plan: &AccessPlan, fs: &FsConfig) -> f64 {
+    let (writes, _) = accesses::effective(plan, &amrio_mpiio::Hints::default());
+    let bytes: u64 = writes.iter().map(|w| w.len).sum();
+    bytes as f64 / (fs.disk.bandwidth * fs.nservers as f64)
+}
+
+/// Verify the commit protocol of `plan` under `spec`, with `faults`
+/// supplying the armed crash (if any).
+pub fn check(
+    plan: &AccessPlan,
+    fs: &FsConfig,
+    spec: &CommitSpec,
+    faults: Option<&FaultPlan>,
+    sched: &ScheduleAnalysis,
+) -> (Vec<StaticViolation>, Vec<UnknownReason>) {
+    let mut violations = Vec::new();
+    let mut unknowns = Vec::new();
+
+    // (1) data writes happen-before manifest publish. The write phase's
+    // trailing barrier is the ordering edge; the spec says whether the
+    // publish is sequenced after it.
+    let ordered = spec.manifest_after_data_barrier && sched.write_read_ordered;
+    if !ordered {
+        let why = if !spec.manifest_after_data_barrier {
+            "manifest publish is not sequenced after the data-write barrier".to_string()
+        } else {
+            "the write phase does not end in a barrier every rank reaches, so no data \
+             write provably happens-before the manifest publish"
+                .to_string()
+        };
+        violations.push(StaticViolation::CommitNotOrdered { generation: 0, why });
+    }
+
+    let crash_at = faults.and_then(|f| f.crash_at());
+    if let Some(at) = crash_at {
+        let crash_s = at.0 as f64 / 1.0e9;
+        // (2) atomic visibility under a crash.
+        if !spec.manifest_checksummed {
+            violations.push(StaticViolation::UncommittedExposure {
+                generation: 0,
+                crash_s,
+                why: "the manifest has no self-checksum: a crash cutting the manifest \
+                      write can decode as a committed generation"
+                    .to_string(),
+            });
+        }
+        if !ordered {
+            violations.push(StaticViolation::UncommittedExposure {
+                generation: 0,
+                crash_s,
+                why: "the manifest can become visible before the generation's data is \
+                      complete, so a crash in between exposes an uncommitted generation"
+                    .to_string(),
+            });
+        }
+        // (3) progress bound: a crash provably earlier than any possible
+        // commit means recovery restarts from scratch. Safe, but the
+        // run's durability cannot be proven — typed Unknown.
+        if ordered && spec.manifest_checksummed {
+            let floor_s = commit_floor_s(plan, fs);
+            if crash_s < floor_s {
+                unknowns.push(UnknownReason::CrashBeforeFirstCommit { crash_s, floor_s });
+            }
+        }
+    }
+
+    (violations, unknowns)
+}

@@ -1,0 +1,93 @@
+//! Folding the fault plan into the verdict.
+//!
+//! Faults do not create new races — they remove liveness guarantees.
+//! A plan proved race-free stays race-free under injected faults, but
+//! "the run completes and commits" stops being provable when the
+//! static retry/failover budget cannot absorb what the fault plan is
+//! armed to inject. Those downgrades are *typed unknowns*, never
+//! violations: the run may well succeed (transient budgets spread over
+//! many ops, failures may strike servers the plan never touches after
+//! failover), but the static model cannot prove it.
+
+use crate::UnknownReason;
+use amrio_fault::{FaultPlan, RetryPolicy};
+
+/// Compute the verdict downgrades `faults` forces under `retry`.
+pub fn fold(faults: Option<&FaultPlan>, retry: &RetryPolicy) -> Vec<UnknownReason> {
+    let mut out = Vec::new();
+    let Some(plan) = faults else {
+        return out;
+    };
+
+    // A permanent server failure with failover disabled: every op that
+    // maps a piece onto the dead server fails all its retries.
+    let failed = plan.failure_servers();
+    if !failed.is_empty() && !retry.failover {
+        out.push(UnknownReason::FailoverStripped { servers: failed });
+    }
+
+    // A transient budget exceeding the per-op retry budget: one op can
+    // absorb at most `max_retries` consecutive transient errors.
+    for server in plan.server_targets() {
+        let budget = plan.transient_budget(server);
+        if budget > retry.max_retries as u64 {
+            out.push(UnknownReason::RetryBudgetExceeded {
+                server,
+                budget,
+                max_retries: retry.max_retries,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amrio_fault::window_secs;
+    use amrio_simt::SimTime;
+
+    #[test]
+    fn no_faults_no_unknowns() {
+        assert!(fold(None, &RetryPolicy::default()).is_empty());
+        let benign = FaultPlan::new().with_server_slowdown(0, window_secs(0.0, 1.0), 2.0);
+        assert!(fold(Some(&benign), &RetryPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn failure_without_failover_downgrades() {
+        let plan = FaultPlan::new().with_server_failure(1, SimTime(0));
+        let ok = RetryPolicy::default();
+        assert!(ok.failover, "default policy fails over");
+        assert!(fold(Some(&plan), &ok).is_empty());
+        let stripped = RetryPolicy {
+            failover: false,
+            ..RetryPolicy::default()
+        };
+        let reasons = fold(Some(&plan), &stripped);
+        assert!(matches!(
+            reasons[0],
+            UnknownReason::FailoverStripped { ref servers } if servers == &vec![1]
+        ));
+    }
+
+    #[test]
+    fn transient_budget_over_retries_downgrades() {
+        let policy = RetryPolicy::default();
+        let within = FaultPlan::new().with_transient_errors(
+            0,
+            window_secs(0.0, 10.0),
+            policy.max_retries as u64,
+        );
+        assert!(fold(Some(&within), &policy).is_empty());
+        let over = FaultPlan::new().with_transient_errors(
+            0,
+            window_secs(0.0, 10.0),
+            policy.max_retries as u64 + 1,
+        );
+        assert!(matches!(
+            fold(Some(&over), &policy)[0],
+            UnknownReason::RetryBudgetExceeded { server: 0, .. }
+        ));
+    }
+}

@@ -23,6 +23,9 @@ cargo run --release --example plan_report
 echo "== tune smoke (zero Error lints on presets; advisory beats every preset)"
 cargo run --release -q -p amrio-bench --bin tune -- --smoke
 
+echo "== verify smoke (static happens-before verdicts vs runtime checker, zero false negatives)"
+cargo run --release -q -p amrio-bench --bin verify -- --smoke
+
 echo "== resilience fault-matrix smoke (fault injection + graceful degradation)"
 cargo run --release -q -p amrio-bench --bin resilience -- --smoke
 

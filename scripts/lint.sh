@@ -10,4 +10,32 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== nondeterminism lint (ordered containers at order-sensitive sites)"
+# Modules whose outputs (reports, plans, verdicts, wire images) must be
+# byte-stable across runs may not iterate unordered containers. Escape
+# hatch: annotate the line with `// nondet: allow (reason)`.
+nondet_scope=(
+  crates/check/src
+  crates/plan/src
+  crates/recover/src
+  crates/tune/src
+  crates/verify/src
+  crates/disk/src/trace.rs
+  crates/core/src/state.rs
+  crates/core/src/wire.rs
+)
+if grep -RnE 'Hash(Map|Set)' "${nondet_scope[@]}" | grep -v 'nondet: allow'; then
+  echo "nondet lint: unordered container in an order-sensitive module"
+  echo "  (use BTreeMap/BTreeSet, or annotate the line: // nondet: allow (reason))"
+  exit 1
+fi
+
+echo "== unsafe-code lint (every crate root must forbid it)"
+for root in src/lib.rs crates/*/src/lib.rs; do
+  if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+    echo "unsafe lint: $root is missing #![forbid(unsafe_code)]"
+    exit 1
+  fi
+done
+
 echo "lint: OK"

@@ -6,6 +6,8 @@
 //! application-level entry points. The `examples/` directory shows the
 //! intended usage; `tests/` holds the cross-crate integration suite.
 
+#![forbid(unsafe_code)]
+
 pub use amrio_amr as amr;
 pub use amrio_check as check;
 pub use amrio_disk as disk;
@@ -21,3 +23,4 @@ pub use amrio_plan as plan;
 pub use amrio_recover as recover;
 pub use amrio_simt as simt;
 pub use amrio_tune as tune;
+pub use amrio_verify as verify;
