@@ -2,21 +2,28 @@
 //!
 //! Unlike every other `amrio-bench` binary (which reports *virtual*
 //! seconds), this one measures the **host**: how long the simulator
-//! itself takes to run a checkpoint/restart cell, and how many bytes
-//! the data path memcpy'd while doing it (the `amrio-simt` copy
-//! ledger). It pins the perf trajectory of the zero-copy data path:
-//! `scripts/bench.sh` runs the full matrix and `scripts/ci.sh` runs
-//! `--smoke` and fails on a >25% wall-clock regression against the
-//! committed `BENCH_selfbench.json` baseline.
+//! itself takes to run a checkpoint/restart cell, how many bytes the
+//! data path memcpy'd while doing it (the `amrio-simt` copy ledger),
+//! and how hard the virtual-time scheduler worked (wakeups, grant
+//! handoffs, index updates, lock acquisitions). Each cell runs `REPS`
+//! times and reports the median wall-clock (plus the min) so a single
+//! noisy rep can't fake a regression. `scripts/bench.sh` runs the full
+//! matrix and `scripts/ci.sh` runs `--smoke` (fails on a >25%
+//! wall-clock regression against the committed `BENCH_selfbench.json`
+//! baseline) and `--scale-smoke` (one 256-rank checkpoint cell against
+//! a generous absolute budget, guarding the indexed executor's
+//! high-rank-count scaling).
 //!
 //! Matrix: three backends (hdf4-serial, mpiio-optimized, hdf5-parallel)
 //! × small/large problem × 4/16 ranks × strict-checker on/off, all on
-//! the IBM SP-2/GPFS platform model. The smoke subset is the three
-//! small/4-rank/checker-off cells.
+//! the IBM SP-2/GPFS platform model, plus a rank sweep (4→1024 ranks,
+//! mpiio-optimized, small problem) that pins executor scaling. The
+//! smoke subset is the three small/4-rank/checker-off cells.
 //!
-//! Usage: `selfbench [--smoke] [--out PATH] [--embed-before PATH]`
-//! `--embed-before` splices a previous run's JSON verbatim under the
-//! `"before"` key, so the committed file carries the before/after pair.
+//! Usage: `selfbench [--smoke | --scale-smoke] [--out PATH]
+//! [--embed-before PATH]`. `--embed-before` splices a previous run's
+//! JSON verbatim under the `"before"` key, so the committed file
+//! carries the before/after pair.
 
 use amrio_bench::{crash_sweep, default_cfg, EVOLVE_CYCLES};
 use amrio_check::CheckMode;
@@ -30,6 +37,16 @@ use amrio_tune::search;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Wall-clock repetitions per cell; the median is the headline number.
+const REPS: usize = 3;
+
+/// Absolute wall-clock budget for the `--scale-smoke` 256-rank cell.
+/// Deliberately ~10x the measured median on the CI host: this gate
+/// exists to catch the executor falling off a scaling cliff (e.g. a
+/// return to O(nranks) scans or broadcast wakeup storms), not to police
+/// noise.
+const SCALE_SMOKE_BUDGET_MS: f64 = 20_000.0;
+
 struct CellResult {
     backend: &'static str,
     problem: &'static str,
@@ -38,6 +55,7 @@ struct CellResult {
     checker: &'static str,
     smoke: bool,
     wall_ms: f64,
+    wall_ms_min: f64,
     copied_bytes: u64,
     report: RunReport,
 }
@@ -48,6 +66,17 @@ fn strategy_for(name: &str) -> Box<dyn IoStrategy> {
         "mpiio-optimized" => Box::new(MpiIoOptimized),
         "hdf5-parallel" => Box::new(Hdf5Parallel::default()),
         other => panic!("unknown backend {other}"),
+    }
+}
+
+/// Median of a small sample (averages the middle pair for even n).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
     }
 }
 
@@ -62,19 +91,33 @@ fn run_cell(
     let platform = Platform::ibm_sp2(nranks);
     let cfg = default_cfg(ProblemSize::Custom(root_n), nranks);
     let strategy = strategy_for(backend);
-    reset_copied_bytes();
-    let t0 = Instant::now();
-    let mut exp = Experiment::new(&platform, &cfg, &*strategy).cycles(EVOLVE_CYCLES);
-    if strict {
-        exp = exp.check(CheckMode::Strict);
+    let mut walls = Vec::with_capacity(REPS);
+    let mut last: Option<(u64, RunReport)> = None;
+    for _ in 0..REPS {
+        reset_copied_bytes();
+        let t0 = Instant::now();
+        let mut exp = Experiment::new(&platform, &cfg, &*strategy).cycles(EVOLVE_CYCLES);
+        if strict {
+            exp = exp.check(CheckMode::Strict);
+        }
+        let report = exp.run().report;
+        walls.push(t0.elapsed().as_secs_f64() * 1e3);
+        let copied = copied_bytes();
+        assert!(
+            report.verified,
+            "{backend} {problem} x{nranks} failed restart verification"
+        );
+        if let Some((prev_copied, prev)) = &last {
+            assert_eq!(
+                (*prev_copied, prev.image_digest),
+                (copied, report.image_digest),
+                "{backend} {problem} x{nranks}: reps diverged"
+            );
+        }
+        last = Some((copied, report));
     }
-    let report = exp.run().report;
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let copied = copied_bytes();
-    assert!(
-        report.verified,
-        "{backend} {problem} x{nranks} failed restart verification"
-    );
+    let (copied, report) = last.expect("REPS >= 1");
+    let wall_ms_min = walls.iter().copied().fold(f64::INFINITY, f64::min);
     CellResult {
         backend,
         problem,
@@ -82,10 +125,76 @@ fn run_cell(
         nranks,
         checker: if strict { "strict" } else { "off" },
         smoke,
-        wall_ms,
+        wall_ms: median(&mut walls),
+        wall_ms_min,
         copied_bytes: copied,
         report,
     }
+}
+
+/// Executor scaling sweep: one checkpoint/restart cell per rank count,
+/// mpiio-optimized on the small problem with the checker off, so the
+/// wall-clock trend isolates the scheduler (grant lookups, wakeups)
+/// rather than the data path. Skipped under `--smoke`.
+const SWEEP_RANKS: [usize; 5] = [4, 16, 64, 256, 1024];
+
+fn rank_sweep() -> Vec<CellResult> {
+    SWEEP_RANKS
+        .iter()
+        .map(|&nranks| run_cell("mpiio-optimized", "small", 16, nranks, false, false))
+        .collect()
+}
+
+/// Append one cell object (shared by `"cells"` and `"rank_sweep"`).
+fn write_cell_json(j: &mut String, c: &CellResult) {
+    let r = &c.report;
+    let s = &r.sched;
+    let _ = write!(
+        j,
+        "    {{\"backend\": \"{}\", \"problem\": \"{}\", \"root_n\": {}, \"nranks\": {}, \
+         \"checker\": \"{}\", \"smoke\": {}, \"wall_ms\": {:.3}, \"wall_ms_min\": {:.3}, \
+         \"copied_bytes\": {}, \"bytes_written\": {}, \"bytes_read\": {}, \"write_s\": {:.6}, \
+         \"read_s\": {:.6}, \"verified\": {}, \"image_digest\": \"{:#018x}\", \
+         \"ordered_ops\": {}, \"sched\": {{\"wakeups\": {}, \"handoffs\": {}, \
+         \"index_updates\": {}, \"lock_acquisitions\": {}}}}}",
+        c.backend,
+        c.problem,
+        c.root_n,
+        c.nranks,
+        c.checker,
+        c.smoke,
+        c.wall_ms,
+        c.wall_ms_min,
+        c.copied_bytes,
+        r.bytes_written,
+        r.bytes_read,
+        r.write_time,
+        r.read_time,
+        r.verified,
+        r.image_digest,
+        r.ordered_ops,
+        s.wakeups,
+        s.handoffs,
+        s.index_updates,
+        s.lock_acquisitions
+    );
+}
+
+fn eprint_cell(c: &CellResult) {
+    eprintln!(
+        "{:<16} {:<5} x{:<4} checker={:<6} {:>9.1} ms (min {:>8.1})  {:>12} B copied  \
+         {:>8} ordered  {:>8} wakeups  digest {:#018x}",
+        c.backend,
+        c.problem,
+        c.nranks,
+        c.checker,
+        c.wall_ms,
+        c.wall_ms_min,
+        c.copied_bytes,
+        c.report.ordered_ops,
+        c.report.sched.wakeups,
+        c.report.image_digest
+    );
 }
 
 /// Host-side cost of the static tuner on the smoke cell: how long the
@@ -266,18 +375,44 @@ fn crash_summary() -> CrashSummary {
     }
 }
 
+/// `--scale-smoke`: one 256-rank checkpoint cell against an absolute
+/// budget. A scheduler regression that turns grant lookup back into an
+/// O(nranks) scan (or wakeups back into broadcasts) blows the budget
+/// immediately at this rank count; honest noise does not.
+fn scale_smoke() {
+    let c = run_cell("mpiio-optimized", "small", 16, 256, false, false);
+    eprint_cell(&c);
+    eprintln!(
+        "scale-smoke: 256-rank cell median {:.1} ms (budget {:.0} ms)",
+        c.wall_ms, SCALE_SMOKE_BUDGET_MS
+    );
+    assert!(
+        c.wall_ms <= SCALE_SMOKE_BUDGET_MS,
+        "scale smoke failed: 256-rank cell took {:.1} ms, budget {:.0} ms",
+        c.wall_ms,
+        SCALE_SMOKE_BUDGET_MS
+    );
+}
+
 fn main() {
     let mut smoke_only = false;
+    let mut scale_only = false;
     let mut out_path = String::from("BENCH_selfbench.json");
     let mut embed_before: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke_only = true,
+            "--scale-smoke" => scale_only = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--embed-before" => embed_before = Some(args.next().expect("--embed-before needs a path")),
-            other => panic!("unknown argument {other} (usage: selfbench [--smoke] [--out PATH] [--embed-before PATH])"),
+            other => panic!("unknown argument {other} (usage: selfbench [--smoke | --scale-smoke] [--out PATH] [--embed-before PATH])"),
         }
+    }
+
+    if scale_only {
+        scale_smoke();
+        return;
     }
 
     const BACKENDS: [&str; 3] = ["hdf4-serial", "mpiio-optimized", "hdf5-parallel"];
@@ -294,11 +429,7 @@ fn main() {
                         continue;
                     }
                     let c = run_cell(backend, problem, root_n, nranks, strict, smoke);
-                    eprintln!(
-                        "{:<16} {:<5} x{:<2} checker={:<6} {:>9.1} ms  {:>12} B copied  digest {:#018x}",
-                        c.backend, c.problem, c.nranks, c.checker, c.wall_ms, c.copied_bytes,
-                        c.report.image_digest
-                    );
+                    eprint_cell(&c);
                     cells.push(c);
                 }
             }
@@ -308,37 +439,30 @@ fn main() {
     let smoke_total: f64 = cells.iter().filter(|c| c.smoke).map(|c| c.wall_ms).sum();
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"amrio-selfbench-v1\",\n");
+    j.push_str("  \"schema\": \"amrio-selfbench-v2\",\n");
     j.push_str("  \"platform\": \"ibm_sp2\",\n");
     let _ = writeln!(j, "  \"evolve_cycles\": {EVOLVE_CYCLES},");
+    let _ = writeln!(j, "  \"reps\": {REPS},");
     let _ = writeln!(j, "  \"smoke_total_wall_ms\": {smoke_total:.3},");
     j.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
-        let r = &c.report;
-        let _ = write!(
-            j,
-            "    {{\"backend\": \"{}\", \"problem\": \"{}\", \"root_n\": {}, \"nranks\": {}, \
-             \"checker\": \"{}\", \"smoke\": {}, \"wall_ms\": {:.3}, \"copied_bytes\": {}, \
-             \"bytes_written\": {}, \"bytes_read\": {}, \"write_s\": {:.6}, \"read_s\": {:.6}, \
-             \"verified\": {}, \"image_digest\": \"{:#018x}\"}}",
-            c.backend,
-            c.problem,
-            c.root_n,
-            c.nranks,
-            c.checker,
-            c.smoke,
-            c.wall_ms,
-            c.copied_bytes,
-            r.bytes_written,
-            r.bytes_read,
-            r.write_time,
-            r.read_time,
-            r.verified,
-            r.image_digest
-        );
+        write_cell_json(&mut j, c);
         j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
     j.push_str("  ],\n");
+
+    if !smoke_only {
+        let sweep = rank_sweep();
+        for c in &sweep {
+            eprint_cell(c);
+        }
+        j.push_str("  \"rank_sweep\": [\n");
+        for (i, c) in sweep.iter().enumerate() {
+            write_cell_json(&mut j, c);
+            j.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("  ],\n");
+    }
 
     let t = tune_summary();
     eprintln!(

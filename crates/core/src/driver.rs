@@ -27,7 +27,7 @@ use amrio_mpi::{Comm, World};
 use amrio_mpiio::{Advisory, Mode, MpiIo};
 use amrio_recover::{manifest_path, Manifest};
 use amrio_simt::sync::Mutex;
-use amrio_simt::SimDur;
+use amrio_simt::{SchedStats, SimDur};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -58,6 +58,13 @@ pub struct RunReport {
     /// Recovery actions the I/O stack took under fault injection
     /// (all-zero when no fault plan was attached).
     pub resilience: ResilienceReport,
+    /// Engine ordered sections executed — a proxy for the simulation's
+    /// event count (for a crash-recovered run: the final incarnation).
+    pub ordered_ops: u64,
+    /// Host-side scheduler contention counters (wakeups, grant
+    /// handoffs, index updates, lock acquisitions) — wall-clock
+    /// diagnostics; virtual times are independent of them.
+    pub sched: SchedStats,
 }
 
 /// Barrier-bracketed timing: all ranks enter and leave together, so the
@@ -346,6 +353,8 @@ impl<'a> Experiment<'a> {
         });
 
         let makespan = report.makespan;
+        let ordered_ops = report.ordered_ops;
+        let sched = report.sched;
         let (wt, rt, verified, hierarchy, time, cycle, write_epochs, read_epochs) = report
             .results
             .into_iter()
@@ -392,6 +401,8 @@ impl<'a> Experiment<'a> {
                 makespan: makespan.as_secs_f64(),
                 image_digest,
                 resilience,
+                ordered_ops,
+                sched,
             },
             check,
             probe,
@@ -598,6 +609,8 @@ impl<'a> Experiment<'a> {
         };
 
         let makespan = report.makespan;
+        let ordered_ops = report.ordered_ops;
+        let sched = report.sched;
         let (wt, rt, verified, hierarchy, time, cycle, write_epochs, read_epochs, resume_verified) =
             report
                 .results
@@ -658,6 +671,8 @@ impl<'a> Experiment<'a> {
                 makespan: makespan.as_secs_f64(),
                 image_digest,
                 resilience,
+                ordered_ops,
+                sched,
             },
             check,
             probe,

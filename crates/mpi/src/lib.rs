@@ -190,19 +190,13 @@ impl World {
         };
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(go)) {
             Ok(report) => report,
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()));
-                match msg {
-                    Some(m) if m.contains("simulated deadlock") => panic!(
-                        "{m}\namrio-check deadlock report — per-rank recent calls:\n{}",
-                        ck.ledger_dump()
-                    ),
-                    _ => std::panic::resume_unwind(payload),
-                }
-            }
+            Err(payload) => match payload.downcast_ref::<amrio_simt::Deadlock>() {
+                Some(d) => panic!(
+                    "{d}\namrio-check deadlock report — per-rank recent calls:\n{}",
+                    ck.ledger_dump()
+                ),
+                None => std::panic::resume_unwind(payload),
+            },
         }
     }
 

@@ -1,4 +1,4 @@
-//! The cooperative virtual-time engine.
+//! The event-driven virtual-time executor.
 //!
 //! Each simulated processor ("rank") runs as a real OS thread carrying a
 //! *virtual clock*. Pure local work runs in parallel and just advances the
@@ -12,18 +12,39 @@
 //! time and the whole run is deterministic regardless of how the OS
 //! schedules the threads.
 //!
+//! The scheduler is built for worlds of hundreds to thousands of ranks:
+//!
+//! * **Priority index.** Live unparked ranks are kept in a tournament
+//!   tree keyed by `(clock, rank)`, so the next grantable rank is found
+//!   in O(log n) per update instead of an O(n) scan per wait-loop
+//!   iteration. Parked and Done ranks are absent from the index: a
+//!   parked rank can only be woken from inside another rank's ordered
+//!   section, which itself obeys the priority order, so the wakee's
+//!   next event can never travel back before events already granted.
+//! * **Targeted handoff.** Every rank sleeps on its own condition
+//!   variable. Whenever the scheduler state changes (an ordered section
+//!   ends, a clock moves past a waiter, a rank parks or finishes), the
+//!   engine computes the unique next grantable rank and wakes exactly
+//!   that thread — no broadcast storms. Wakeups are only hints: the
+//!   grant decision itself is always re-evaluated by the woken rank
+//!   under the scheduler lock, which is what preserves the exact
+//!   `(clock, rank)` grant order of the original scan-based scheduler.
+//! * **Lock-light clocks.** Per-rank clocks live in atomics, so
+//!   [`Ctx::now`] never takes the scheduler lock and [`Ctx::advance`]
+//!   skips it entirely while no rank is waiting for an ordered grant
+//!   (a SeqCst store/load pair makes the skip race-free: either the
+//!   advancing rank sees the waiter and publishes its new key under the
+//!   lock, or the waiter's grant check sees the advanced clock and
+//!   refreshes the stale index entry itself).
+//!
 //! Blocking (e.g. a receive with no matching message) uses
 //! [`Ctx::park`] / [`Ctx::unpark`] with one-shot permit semantics, so a
-//! wake that races ahead of the sleep is never lost. Parked ranks are
-//! excluded from the priority minimum; this is safe because a parked rank
-//! can only be woken from inside another rank's ordered section, which
-//! itself obeys the priority order, so the wakee's next event can never
-//! travel back before events already granted.
+//! wake that races ahead of the sleep is never lost.
 
-use crate::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::time::{SimDur, SimTime};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A processor index in `0..nranks`.
@@ -37,8 +58,9 @@ pub type Rank = usize;
 /// completion times of resources it merely waits on.
 ///
 /// Implementations must be deterministic functions of `(rank, now, d)`
-/// plus their own fixed schedule: the engine calls the hook under the
-/// scheduler lock, in the same order on every run.
+/// plus their own fixed schedule: ranks advance concurrently, so the
+/// engine gives no cross-rank ordering guarantee for hook calls (each
+/// rank's own calls are ordered, and run under the scheduler lock).
 pub trait ClockHook: Send + Sync {
     fn dilate(&self, rank: Rank, now: SimTime, d: SimDur) -> SimDur;
 }
@@ -57,52 +79,187 @@ enum RankState {
     Done,
 }
 
+impl RankState {
+    /// States tracked by the priority index: ranks that could still
+    /// produce an event on their own. Parked and Done ranks cannot act
+    /// until acted upon by someone else.
+    fn indexed(self) -> bool {
+        matches!(
+            self,
+            RankState::Free | RankState::WaitingOrdered | RankState::OrderedRunning
+        )
+    }
+}
+
+/// Index key for a rank that is absent (parked or done): sorts after
+/// every real `(clock, rank)` key.
+const ABSENT: (SimTime, Rank) = (SimTime(u64::MAX), usize::MAX);
+
+/// Tournament tree over `(clock, rank)` keys: `min()` in O(1), `set()`
+/// in O(log n). Leaves hold one key per rank (or [`ABSENT`]); each
+/// internal node holds the minimum of its children.
+struct PriorityIndex {
+    /// First leaf slot; rank `r`'s leaf lives at `base + r`.
+    base: usize,
+    /// 1-based complete binary tree; `tree[1]` is the global minimum.
+    tree: Vec<(SimTime, Rank)>,
+}
+
+impl PriorityIndex {
+    fn new(nranks: usize) -> PriorityIndex {
+        let base = nranks.next_power_of_two();
+        let mut idx = PriorityIndex {
+            base,
+            tree: vec![ABSENT; 2 * base],
+        };
+        for r in 0..nranks {
+            idx.tree[base + r] = (SimTime::ZERO, r);
+        }
+        for i in (1..base).rev() {
+            idx.tree[i] = idx.tree[2 * i].min(idx.tree[2 * i + 1]);
+        }
+        idx
+    }
+
+    /// Set `rank`'s key, repairing ancestors; returns whether the leaf
+    /// actually changed.
+    fn set(&mut self, rank: Rank, key: (SimTime, Rank)) -> bool {
+        let mut i = self.base + rank;
+        if self.tree[i] == key {
+            return false;
+        }
+        self.tree[i] = key;
+        while i > 1 {
+            i /= 2;
+            let m = self.tree[2 * i].min(self.tree[2 * i + 1]);
+            if self.tree[i] == m {
+                break;
+            }
+            self.tree[i] = m;
+        }
+        true
+    }
+
+    /// The smallest `(clock, rank)` among indexed ranks, if any.
+    fn min(&self) -> Option<(SimTime, Rank)> {
+        let k = self.tree[1];
+        (k != ABSENT).then_some(k)
+    }
+}
+
 struct Sched {
-    clocks: Vec<SimTime>,
     state: Vec<RankState>,
     /// One-shot wake permits: `Some(t)` means a pending `unpark` at time `t`.
     permits: Vec<Option<SimTime>>,
     /// True while some rank is inside an ordered closure.
     ordered_busy: bool,
-    /// Set when a rank panicked; everyone else unwinds promptly.
-    poisoned: bool,
-}
-
-impl Sched {
-    /// The highest-priority live rank: smallest `(clock, rank)` among ranks
-    /// that are Free, WaitingOrdered or OrderedRunning. Parked and Done
-    /// ranks cannot produce events until acted upon by someone else.
-    fn min_priority(&self) -> Option<(SimTime, Rank)> {
-        self.state
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| {
-                matches!(
-                    s,
-                    RankState::Free | RankState::WaitingOrdered | RankState::OrderedRunning
-                )
-            })
-            .map(|(r, _)| (self.clocks[r], r))
-            .min()
-    }
-
-    fn dump(&self) -> String {
-        let mut s = String::new();
-        for r in 0..self.state.len() {
-            s.push_str(&format!(
-                "  rank {r}: {:?} at {:?} permit={:?}\n",
-                self.state[r], self.clocks[r], self.permits[r]
-            ));
-        }
-        s
-    }
+    /// Ranks in an indexed state; deadlock means this hits zero while
+    /// parked ranks remain.
+    live_unparked: usize,
+    /// `(clock, rank)` tournament tree over live unparked ranks. A Free
+    /// rank's key may lag its atomic clock (lock-free advances); the
+    /// grant check repairs such entries on sight, so keys are only ever
+    /// stale-*low*, which can delay a grant but never reorder one.
+    index: PriorityIndex,
+    // Contention counters, folded into [`SchedStats`] after the run.
+    wakeups: u64,
+    handoffs: u64,
+    index_updates: u64,
 }
 
 struct Shared {
     sched: Mutex<Sched>,
-    cv: Condvar,
+    /// One condvar per rank (all paired with `sched`): targeted wakeups
+    /// reach exactly the thread that can act.
+    cvs: Vec<Condvar>,
+    /// Per-rank virtual clocks, readable without the scheduler lock.
+    clocks: Vec<AtomicU64>,
+    /// Set when a rank panicked; everyone else unwinds promptly.
+    poisoned: AtomicBool,
+    /// Ranks currently in `WaitingOrdered`. SeqCst-paired with clock
+    /// stores so the lock-free advance path can skip index maintenance
+    /// exactly when nobody could be blocked on this rank's clock.
+    nwaiting: AtomicUsize,
+    lock_acquisitions: AtomicU64,
     ordered_ops: AtomicU64,
     hook: Option<Arc<dyn ClockHook>>,
+}
+
+impl Shared {
+    fn sched(&self) -> MutexGuard<'_, Sched> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.sched.lock()
+    }
+
+    fn clock(&self, rank: Rank) -> SimTime {
+        SimTime(self.clocks[rank].load(Ordering::SeqCst))
+    }
+
+    fn set_clock(&self, rank: Rank, t: SimTime) {
+        self.clocks[rank].store(t.0, Ordering::SeqCst);
+    }
+
+    /// Re-key `rank` from its atomic clock (no-op for unindexed states).
+    fn refresh_key(&self, g: &mut Sched, rank: Rank) {
+        if g.state[rank].indexed() && g.index.set(rank, (self.clock(rank), rank)) {
+            g.index_updates += 1;
+        }
+    }
+
+    /// The unique rank that may enter an ordered section right now, if
+    /// any: the index minimum, provided it is a waiting rank and no
+    /// ordered section is in flight. Stale-low keys left by lock-free
+    /// advances are repaired along the way.
+    fn next_grant(&self, g: &mut Sched) -> Option<Rank> {
+        if g.ordered_busy {
+            return None;
+        }
+        loop {
+            let (t, r) = g.index.min()?;
+            let actual = self.clock(r);
+            if actual > t {
+                if g.index.set(r, (actual, r)) {
+                    g.index_updates += 1;
+                }
+                continue;
+            }
+            return (g.state[r] == RankState::WaitingOrdered).then_some(r);
+        }
+    }
+
+    /// Direct handoff: wake exactly the next grantable rank, if there is
+    /// one. The wakee re-checks the grant under the lock, so a redundant
+    /// wake is harmless and a missing one is what must never happen —
+    /// every state change that could enable a grant calls this.
+    fn wake_next(&self, g: &mut Sched) {
+        if let Some(r) = self.next_grant(g) {
+            g.handoffs += 1;
+            g.wakeups += 1;
+            self.cvs[r].notify_one();
+        }
+    }
+
+    /// Flag the run as poisoned and wake every thread so it can unwind.
+    fn poison(&self, g: &mut Sched) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        g.wakeups += self.cvs.len() as u64;
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    fn dump(&self, g: &Sched) -> String {
+        let mut s = String::new();
+        for r in 0..g.state.len() {
+            s.push_str(&format!(
+                "  rank {r}: {:?} at {:?} permit={:?}\n",
+                g.state[r],
+                self.clock(r),
+                g.permits[r]
+            ));
+        }
+        s
+    }
 }
 
 /// Per-rank handle passed to the rank closure; all engine services go
@@ -113,10 +270,17 @@ pub struct Ctx {
     shared: Arc<Shared>,
 }
 
-/// Raised (via panic payload) when the engine detects that every live rank
-/// is parked, i.e. the simulated program deadlocked.
+/// Panic payload raised when the engine detects that every live rank is
+/// parked, i.e. the simulated program deadlocked. Carries the full
+/// per-rank state dump (state, clock, pending permit).
 #[derive(Debug)]
 pub struct Deadlock(pub String);
+
+impl std::fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
 
 impl Ctx {
     pub fn rank(&self) -> Rank {
@@ -127,42 +291,65 @@ impl Ctx {
         self.nranks
     }
 
-    /// This rank's current virtual clock.
+    /// This rank's current virtual clock. Lock-free.
     pub fn now(&self) -> SimTime {
-        self.shared.sched.lock().clocks[self.rank]
+        self.shared.clock(self.rank)
     }
 
     /// Charge `d` of local computation to this rank.
+    ///
+    /// Lock-free while no rank is waiting for an ordered grant; takes
+    /// the scheduler lock only to publish the new priority key (and hand
+    /// the grant over) when someone may be blocked behind this clock.
     pub fn advance(&self, d: SimDur) {
         if d == SimDur::ZERO {
             return;
         }
-        let mut g = self.shared.sched.lock();
-        self.check_poison(&g);
-        let d = match &self.shared.hook {
-            Some(h) => h.dilate(self.rank, g.clocks[self.rank], d),
-            None => d,
-        };
-        g.clocks[self.rank] += d;
-        // Our clock moving forward may make another rank the unique minimum.
-        drop(g);
-        self.shared.cv.notify_all();
+        self.check_poison();
+        let me = self.rank;
+        if let Some(hook) = &self.shared.hook {
+            // Hooked (fault-injection) runs keep the locked path:
+            // `dilate` may account straggler time into plan statistics.
+            let mut g = self.shared.sched();
+            let now = self.shared.clock(me);
+            let d = hook.dilate(me, now, d);
+            self.shared.set_clock(me, now + d);
+            self.shared.refresh_key(&mut g, me);
+            self.shared.wake_next(&mut g);
+            return;
+        }
+        self.shared.set_clock(me, self.shared.clock(me) + d);
+        if self.shared.nwaiting.load(Ordering::SeqCst) == 0 {
+            // Nobody can be blocked behind our clock: the SeqCst
+            // store/load pair guarantees any waiter registering
+            // concurrently will read the advanced clock when it
+            // evaluates its grant.
+            return;
+        }
+        let mut g = self.shared.sched();
+        self.shared.refresh_key(&mut g, me);
+        self.shared.wake_next(&mut g);
     }
 
     /// Move this rank's clock forward to at least `t` (no-op if already
     /// past). Used when an interaction's effect completes at `t`.
     pub fn advance_to(&self, t: SimTime) {
-        let mut g = self.shared.sched.lock();
-        self.check_poison(&g);
-        if g.clocks[self.rank] < t {
-            g.clocks[self.rank] = t;
-            drop(g);
-            self.shared.cv.notify_all();
+        self.check_poison();
+        let me = self.rank;
+        if self.shared.clock(me) >= t {
+            return;
         }
+        self.shared.set_clock(me, t);
+        if self.shared.nwaiting.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut g = self.shared.sched();
+        self.shared.refresh_key(&mut g, me);
+        self.shared.wake_next(&mut g);
     }
 
-    fn check_poison(&self, g: &Sched) {
-        if g.poisoned {
+    fn check_poison(&self) {
+        if self.shared.poisoned.load(Ordering::SeqCst) {
             panic!("peer rank panicked; unwinding rank {}", self.rank);
         }
     }
@@ -176,41 +363,51 @@ impl Ctx {
     /// be touched from inside ordered sections.
     pub fn ordered<R>(&self, f: impl FnOnce(SimTime) -> (SimTime, R)) -> R {
         let me = self.rank;
-        let mut g = self.shared.sched.lock();
-        self.check_poison(&g);
+        let mut g = self.shared.sched();
+        self.check_poison();
         debug_assert_eq!(g.state[me], RankState::Free, "nested ordered section");
         g.state[me] = RankState::WaitingOrdered;
+        // Lock-free advances may have left our key stale; raising it can
+        // also make *another* waiter the new minimum — hand over below.
+        self.shared.refresh_key(&mut g, me);
+        self.shared.nwaiting.fetch_add(1, Ordering::SeqCst);
         loop {
-            self.check_poison(&g);
-            let min = g.min_priority().expect("no live ranks in ordered wait");
-            if !g.ordered_busy && min == (g.clocks[me], me) {
-                break;
+            match self.shared.next_grant(&mut g) {
+                Some(r) if r == me => break,
+                Some(r) => {
+                    g.handoffs += 1;
+                    g.wakeups += 1;
+                    self.shared.cvs[r].notify_one();
+                    self.shared.cvs[me].wait(&mut g);
+                }
+                None => self.shared.cvs[me].wait(&mut g),
             }
-            self.shared.cv.wait(&mut g);
+            self.check_poison();
         }
+        self.shared.nwaiting.fetch_sub(1, Ordering::SeqCst);
         g.state[me] = RankState::OrderedRunning;
         g.ordered_busy = true;
-        let t0 = g.clocks[me];
+        let t0 = self.shared.clock(me);
         drop(g);
 
         self.shared.ordered_ops.fetch_add(1, Ordering::Relaxed);
         let out = catch_unwind(AssertUnwindSafe(|| f(t0)));
 
-        let mut g = self.shared.sched.lock();
+        let mut g = self.shared.sched();
         g.ordered_busy = false;
         g.state[me] = RankState::Free;
         match out {
             Ok((t1, r)) => {
                 assert!(t1 >= t0, "ordered section moved time backwards");
-                g.clocks[me] = t1;
+                self.shared.set_clock(me, t1);
+                self.shared.refresh_key(&mut g, me);
+                self.shared.wake_next(&mut g);
                 drop(g);
-                self.shared.cv.notify_all();
                 r
             }
             Err(payload) => {
-                g.poisoned = true;
+                self.shared.poison(&mut g);
                 drop(g);
-                self.shared.cv.notify_all();
                 std::panic::resume_unwind(payload);
             }
         }
@@ -227,58 +424,76 @@ impl Ctx {
     /// immediately, so wake-ups are never lost.
     pub fn park(&self) -> SimTime {
         let me = self.rank;
-        let mut g = self.shared.sched.lock();
-        self.check_poison(&g);
+        let mut g = self.shared.sched();
+        self.check_poison();
+        self.shared.refresh_key(&mut g, me);
         if let Some(t) = g.permits[me].take() {
-            if g.clocks[me] < t {
-                g.clocks[me] = t;
+            if self.shared.clock(me) < t {
+                self.shared.set_clock(me, t);
+                self.shared.refresh_key(&mut g, me);
             }
-            let now = g.clocks[me];
-            drop(g);
-            self.shared.cv.notify_all();
+            let now = self.shared.clock(me);
+            // Our clock moving forward may hand the grant to a waiter.
+            self.shared.wake_next(&mut g);
             return now;
         }
         g.state[me] = RankState::Parked;
+        g.live_unparked -= 1;
+        if g.index.set(me, ABSENT) {
+            g.index_updates += 1;
+        }
+        if g.live_unparked == 0 {
+            self.deadlock(&mut g);
+        }
         // Our parking may unblock an ordered waiter.
-        self.shared.cv.notify_all();
+        self.shared.wake_next(&mut g);
         loop {
-            // Deadlock check: nobody can make progress if every live rank
-            // is parked.
-            if g.state
-                .iter()
-                .all(|s| matches!(s, RankState::Parked | RankState::Done))
-            {
-                let dump = g.dump();
-                g.poisoned = true;
-                drop(g);
-                self.shared.cv.notify_all();
-                panic!("simulated deadlock: all live ranks parked\n{dump}");
-            }
-            self.shared.cv.wait(&mut g);
-            self.check_poison(&g);
+            self.shared.cvs[me].wait(&mut g);
+            self.check_poison();
             if g.state[me] == RankState::Free {
                 break;
             }
+            // A finishing rank woke us to report that nobody can make
+            // progress any more.
+            if g.live_unparked == 0 {
+                self.deadlock(&mut g);
+            }
         }
-        let now = g.clocks[me];
+        let now = self.shared.clock(me);
         drop(g);
-        self.shared.cv.notify_all();
         now
+    }
+
+    /// Raise the typed [`Deadlock`] panic with the full state dump,
+    /// poisoning the run so every other thread unwinds.
+    fn deadlock(&self, g: &mut Sched) -> ! {
+        let dump = self.shared.dump(g);
+        self.shared.poison(g);
+        std::panic::panic_any(Deadlock(format!(
+            "simulated deadlock: all live ranks parked\n{dump}"
+        )));
     }
 
     /// Wake `target` (or post a permit if it has not parked yet), with its
     /// clock raised to at least `at`. Call this from inside an ordered
     /// section so wakes obey the global event order.
     pub fn unpark(&self, target: Rank, at: SimTime) {
-        let mut g = self.shared.sched.lock();
+        let mut g = self.shared.sched();
         match g.state[target] {
             RankState::Parked => {
-                if g.clocks[target] < at {
-                    g.clocks[target] = at;
+                if self.shared.clock(target) < at {
+                    self.shared.set_clock(target, at);
                 }
                 g.state[target] = RankState::Free;
-                drop(g);
-                self.shared.cv.notify_all();
+                g.live_unparked += 1;
+                if g.index.set(target, (self.shared.clock(target), target)) {
+                    g.index_updates += 1;
+                }
+                // Re-inserting a key can only lower the index minimum, so
+                // no ordered waiter becomes grantable: waking the target
+                // alone suffices.
+                g.wakeups += 1;
+                self.shared.cvs[target].notify_one();
             }
             RankState::Done => panic!("unpark of finished rank {target}"),
             _ => {
@@ -289,6 +504,75 @@ impl Ctx {
             }
         }
     }
+
+    /// Transition to `Done` after the rank closure returned or panicked,
+    /// handing the scheduler forward (or reporting poison / deadlock).
+    fn finish(&self, panicked: bool) {
+        let me = self.rank;
+        let mut g = self.shared.sched();
+        let prev = g.state[me];
+        if prev.indexed() {
+            g.live_unparked -= 1;
+            if g.index.set(me, ABSENT) {
+                g.index_updates += 1;
+            }
+        }
+        if prev == RankState::WaitingOrdered {
+            // Unwound out of an ordered wait (poison): keep the
+            // fast-path waiter count honest.
+            self.shared.nwaiting.fetch_sub(1, Ordering::SeqCst);
+        }
+        g.state[me] = RankState::Done;
+        if panicked {
+            self.shared.poison(&mut g);
+        } else if g.live_unparked == 0 {
+            // Everyone still alive is parked: wake the lowest parked rank
+            // so it can report the deadlock with a full state dump.
+            if let Some(p) = (0..g.state.len()).find(|&r| g.state[r] == RankState::Parked) {
+                g.wakeups += 1;
+                self.shared.cvs[p].notify_one();
+            }
+        } else {
+            self.shared.wake_next(&mut g);
+        }
+    }
+}
+
+/// Host-side tuning knobs for the executor. The virtual-time results are
+/// independent of these — they only affect wall-clock and memory.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Host stack size per rank thread, in bytes. Rank closures run the
+    /// whole simulated I/O stack but keep bulk data on the heap
+    /// ([`crate::Bytes`]), so small stacks suffice — the default keeps a
+    /// 1024-rank world in the hundreds of megabytes of address space
+    /// instead of gigabytes.
+    pub stack_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            stack_size: 256 * 1024,
+        }
+    }
+}
+
+/// Scheduler contention counters for one run: how much host-side work
+/// the executor did to maintain the virtual-time order. Wall-clock
+/// diagnostics only — virtual times are independent of these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Condvar notifications issued (targeted grants, unparks, poison
+    /// broadcasts).
+    pub wakeups: u64,
+    /// Direct grant handoffs: state changes that computed a unique next
+    /// grantable rank and woke exactly it.
+    pub handoffs: u64,
+    /// Priority-index leaf updates (each O(log n)).
+    pub index_updates: u64,
+    /// Scheduler lock acquisitions.
+    pub lock_acquisitions: u64,
 }
 
 /// Outcome of a simulation run.
@@ -300,19 +584,43 @@ pub struct SimReport<T> {
     pub makespan: SimTime,
     /// Number of ordered sections executed (a proxy for event count).
     pub ordered_ops: u64,
+    /// Host-side scheduler contention counters.
+    pub sched: SchedStats,
+}
+
+type Panic = Box<dyn std::any::Any + Send>;
+
+/// The engine's own peer-cascade unwind (raised by `check_poison`) is
+/// never the interesting panic — it only exists to tear the world down
+/// after some rank hit a real one.
+fn is_peer_cascade(p: &Panic) -> bool {
+    p.downcast_ref::<String>()
+        .is_some_and(|m| m.contains("peer rank panicked"))
+}
+
+/// Keep the root-cause panic: the first payload wins unless it is a
+/// peer-cascade unwind and a later rank died of a real panic.
+fn prefer_root_cause(current: Option<Panic>, new: Panic) -> Option<Panic> {
+    match current {
+        None => Some(new),
+        Some(cur) if is_peer_cascade(&cur) && !is_peer_cascade(&new) => Some(new),
+        some => some,
+    }
 }
 
 /// Run `nranks` copies of `f` (one per rank) to completion under the
 /// virtual-time scheduler and collect their results.
 ///
 /// Panics if any rank panics (including simulated deadlock), propagating
-/// the first panic payload.
+/// the root-cause panic payload (see [`prefer_root_cause`]'s policy: the
+/// first non-cascade panic wins over the "peer rank panicked" unwinds it
+/// triggers in other ranks).
 pub fn run<T, F>(nranks: usize, f: F) -> SimReport<T>
 where
     T: Send,
     F: Fn(&Ctx) -> T + Sync,
 {
-    run_with_hook(nranks, None, f)
+    run_with_config(nranks, EngineConfig::default(), None, f)
 }
 
 /// [`run`], with an optional [`ClockHook`] dilating local advances
@@ -323,22 +631,44 @@ where
     T: Send,
     F: Fn(&Ctx) -> T + Sync,
 {
+    run_with_config(nranks, EngineConfig::default(), hook, f)
+}
+
+/// The fully-general entry point: [`run_with_hook`] plus host-side
+/// executor knobs ([`EngineConfig`]).
+pub fn run_with_config<T, F>(
+    nranks: usize,
+    config: EngineConfig,
+    hook: Option<Arc<dyn ClockHook>>,
+    f: F,
+) -> SimReport<T>
+where
+    T: Send,
+    F: Fn(&Ctx) -> T + Sync,
+{
     assert!(nranks > 0, "need at least one rank");
     let shared = Arc::new(Shared {
         sched: Mutex::new(Sched {
-            clocks: vec![SimTime::ZERO; nranks],
             state: vec![RankState::Free; nranks],
             permits: vec![None; nranks],
             ordered_busy: false,
-            poisoned: false,
+            live_unparked: nranks,
+            index: PriorityIndex::new(nranks),
+            wakeups: 0,
+            handoffs: 0,
+            index_updates: 0,
         }),
-        cv: Condvar::new(),
+        cvs: (0..nranks).map(|_| Condvar::new()).collect(),
+        clocks: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+        poisoned: AtomicBool::new(false),
+        nwaiting: AtomicUsize::new(0),
+        lock_acquisitions: AtomicU64::new(0),
         ordered_ops: AtomicU64::new(0),
         hook,
     });
 
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
-    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut first_panic: Option<Panic> = None;
 
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(nranks);
@@ -349,39 +679,21 @@ where
                 shared: Arc::clone(&shared),
             };
             let f = &f;
-            handles.push(s.spawn(move || {
-                let out = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-                let mut g = ctx.shared.sched.lock();
-                g.state[rank] = RankState::Done;
-                if out.is_err() {
-                    g.poisoned = true;
-                }
-                drop(g);
-                ctx.shared.cv.notify_all();
-                out
-            }));
+            let h = std::thread::Builder::new()
+                .name(format!("rank{rank}"))
+                .stack_size(config.stack_size)
+                .spawn_scoped(s, move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                    ctx.finish(out.is_err());
+                    out
+                })
+                .expect("spawn rank thread");
+            handles.push(h);
         }
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join().expect("rank thread itself must not die") {
                 Ok(v) => results[rank] = Some(v),
-                Err(p) => {
-                    // Prefer the root-cause panic over the secondary
-                    // "peer rank panicked" unwinds it triggers in peers.
-                    let secondary = p
-                        .downcast_ref::<String>()
-                        .is_some_and(|m| m.contains("peer rank panicked"));
-                    if (first_panic.is_none() || !secondary)
-                        && first_panic
-                            .as_ref()
-                            .map(|q| {
-                                q.downcast_ref::<String>()
-                                    .is_some_and(|m| m.contains("peer rank panicked"))
-                            })
-                            .unwrap_or(true)
-                    {
-                        first_panic = Some(p);
-                    }
-                }
+                Err(p) => first_panic = prefer_root_cause(first_panic.take(), p),
             }
         }
     });
@@ -390,12 +702,77 @@ where
         std::panic::resume_unwind(p);
     }
 
-    let g = shared.sched.lock();
-    let makespan = g.clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
-    drop(g);
+    let sched = {
+        let g = shared.sched.lock();
+        SchedStats {
+            wakeups: g.wakeups,
+            handoffs: g.handoffs,
+            index_updates: g.index_updates,
+            lock_acquisitions: shared.lock_acquisitions.load(Ordering::Relaxed),
+        }
+    };
+    let makespan = (0..nranks)
+        .map(|r| shared.clock(r))
+        .max()
+        .unwrap_or(SimTime::ZERO);
     SimReport {
         results: results.into_iter().map(|r| r.unwrap()).collect(),
         makespan,
         ordered_ops: shared.ordered_ops.load(Ordering::Relaxed),
+        sched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_index_tracks_min_exactly() {
+        let mut idx = PriorityIndex::new(5);
+        assert_eq!(idx.min(), Some((SimTime::ZERO, 0)));
+        assert!(idx.set(0, (SimTime(50), 0)));
+        assert!(idx.set(1, (SimTime(20), 1)));
+        assert!(idx.set(2, (SimTime(20), 2)));
+        assert!(idx.set(3, (SimTime(90), 3)));
+        assert!(idx.set(4, (SimTime(70), 4)));
+        // Ties break by rank.
+        assert_eq!(idx.min(), Some((SimTime(20), 1)));
+        assert!(idx.set(1, ABSENT));
+        assert_eq!(idx.min(), Some((SimTime(20), 2)));
+        assert!(idx.set(2, (SimTime(95), 2)));
+        assert_eq!(idx.min(), Some((SimTime(50), 0)));
+        for r in [0, 2, 3, 4] {
+            assert!(idx.set(r, ABSENT));
+        }
+        assert_eq!(idx.min(), None);
+        // Unchanged writes report no update.
+        assert!(!idx.set(3, ABSENT));
+    }
+
+    #[test]
+    fn priority_index_single_rank() {
+        let mut idx = PriorityIndex::new(1);
+        assert_eq!(idx.min(), Some((SimTime::ZERO, 0)));
+        assert!(idx.set(0, (SimTime(7), 0)));
+        assert_eq!(idx.min(), Some((SimTime(7), 0)));
+        assert!(idx.set(0, ABSENT));
+        assert_eq!(idx.min(), None);
+    }
+
+    #[test]
+    fn root_cause_preference() {
+        let root: Panic = Box::new("real failure".to_string());
+        let cascade: Panic = Box::new("peer rank panicked; unwinding rank 2".to_string());
+        // First payload wins...
+        let kept = prefer_root_cause(None, root).unwrap();
+        assert!(!is_peer_cascade(&kept));
+        // ...unless it was a cascade and a root cause arrives later.
+        let kept = prefer_root_cause(Some(cascade), kept).unwrap();
+        assert_eq!(kept.downcast_ref::<String>().unwrap(), "real failure");
+        // A root cause is never displaced by a later cascade.
+        let cascade2: Panic = Box::new("peer rank panicked; unwinding rank 0".to_string());
+        let kept = prefer_root_cause(Some(kept), cascade2).unwrap();
+        assert_eq!(kept.downcast_ref::<String>().unwrap(), "real failure");
     }
 }

@@ -26,7 +26,10 @@ pub mod sync;
 pub mod time;
 
 pub use bytes::{copied_bytes, count_copy, reset_copied_bytes, Bytes};
-pub use engine::{run, run_with_hook, ClockHook, Ctx, Rank, SimReport};
+pub use engine::{
+    run, run_with_config, run_with_hook, ClockHook, Ctx, Deadlock, EngineConfig, Rank, SchedStats,
+    SimReport,
+};
 pub use time::{SimDur, SimTime};
 
 #[cfg(test)]
@@ -138,8 +141,10 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("deadlock must panic"),
         };
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+        let d = err
+            .downcast_ref::<Deadlock>()
+            .expect("deadlock panics carry the typed Deadlock payload");
+        assert!(d.0.contains("deadlock"), "unexpected panic: {}", d.0);
     }
 
     #[test]
@@ -247,6 +252,28 @@ mod stress {
     use super::*;
 
     #[test]
+    fn two_hundred_fifty_six_ranks_interleave_deterministically() {
+        // Pure-engine rank sweep: a 256-rank world with contended
+        // ordered sections must produce identical per-rank clocks,
+        // makespan, and ordered-op counts on repeated runs.
+        let go = || {
+            run(256, |ctx| {
+                for i in 0..8u64 {
+                    ctx.advance(SimDur::from_nanos((ctx.rank() as u64 * 131 + i * 11) % 251));
+                    ctx.ordered(|t| (t + SimDur::from_nanos(2), ()));
+                }
+                ctx.now()
+            })
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.ordered_ops, 256 * 8);
+        assert_eq!(b.ordered_ops, 256 * 8);
+    }
+
+    #[test]
     fn sixty_four_ranks_interleave_deterministically() {
         let go = || {
             run(64, |ctx| {
@@ -261,6 +288,97 @@ mod stress {
         let b = go();
         assert_eq!(a.results, b.results);
         assert_eq!(a.ordered_ops, 64 * 20);
+    }
+
+    #[test]
+    fn high_rank_count_deadlock_keeps_typed_payload_and_dump() {
+        // All 512 ranks park with nobody left to wake them: the engine
+        // must raise the typed Deadlock panic and the state dump must
+        // still cover every rank even at high rank counts.
+        let res = std::panic::catch_unwind(|| {
+            run_with_config(
+                512,
+                EngineConfig {
+                    stack_size: 128 * 1024,
+                },
+                None,
+                |ctx| {
+                    ctx.advance(SimDur::from_nanos(ctx.rank() as u64));
+                    ctx.park();
+                },
+            )
+        });
+        let err = res.expect_err("deadlock must panic");
+        let d = err
+            .downcast_ref::<Deadlock>()
+            .expect("deadlock panics carry the typed Deadlock payload");
+        assert!(d.0.contains("simulated deadlock"), "message: {}", d.0);
+        for rank in [0, 1, 255, 511] {
+            assert!(
+                d.0.contains(&format!("rank {rank}:")),
+                "state dump lost rank {rank}:\n{}",
+                d.0
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_after_last_live_rank_finishes() {
+        // Ranks 1..n park forever; rank 0 just returns. The moment the
+        // last unparked rank finishes, the parked survivors are dead —
+        // the engine must wake one of them to report the deadlock.
+        let res = std::panic::catch_unwind(|| {
+            run(4, |ctx| {
+                if ctx.rank() > 0 {
+                    ctx.park();
+                }
+            })
+        });
+        let err = res.expect_err("deadlock must panic");
+        assert!(err.downcast_ref::<Deadlock>().is_some());
+    }
+
+    #[test]
+    fn root_cause_panic_wins_over_peer_cascade() {
+        // Rank 2 hits the real bug while ranks 0/1 sit parked; the
+        // poison protocol unwinds them with "peer rank panicked"
+        // cascades, but the propagated payload must be the root cause.
+        let res = std::panic::catch_unwind(|| {
+            run(3, |ctx| {
+                if ctx.rank() == 2 {
+                    ctx.advance(SimDur::from_micros(1));
+                    panic!("root cause from rank 2");
+                }
+                ctx.park();
+            })
+        });
+        let err = res.expect_err("must propagate the panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("root cause from rank 2"),
+            "propagated a secondary panic instead of the root cause: {msg}"
+        );
+    }
+
+    #[test]
+    fn contention_counters_are_reported() {
+        let r = run(8, |ctx| {
+            for i in 0..10u64 {
+                ctx.advance(SimDur::from_nanos(ctx.rank() as u64 * 17 + i));
+                ctx.ordered(|t| (t + SimDur::from_nanos(5), ()));
+            }
+        });
+        assert_eq!(r.ordered_ops, 80);
+        // Contended grants flow through targeted handoffs, and every
+        // handoff is a wakeup; the index is maintained incrementally.
+        assert!(r.sched.handoffs > 0, "no grant handoffs recorded");
+        assert!(r.sched.wakeups >= r.sched.handoffs);
+        assert!(r.sched.index_updates > 0);
+        assert!(r.sched.lock_acquisitions > 0);
     }
 
     #[test]

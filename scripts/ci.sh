@@ -44,4 +44,7 @@ awk -v b="$baseline" -v c="$current" 'BEGIN {
   }
 }'
 
+echo "== selfbench scale smoke (256-rank cell vs absolute executor-scaling budget)"
+cargo run --release -q -p amrio-bench --bin selfbench -- --scale-smoke
+
 echo "ci: OK"

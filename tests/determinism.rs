@@ -31,6 +31,33 @@ fn repeated_runs_are_bit_identical() {
     assert_eq!(a, b, "timings/bytes must not depend on host scheduling");
 }
 
+/// Rank-sweep determinism under the indexed executor: worlds from 4 to
+/// 256 ranks run twice must produce identical checkpoint images,
+/// virtual makespans, and ordered-op counts — the targeted-handoff
+/// scheduler may change *when* host threads wake, never *what* the
+/// simulation computes.
+#[test]
+fn rank_sweep_is_deterministic() {
+    for nranks in [4usize, 16, 64, 256] {
+        let platform = Platform::ibm_sp2(nranks);
+        let cfg = SimConfig::new(ProblemSize::Custom(16), nranks);
+        let go = || {
+            let r = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+                .cycles(1)
+                .run()
+                .report;
+            assert!(r.verified, "restart verification failed at {nranks} ranks");
+            (r.image_digest, (r.makespan * 1e9) as u64, r.ordered_ops)
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(
+            a, b,
+            "(digest, makespan, ordered_ops) diverged at {nranks} ranks"
+        );
+    }
+}
+
 #[test]
 fn strategies_read_write_same_payload() {
     let a = one(&MpiIoOptimized);
