@@ -6,9 +6,10 @@
 //! 3. GPFS stripe-size sensitivity of the parallel write path (§4.2's
 //!    access/striping mismatch).
 
-use amrio_bench::{print_reports, run_cell, write_csv};
+use amrio_bench::{print_reports, run_cell, run_cell_custom, write_csv};
 use amrio_disk::Pfs;
-use amrio_enzo::{MpiIoMultiFile, MpiIoOptimized, MpiIoWriteBehind, Platform, ProblemSize};
+use amrio_enzo::spec::{PlatformId, StrategyId};
+use amrio_enzo::{Platform, ProblemSize};
 use amrio_mpi::World;
 use amrio_mpiio::{Datatype, Hints, Mode, MpiIo};
 use amrio_simt::sync::Mutex;
@@ -72,9 +73,14 @@ fn main() {
     println!("\n== Ablation 2: single shared checkpoint file vs file per subgrid ==");
     let mut reports = Vec::new();
     for p in [4usize, 8] {
-        let platform = Platform::origin2000(p);
-        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
-        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoMultiFile));
+        for strategy in [StrategyId::MpiIoOptimized, StrategyId::MpiIoMultiFile] {
+            reports.push(run_cell(
+                PlatformId::Origin2000,
+                ProblemSize::Amr64,
+                p,
+                strategy,
+            ));
+        }
     }
     print_reports(
         "shared vs multi-file (restart read is the interesting column)",
@@ -86,14 +92,14 @@ fn main() {
     println!("\n== Ablation 2b: two-stage write-behind buffering (write column) ==");
     let mut wb_reports = Vec::new();
     for p in [4usize, 8] {
-        let platform = Platform::origin2000(p);
-        wb_reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
-        wb_reports.push(run_cell(
-            &platform,
-            ProblemSize::Amr64,
-            p,
-            &MpiIoWriteBehind,
-        ));
+        for strategy in [StrategyId::MpiIoOptimized, StrategyId::MpiIoWriteBehind] {
+            wb_reports.push(run_cell(
+                PlatformId::Origin2000,
+                ProblemSize::Amr64,
+                p,
+                strategy,
+            ));
+        }
     }
     print_reports("independent writes: direct vs write-behind", &wb_reports);
     write_csv("ablation_write_behind", &wb_reports);
@@ -106,7 +112,12 @@ fn main() {
         let mut platform = Platform::ibm_sp2(32);
         platform.fs.stripe = stripe_kb * 1024;
         platform.fs.lock_block = Some(stripe_kb * 1024);
-        let r = run_cell(&platform, ProblemSize::Amr64, 32, &MpiIoOptimized);
+        let r = run_cell_custom(
+            &platform,
+            ProblemSize::Amr64,
+            32,
+            &amrio_enzo::MpiIoOptimized,
+        );
         println!(
             "stripe {:>5} KiB: write {:>8.3}s read {:>8.3}s",
             stripe_kb, r.write_time, r.read_time

@@ -8,10 +8,12 @@
 //! hyperslab packing, and (4) rank-0-only attribute writes.
 //!
 //! `--ablate` additionally decomposes the gap by disabling each modeled
-//! overhead individually.
+//! overhead individually (hand-built `OverheadModel`s — not nameable by
+//! spec, so those cells use `run_cell_custom`).
 
-use amrio_bench::{print_reports, run_cell, write_csv};
-use amrio_enzo::{Hdf5Parallel, MpiIoOptimized, Platform, ProblemSize};
+use amrio_bench::{print_reports, run_cell, run_cell_custom, write_csv, write_json};
+use amrio_enzo::spec::{PlatformId, StrategyId};
+use amrio_enzo::{Hdf5Parallel, Platform, ProblemSize};
 use amrio_hdf5::OverheadModel;
 
 fn main() {
@@ -26,9 +28,18 @@ fn main() {
     let mut reports = Vec::new();
     for &problem in problems {
         for &p in procs {
-            let platform = Platform::origin2000(p);
-            reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
-            reports.push(run_cell(&platform, problem, p, &Hdf5Parallel::default()));
+            reports.push(run_cell(
+                PlatformId::Origin2000,
+                problem,
+                p,
+                StrategyId::MpiIoOptimized,
+            ));
+            reports.push(run_cell(
+                PlatformId::Origin2000,
+                problem,
+                p,
+                StrategyId::Hdf5Parallel,
+            ));
         }
     }
     print_reports(
@@ -36,6 +47,7 @@ fn main() {
         &reports,
     );
     write_csv("fig10", &reports);
+    write_json("fig10", &reports);
 
     if ablate {
         let p = 8;
@@ -61,7 +73,7 @@ fn main() {
         ];
         println!("\n== Figure 10 ablation (AMR64, 8 procs): which overhead costs what ==");
         for (name, strat) in &variants {
-            let r = run_cell(&platform, ProblemSize::Amr64, p, strat);
+            let r = run_cell_custom(&platform, ProblemSize::Amr64, p, strat);
             println!(
                 "{:<16} write {:>8.3}s  read {:>8.3}s",
                 name, r.write_time, r.read_time

@@ -7,8 +7,9 @@
 //! serialization) and many processors per SMP node queue on the node's
 //! I/O path — and the gap narrows for AMR128.
 
-use amrio_bench::{print_reports, run_cell, write_csv};
-use amrio_enzo::{Hdf4Serial, MpiIoOptimized, Platform, ProblemSize};
+use amrio_bench::{print_reports, run_cell, write_csv, write_json};
+use amrio_enzo::spec::{PlatformId, StrategyId};
+use amrio_enzo::ProblemSize;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -21,9 +22,18 @@ fn main() {
     let mut reports = Vec::new();
     for &problem in problems {
         for &p in procs {
-            let platform = Platform::ibm_sp2(p);
-            reports.push(run_cell(&platform, problem, p, &Hdf4Serial));
-            reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+            reports.push(run_cell(
+                PlatformId::IbmSp2,
+                problem,
+                p,
+                StrategyId::Hdf4Serial,
+            ));
+            reports.push(run_cell(
+                PlatformId::IbmSp2,
+                problem,
+                p,
+                StrategyId::MpiIoOptimized,
+            ));
         }
     }
     print_reports(
@@ -31,4 +41,5 @@ fn main() {
         &reports,
     );
     write_csv("fig7", &reports);
+    write_json("fig7", &reports);
 }

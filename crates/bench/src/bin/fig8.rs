@@ -7,8 +7,9 @@
 //! little ahead of HDF4 thanks to data sieving and large sequential
 //! server access; results improve relatively for the larger problem.
 
-use amrio_bench::{print_reports, run_cell, write_csv};
-use amrio_enzo::{Hdf4Serial, MpiIoOptimized, Platform, ProblemSize};
+use amrio_bench::{print_reports, run_cell, write_csv, write_json};
+use amrio_enzo::spec::{PlatformId, StrategyId};
+use amrio_enzo::ProblemSize;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -20,13 +21,23 @@ fn main() {
     let p = 8; // 8 compute nodes, one process each (paper setup)
     let mut reports = Vec::new();
     for &problem in problems {
-        let platform = Platform::chiba_pvfs(p);
-        reports.push(run_cell(&platform, problem, p, &Hdf4Serial));
-        reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+        reports.push(run_cell(
+            PlatformId::ChibaPvfs,
+            problem,
+            p,
+            StrategyId::Hdf4Serial,
+        ));
+        reports.push(run_cell(
+            PlatformId::ChibaPvfs,
+            problem,
+            p,
+            StrategyId::MpiIoOptimized,
+        ));
     }
     print_reports(
         "Figure 8: ENZO I/O on Chiba City / PVFS over Fast Ethernet",
         &reports,
     );
     write_csv("fig8", &reports);
+    write_json("fig8", &reports);
 }

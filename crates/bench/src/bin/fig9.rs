@@ -6,8 +6,9 @@
 //! HDF4 design and scales well with the number of processors; the only
 //! remaining overhead is user-level communication.
 
-use amrio_bench::{print_reports, run_cell, write_csv};
-use amrio_enzo::{Hdf4Serial, MpiIoOptimized, Platform, ProblemSize};
+use amrio_bench::{print_reports, run_cell, write_csv, write_json};
+use amrio_enzo::spec::{PlatformId, StrategyId};
+use amrio_enzo::ProblemSize;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -20,9 +21,18 @@ fn main() {
     let mut reports = Vec::new();
     for &problem in problems {
         for &p in procs {
-            let platform = Platform::chiba_local(p);
-            reports.push(run_cell(&platform, problem, p, &Hdf4Serial));
-            reports.push(run_cell(&platform, problem, p, &MpiIoOptimized));
+            reports.push(run_cell(
+                PlatformId::ChibaLocal,
+                problem,
+                p,
+                StrategyId::Hdf4Serial,
+            ));
+            reports.push(run_cell(
+                PlatformId::ChibaLocal,
+                problem,
+                p,
+                StrategyId::MpiIoOptimized,
+            ));
         }
     }
     print_reports(
@@ -30,4 +40,5 @@ fn main() {
         &reports,
     );
     write_csv("fig9", &reports);
+    write_json("fig9", &reports);
 }

@@ -9,22 +9,32 @@
 //! the stripe to its aggregator file domains, and the penalty should
 //! shrink or vanish.
 
-use amrio_bench::{print_reports, run_cell, write_csv};
-use amrio_enzo::{Hdf4Serial, MpiIoAppStriped, MpiIoOptimized, Platform, ProblemSize};
+use amrio_bench::{print_reports, run_cell, write_csv, write_json};
+use amrio_enzo::spec::{PlatformId, StrategyId};
+use amrio_enzo::ProblemSize;
 
 fn main() {
     let mut reports = Vec::new();
     for p in [32usize, 64] {
-        let platform = Platform::ibm_sp2(p);
-        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &Hdf4Serial));
-        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoOptimized));
-        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoAppStriped));
+        for strategy in [
+            StrategyId::Hdf4Serial,
+            StrategyId::MpiIoOptimized,
+            StrategyId::MpiIoAppStriped,
+        ] {
+            reports.push(run_cell(
+                PlatformId::IbmSp2,
+                ProblemSize::Amr64,
+                p,
+                strategy,
+            ));
+        }
     }
     print_reports(
         "Future FS: GPFS with fixed stripes vs application-specific striping",
         &reports,
     );
     write_csv("future_fs", &reports);
+    write_json("future_fs", &reports);
     println!("\nIf the mechanism is right, MPI-IO-appstripe recovers (most of) the");
     println!("Fig. 7 write deficit that MPI-IO shows against HDF4 on stock GPFS.");
 }

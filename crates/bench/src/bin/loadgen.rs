@@ -1,0 +1,560 @@
+//! `loadgen` — closed-loop load generator for the `amrio-serve`
+//! experiment service.
+//!
+//! Starts an in-process server on a loopback port, then drives it with
+//! a small closed-loop client fleet (each client issues the next
+//! request only after the previous response lands) across three
+//! traffic mixes:
+//!
+//! - **all-cold** — every request is a unique spec (fresh seed), so
+//!   every request pays for a full simulation: the cache's floor.
+//! - **all-hot** — every request is the same spec, warmed once: the
+//!   cache's ceiling, and the paper-relevant case of many readers
+//!   re-requesting one checkpoint configuration.
+//! - **zipf** — requests draw from K specs with Zipf(s=1.1) skew, the
+//!   realistic sweep-with-favourites traffic shape.
+//!
+//! Every response's `image_digest` is checked against a fresh local
+//! (uncached, in-process) run of the same spec — the end-to-end
+//! determinism proof that makes memoization sound. A separate
+//! coalescing proof fires 8 barrier-synchronized clients at one fresh
+//! spec and checks the server ran exactly one simulation.
+//!
+//! Outputs `results/serve.csv` (or `results/serve_smoke.csv` under
+//! `--smoke`) and, in full mode, splices a `"serve"` block into
+//! `BENCH_selfbench.json`. `--smoke` additionally gates: hot-mix
+//! throughput must beat cold-mix throughput by ≥ 20x, hot-mix p99 must
+//! stay under budget, zero digest mismatches, and the coalescing proof
+//! must hold.
+
+use amrio_bench::{splitmix64, EVOLVE_CYCLES};
+use amrio_enzo::spec::{ExperimentSpec, PlatformId, StrategyId};
+use amrio_enzo::Experiment;
+use amrio_serve::json::{self, Json};
+use amrio_serve::wire::{hex_digest, spec_to_json};
+use amrio_serve::{serve, ServeConfig, ServerHandle};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Hot-mix p99 latency budget for the `--smoke` gate. Hot requests are
+/// pure cache hits; even a slow CI host answers them in well under a
+/// millisecond, so this catches pathologies (lock convoys on the cache
+/// shard, queue stalls), not noise.
+const HOT_P99_BUDGET_MS: f64 = 250.0;
+
+/// Required hot/cold throughput separation for the `--smoke` gate.
+const HOT_OVER_COLD_MIN: f64 = 20.0;
+
+/// Seed bases keep the three mixes (and the coalesce proof) disjoint,
+/// so no mix ever warms another's cache entries.
+const COLD_SEED_BASE: u64 = 0xC01D_0000;
+const HOT_SEED: u64 = 0x4807_0001;
+const ZIPF_SEED_BASE: u64 = 0x21BF_0000;
+const COALESCE_SEED: u64 = 0xC0A1_E5CE;
+
+/// The shared cell every request runs: the smoke-sized Origin2000
+/// MPI-IO checkpoint/restart, varied only by PRNG seed.
+fn spec_for_seed(seed: u64) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(PlatformId::Origin2000, StrategyId::MpiIoOptimized, 16, 4);
+    s.cycles = EVOLVE_CYCLES;
+    s.seed = seed;
+    s
+}
+
+/// One prepared request: encoded body plus the locally-computed
+/// expected image digest (the memoization-soundness oracle).
+#[derive(Clone)]
+struct Prepared {
+    body: Arc<String>,
+    expect_digest: Arc<String>,
+}
+
+fn prepare(seed: u64) -> Prepared {
+    let spec = spec_for_seed(seed);
+    let body = spec_to_json(&spec).encode();
+    let report = Experiment::from_spec(&spec)
+        .expect("loadgen spec must validate")
+        .run()
+        .report;
+    Prepared {
+        body: Arc::new(body),
+        expect_digest: Arc::new(hex_digest(report.image_digest)),
+    }
+}
+
+/// Minimal HTTP/1.1 client: one request per connection (the server is
+/// `Connection: close`), response read to EOF.
+fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect to loadgen server");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).expect("write request head");
+    conn.write_all(body.as_bytes()).expect("write request body");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body_at = text.find("\r\n\r\n").map(|i| i + 4).unwrap_or(text.len());
+    (status, text[body_at..].to_string())
+}
+
+/// Cache counters scraped from `GET /stats`.
+#[derive(Clone, Copy, Default)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+fn scrape_stats(addr: SocketAddr) -> Counters {
+    let (status, body) = http_request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200, "GET /stats failed: {body}");
+    let v = json::parse(&body).expect("stats JSON");
+    let field = |k: &str| v.get(k).and_then(Json::as_u64).expect("stats counter");
+    Counters {
+        hits: field("hits"),
+        misses: field("misses"),
+        coalesced: field("coalesced"),
+    }
+}
+
+/// What one traffic mix produced, in `results/serve.csv` column order.
+struct MixResult {
+    mix: &'static str,
+    requests: usize,
+    clients: usize,
+    duration_s: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    hit_ratio: f64,
+    digest_mismatches: u64,
+}
+
+/// Zipf(s) rank sampler over `1..=k` by inverse-CDF on precomputed
+/// cumulative weights.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(k: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for r in 1..=k {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Uniform f64 in [0, 1) from a splitmix64 draw.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Run one closed-loop mix: `clients` threads share a request budget of
+/// `seeds.len()` pre-assigned seeds (cold) or draw seeds per-request
+/// (hot/zipf via `pick`), each validating the returned image digest
+/// against the local oracle.
+fn run_mix(
+    addr: SocketAddr,
+    mix: &'static str,
+    clients: usize,
+    total: usize,
+    prepared: &HashMap<u64, Prepared>,
+    pick: impl Fn(usize, u64) -> u64 + Send + Sync + Copy,
+) -> MixResult {
+    let before = scrape_stats(addr);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let prepared = Arc::new(prepared.clone());
+    let t0 = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|tid| {
+                let counter = Arc::clone(&counter);
+                let mismatches = Arc::clone(&mismatches);
+                let prepared = Arc::clone(&prepared);
+                s.spawn(move || {
+                    let mut state = 0x10AD_0000u64 + tid as u64;
+                    let mut lats = Vec::new();
+                    loop {
+                        let idx = counter.fetch_add(1, Ordering::Relaxed);
+                        if idx >= total {
+                            break;
+                        }
+                        let seed = pick(idx, splitmix64(&mut state));
+                        let p = prepared.get(&seed).expect("seed prepared");
+                        let t = Instant::now();
+                        let (status, body) = http_request(addr, "POST", "/run", &p.body);
+                        lats.push(t.elapsed().as_micros() as u64);
+                        let got = (status == 200)
+                            .then(|| json::parse(&body).ok())
+                            .flatten()
+                            .and_then(|v| {
+                                v.get("image_digest")
+                                    .and_then(Json::as_str)
+                                    .map(String::from)
+                            });
+                        if got.as_deref() != Some(p.expect_digest.as_str()) {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let duration_s = t0.elapsed().as_secs_f64();
+    let after = scrape_stats(addr);
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let q = |p: f64| -> f64 {
+        let i = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[i] as f64 / 1e3
+    };
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    let coalesced = after.coalesced - before.coalesced;
+    MixResult {
+        mix,
+        requests: total,
+        clients,
+        duration_s,
+        rps: total as f64 / duration_s,
+        p50_ms: q(0.50),
+        p99_ms: q(0.99),
+        hits,
+        misses,
+        coalesced,
+        hit_ratio: hits as f64 / total as f64,
+        digest_mismatches: mismatches.load(Ordering::Relaxed),
+    }
+}
+
+fn print_mix(r: &MixResult) {
+    println!(
+        "{:<10} {:>6} reqs x{:<3} {:>8.2}s {:>9.1} rps  p50 {:>8.3} ms  p99 {:>8.3} ms  \
+         hit {:>5.1}%  ({} hits / {} misses / {} coalesced)  mismatches {}",
+        r.mix,
+        r.requests,
+        r.clients,
+        r.duration_s,
+        r.rps,
+        r.p50_ms,
+        r.p99_ms,
+        r.hit_ratio * 100.0,
+        r.hits,
+        r.misses,
+        r.coalesced,
+        r.digest_mismatches
+    );
+}
+
+/// Coalescing proof: 8 barrier-released clients POST one fresh spec;
+/// the stats delta must show exactly one simulation (one miss), with
+/// every other request served as a coalesced join or a cache hit, and
+/// all 8 responses carrying the locally-verified image digest.
+struct CoalesceProof {
+    threads: usize,
+    misses: u64,
+    coalesced: u64,
+    hits: u64,
+    digest_ok: bool,
+}
+
+fn coalesce_proof(addr: SocketAddr) -> CoalesceProof {
+    let threads = 8;
+    let p = prepare(COALESCE_SEED);
+    let before = scrape_stats(addr);
+    let barrier = Arc::new(Barrier::new(threads));
+    let digests: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let body = Arc::clone(&p.body);
+                s.spawn(move || {
+                    barrier.wait();
+                    let (status, resp) = http_request(addr, "POST", "/run", &body);
+                    assert_eq!(status, 200, "coalesce request failed: {resp}");
+                    json::parse(&resp)
+                        .expect("run response JSON")
+                        .get("image_digest")
+                        .and_then(Json::as_str)
+                        .expect("image_digest in response")
+                        .to_string()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("coalesce client"))
+            .collect()
+    });
+    let after = scrape_stats(addr);
+    CoalesceProof {
+        threads,
+        misses: after.misses - before.misses,
+        coalesced: after.coalesced - before.coalesced,
+        hits: after.hits - before.hits,
+        digest_ok: digests.iter().all(|d| d == p.expect_digest.as_str()),
+    }
+}
+
+fn mix_json(r: &MixResult) -> Json {
+    let f3 = |x: f64| Json::F64((x * 1e3).round() / 1e3);
+    Json::Obj(vec![
+        ("mix".into(), Json::str(r.mix)),
+        ("requests".into(), Json::U64(r.requests as u64)),
+        ("clients".into(), Json::U64(r.clients as u64)),
+        ("duration_s".into(), f3(r.duration_s)),
+        ("rps".into(), f3(r.rps)),
+        ("p50_ms".into(), f3(r.p50_ms)),
+        ("p99_ms".into(), f3(r.p99_ms)),
+        ("hits".into(), Json::U64(r.hits)),
+        ("misses".into(), Json::U64(r.misses)),
+        ("coalesced".into(), Json::U64(r.coalesced)),
+        ("hit_ratio".into(), f3(r.hit_ratio)),
+        ("digest_mismatches".into(), Json::U64(r.digest_mismatches)),
+    ])
+}
+
+fn write_csv(path: &str, results: &[MixResult]) {
+    std::fs::create_dir_all("results").ok();
+    let mut f = std::fs::File::create(path).expect("create serve csv");
+    writeln!(
+        f,
+        "mix,requests,clients,duration_s,rps,p50_ms,p99_ms,hits,misses,coalesced,\
+         hit_ratio,digest_mismatches"
+    )
+    .unwrap();
+    for r in results {
+        writeln!(
+            f,
+            "{},{},{},{:.3},{:.1},{:.3},{:.3},{},{},{},{:.3},{}",
+            r.mix,
+            r.requests,
+            r.clients,
+            r.duration_s,
+            r.rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.hits,
+            r.misses,
+            r.coalesced,
+            r.hit_ratio,
+            r.digest_mismatches
+        )
+        .unwrap();
+    }
+    println!("(wrote {path})");
+}
+
+/// Splice the `"serve"` block into `BENCH_selfbench.json`, replacing
+/// any previous one and preserving top-level key order otherwise.
+fn update_selfbench(results: &[MixResult], proof: &CoalesceProof) {
+    let path = "BENCH_selfbench.json";
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("(skipping {path} update: {e}; run selfbench first)");
+            return;
+        }
+    };
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{path}: not valid JSON: {e}"));
+    let Json::Obj(mut entries) = doc else {
+        panic!("{path}: top level is not an object");
+    };
+    entries.retain(|(k, _)| k != "serve");
+    entries.push((
+        "serve".into(),
+        Json::Obj(vec![
+            (
+                "cell".into(),
+                Json::str("origin2000/small/x4 mpiio-optimized"),
+            ),
+            (
+                "mixes".into(),
+                Json::Arr(results.iter().map(mix_json).collect()),
+            ),
+            (
+                "coalesce_proof".into(),
+                Json::Obj(vec![
+                    ("threads".into(), Json::U64(proof.threads as u64)),
+                    ("misses".into(), Json::U64(proof.misses)),
+                    ("coalesced".into(), Json::U64(proof.coalesced)),
+                    ("hits".into(), Json::U64(proof.hits)),
+                    ("digest_ok".into(), Json::Bool(proof.digest_ok)),
+                ]),
+            ),
+        ]),
+    ));
+    std::fs::write(path, Json::Obj(entries).pretty())
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("(updated {path} with the serve block)");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // Plenty of workers: the coalescing proof needs all 8 concurrent
+    // requests in flight at once, and mixes should saturate on the
+    // simulation cost, not on worker starvation.
+    let cfg = ServeConfig {
+        workers: 16,
+        ..ServeConfig::default()
+    };
+    let server: ServerHandle = serve("127.0.0.1:0", cfg).expect("start in-process server");
+    let addr = server.addr();
+    println!("loadgen: serving on {addr} ({} workers)", cfg.workers);
+
+    let (cold_n, cold_c, hot_n, hot_c, zipf_n, zipf_c, zipf_k) = if smoke {
+        (16, 4, 400, 8, 64, 8, 8)
+    } else {
+        (96, 8, 2000, 16, 512, 8, 32)
+    };
+
+    // Local oracle runs: every seed a mix can draw gets one uncached
+    // in-process simulation up front, so the timed loops compare every
+    // response digest without perturbing the measurement.
+    println!(
+        "loadgen: preparing local digest oracle ({} cold specs)...",
+        cold_n
+    );
+    let mut cold_prep = HashMap::new();
+    for i in 0..cold_n {
+        let seed = COLD_SEED_BASE + i as u64;
+        cold_prep.insert(seed, prepare(seed));
+    }
+    let mut hot_prep = HashMap::new();
+    hot_prep.insert(HOT_SEED, prepare(HOT_SEED));
+    let mut zipf_prep = HashMap::new();
+    for r in 0..zipf_k {
+        let seed = ZIPF_SEED_BASE + r as u64;
+        zipf_prep.insert(seed, prepare(seed));
+    }
+
+    // All-cold: request i carries seed i — every request simulates.
+    let cold = run_mix(addr, "all-cold", cold_c, cold_n, &cold_prep, |idx, _| {
+        COLD_SEED_BASE + idx as u64
+    });
+    print_mix(&cold);
+
+    // All-hot: warm once, then every request is the same spec.
+    let warm = hot_prep.get(&HOT_SEED).expect("hot prepared");
+    let (status, _) = http_request(addr, "POST", "/run", &warm.body);
+    assert_eq!(status, 200, "hot warmup failed");
+    let hot = run_mix(addr, "all-hot", hot_c, hot_n, &hot_prep, |_, _| HOT_SEED);
+    print_mix(&hot);
+
+    // Zipf: skewed draws over K specs; the head stays hot, the tail
+    // forces occasional misses.
+    let zipf = Zipf::new(zipf_k, 1.1);
+    let zipf_ref = &zipf;
+    let zipf_mix = run_mix(addr, "zipf", zipf_c, zipf_n, &zipf_prep, move |_, draw| {
+        ZIPF_SEED_BASE + zipf_ref.sample(unit_f64(draw)) as u64
+    });
+    print_mix(&zipf_mix);
+
+    let proof = coalesce_proof(addr);
+    println!(
+        "coalesce proof: {} concurrent identical requests -> {} miss / {} coalesced / {} hits, \
+         digests {}",
+        proof.threads,
+        proof.misses,
+        proof.coalesced,
+        proof.hits,
+        if proof.digest_ok {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    server.stop();
+
+    let results = [cold, hot, zipf_mix];
+    let csv_path = if smoke {
+        "results/serve_smoke.csv"
+    } else {
+        "results/serve.csv"
+    };
+    write_csv(csv_path, &results);
+    if !smoke {
+        update_selfbench(&results, &proof);
+    }
+
+    // Gates (always checked; `--smoke` is just the reduced matrix).
+    let mut failed = false;
+    let total_mismatches: u64 = results.iter().map(|r| r.digest_mismatches).sum();
+    if total_mismatches > 0 {
+        eprintln!("FAIL: {total_mismatches} digest mismatches (memoization unsound)");
+        failed = true;
+    }
+    let (cold_r, hot_r) = (results[0].rps, results[1].rps);
+    if hot_r < cold_r * HOT_OVER_COLD_MIN {
+        eprintln!(
+            "FAIL: hot mix {hot_r:.1} rps < {HOT_OVER_COLD_MIN}x cold mix {cold_r:.1} rps \
+             (cache not paying for itself)"
+        );
+        failed = true;
+    }
+    if results[1].p99_ms > HOT_P99_BUDGET_MS {
+        eprintln!(
+            "FAIL: hot-mix p99 {:.3} ms exceeds {HOT_P99_BUDGET_MS} ms budget",
+            results[1].p99_ms
+        );
+        failed = true;
+    }
+    if results[0].hits != 0 || results[0].misses != results[0].requests as u64 {
+        eprintln!(
+            "FAIL: all-cold mix was not all-cold ({} hits, {} misses)",
+            results[0].hits, results[0].misses
+        );
+        failed = true;
+    }
+    if proof.misses != 1
+        || proof.hits + proof.coalesced != (proof.threads as u64 - 1)
+        || proof.coalesced == 0
+        || !proof.digest_ok
+    {
+        eprintln!(
+            "FAIL: coalescing proof did not hold ({} misses, {} coalesced, {} hits, digest_ok {})",
+            proof.misses, proof.coalesced, proof.hits, proof.digest_ok
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("loadgen: OK");
+}

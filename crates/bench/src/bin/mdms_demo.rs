@@ -8,26 +8,44 @@
 //! the regular fields, sieved independent access elsewhere), on two
 //! platforms.
 
-use amrio_bench::{print_reports, run_cell, write_csv};
-use amrio_enzo::{MdmsAdvised, MpiIoNaive, Platform, ProblemSize};
+use amrio_bench::{print_reports, run_cell, write_csv, write_json};
+use amrio_enzo::spec::{PlatformId, StrategyId};
+use amrio_enzo::ProblemSize;
 
 fn main() {
     let mut reports = Vec::new();
     for p in [8usize, 16] {
-        let platform = Platform::origin2000(p);
-        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MpiIoNaive));
-        reports.push(run_cell(&platform, ProblemSize::Amr64, p, &MdmsAdvised));
+        reports.push(run_cell(
+            PlatformId::Origin2000,
+            ProblemSize::Amr64,
+            p,
+            StrategyId::MpiIoNaive,
+        ));
+        reports.push(run_cell(
+            PlatformId::Origin2000,
+            ProblemSize::Amr64,
+            p,
+            StrategyId::MdmsAdvised,
+        ));
     }
-    {
-        let platform = Platform::chiba_pvfs(8);
-        reports.push(run_cell(&platform, ProblemSize::Amr64, 8, &MpiIoNaive));
-        reports.push(run_cell(&platform, ProblemSize::Amr64, 8, &MdmsAdvised));
-    }
+    reports.push(run_cell(
+        PlatformId::ChibaPvfs,
+        ProblemSize::Amr64,
+        8,
+        StrategyId::MpiIoNaive,
+    ));
+    reports.push(run_cell(
+        PlatformId::ChibaPvfs,
+        ProblemSize::Amr64,
+        8,
+        StrategyId::MdmsAdvised,
+    ));
     print_reports(
         "MDMS demo: pattern-blind restart vs metadata-advised restart (read column)",
         &reports,
     );
     write_csv("mdms_demo", &reports);
+    write_json("mdms_demo", &reports);
     println!("\nThe write columns match (same layout); the read columns show what");
     println!("the recorded access-pattern metadata is worth at restart time.");
 }

@@ -13,6 +13,8 @@ use amrio_enzo::{
     RunReport, SimConfig,
 };
 use amrio_fault::{window_secs, FaultPlan};
+use amrio_serve::json::Json;
+use amrio_serve::wire::report_to_json;
 use amrio_simt::{SimDur, SimTime};
 use std::sync::Arc;
 
@@ -195,11 +197,37 @@ fn write_csv(rows: &[Row], smoke: bool) {
     println!("(wrote {path})");
 }
 
+/// The machine-readable matrix: one object per row, each embedding the
+/// full serve-format report (resilience counters included) so the CSV's
+/// hand-picked columns are no longer the only record.
+fn write_json(rows: &[Row], smoke: bool) {
+    std::fs::create_dir_all("results").ok();
+    let path = if smoke {
+        "results/resilience_smoke.json"
+    } else {
+        "results/resilience.json"
+    };
+    let doc = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("scenario".into(), Json::str(r.scenario)),
+                    ("clean_makespan_s".into(), Json::F64(r.clean_makespan)),
+                    ("report".into(), report_to_json(&r.report)),
+                ])
+            })
+            .collect(),
+    );
+    std::fs::write(path, doc.pretty()).expect("write results json");
+    println!("(wrote {path})");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let rows = run_matrix(smoke);
     print_rows(&rows);
     write_csv(&rows, smoke);
+    write_json(&rows, smoke);
 
     // Gate: every cell must verify, and the degraded-PVFS cell must
     // have both retried and failed over.

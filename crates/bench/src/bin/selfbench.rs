@@ -32,9 +32,10 @@ use amrio_enzo::{
     RunReport,
 };
 use amrio_plan::{plan, Backend, PlanInput};
+use amrio_serve::json::{self, Json};
+use amrio_serve::wire::hex_digest;
 use amrio_simt::{copied_bytes, reset_copied_bytes};
 use amrio_tune::search;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Wall-clock repetitions per cell; the median is the headline number.
@@ -145,39 +146,44 @@ fn rank_sweep() -> Vec<CellResult> {
         .collect()
 }
 
-/// Append one cell object (shared by `"cells"` and `"rank_sweep"`).
-fn write_cell_json(j: &mut String, c: &CellResult) {
+/// Round to `digits` decimal places so the shortest-round-trip float
+/// encoding stays as readable as the old fixed-precision format.
+fn rounded(x: f64, digits: i32) -> Json {
+    let scale = 10f64.powi(digits);
+    Json::F64((x * scale).round() / scale)
+}
+
+/// One cell object (shared by `"cells"` and `"rank_sweep"`).
+fn cell_json(c: &CellResult) -> Json {
     let r = &c.report;
     let s = &r.sched;
-    let _ = write!(
-        j,
-        "    {{\"backend\": \"{}\", \"problem\": \"{}\", \"root_n\": {}, \"nranks\": {}, \
-         \"checker\": \"{}\", \"smoke\": {}, \"wall_ms\": {:.3}, \"wall_ms_min\": {:.3}, \
-         \"copied_bytes\": {}, \"bytes_written\": {}, \"bytes_read\": {}, \"write_s\": {:.6}, \
-         \"read_s\": {:.6}, \"verified\": {}, \"image_digest\": \"{:#018x}\", \
-         \"ordered_ops\": {}, \"sched\": {{\"wakeups\": {}, \"handoffs\": {}, \
-         \"index_updates\": {}, \"lock_acquisitions\": {}}}}}",
-        c.backend,
-        c.problem,
-        c.root_n,
-        c.nranks,
-        c.checker,
-        c.smoke,
-        c.wall_ms,
-        c.wall_ms_min,
-        c.copied_bytes,
-        r.bytes_written,
-        r.bytes_read,
-        r.write_time,
-        r.read_time,
-        r.verified,
-        r.image_digest,
-        r.ordered_ops,
-        s.wakeups,
-        s.handoffs,
-        s.index_updates,
-        s.lock_acquisitions
-    );
+    Json::Obj(vec![
+        ("backend".into(), Json::str(c.backend)),
+        ("problem".into(), Json::str(c.problem)),
+        ("root_n".into(), Json::U64(c.root_n)),
+        ("nranks".into(), Json::U64(c.nranks as u64)),
+        ("checker".into(), Json::str(c.checker)),
+        ("smoke".into(), Json::Bool(c.smoke)),
+        ("wall_ms".into(), rounded(c.wall_ms, 3)),
+        ("wall_ms_min".into(), rounded(c.wall_ms_min, 3)),
+        ("copied_bytes".into(), Json::U64(c.copied_bytes)),
+        ("bytes_written".into(), Json::U64(r.bytes_written)),
+        ("bytes_read".into(), Json::U64(r.bytes_read)),
+        ("write_s".into(), rounded(r.write_time, 6)),
+        ("read_s".into(), rounded(r.read_time, 6)),
+        ("verified".into(), Json::Bool(r.verified)),
+        ("image_digest".into(), Json::Str(hex_digest(r.image_digest))),
+        ("ordered_ops".into(), Json::U64(r.ordered_ops)),
+        (
+            "sched".into(),
+            Json::Obj(vec![
+                ("wakeups".into(), Json::U64(s.wakeups)),
+                ("handoffs".into(), Json::U64(s.handoffs)),
+                ("index_updates".into(), Json::U64(s.index_updates)),
+                ("lock_acquisitions".into(), Json::U64(s.lock_acquisitions)),
+            ]),
+        ),
+    ])
 }
 
 fn eprint_cell(c: &CellResult) {
@@ -437,31 +443,27 @@ fn main() {
     }
 
     let smoke_total: f64 = cells.iter().filter(|c| c.smoke).map(|c| c.wall_ms).sum();
-    let mut j = String::new();
-    j.push_str("{\n");
-    j.push_str("  \"schema\": \"amrio-selfbench-v2\",\n");
-    j.push_str("  \"platform\": \"ibm_sp2\",\n");
-    let _ = writeln!(j, "  \"evolve_cycles\": {EVOLVE_CYCLES},");
-    let _ = writeln!(j, "  \"reps\": {REPS},");
-    let _ = writeln!(j, "  \"smoke_total_wall_ms\": {smoke_total:.3},");
-    j.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        write_cell_json(&mut j, c);
-        j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
-    }
-    j.push_str("  ],\n");
+    let mut doc: Vec<(String, Json)> = vec![
+        ("schema".into(), Json::str("amrio-selfbench-v2")),
+        ("platform".into(), Json::str("ibm_sp2")),
+        ("evolve_cycles".into(), Json::U64(EVOLVE_CYCLES as u64)),
+        ("reps".into(), Json::U64(REPS as u64)),
+        ("smoke_total_wall_ms".into(), rounded(smoke_total, 3)),
+        (
+            "cells".into(),
+            Json::Arr(cells.iter().map(cell_json).collect()),
+        ),
+    ];
 
     if !smoke_only {
         let sweep = rank_sweep();
         for c in &sweep {
             eprint_cell(c);
         }
-        j.push_str("  \"rank_sweep\": [\n");
-        for (i, c) in sweep.iter().enumerate() {
-            write_cell_json(&mut j, c);
-            j.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
-        }
-        j.push_str("  ],\n");
+        doc.push((
+            "rank_sweep".into(),
+            Json::Arr(sweep.iter().map(cell_json).collect()),
+        ));
     }
 
     let t = tune_summary();
@@ -470,19 +472,19 @@ fn main() {
         t.candidates, t.search_wall_ms, t.best, t.predicted_total_s, t.tuned_total_s,
         t.baseline_total_s, t.digest_ok
     );
-    let _ = write!(
-        j,
-        "  \"tune\": {{\"cell\": \"origin2000/small/x4\", \"candidates\": {}, \
-         \"search_wall_ms\": {:.3}, \"best\": \"{}\", \"predicted_total_s\": {:.6}, \
-         \"tuned_total_s\": {:.6}, \"baseline_total_s\": {:.6}, \"digest_ok\": {}}}",
-        t.candidates,
-        t.search_wall_ms,
-        t.best,
-        t.predicted_total_s,
-        t.tuned_total_s,
-        t.baseline_total_s,
-        t.digest_ok
-    );
+    doc.push((
+        "tune".into(),
+        Json::Obj(vec![
+            ("cell".into(), Json::str("origin2000/small/x4")),
+            ("candidates".into(), Json::U64(t.candidates as u64)),
+            ("search_wall_ms".into(), rounded(t.search_wall_ms, 3)),
+            ("best".into(), Json::Str(t.best.clone())),
+            ("predicted_total_s".into(), rounded(t.predicted_total_s, 6)),
+            ("tuned_total_s".into(), rounded(t.tuned_total_s, 6)),
+            ("baseline_total_s".into(), rounded(t.baseline_total_s, 6)),
+            ("digest_ok".into(), Json::Bool(t.digest_ok)),
+        ]),
+    ));
 
     let cs = crash_summary();
     eprintln!(
@@ -490,18 +492,22 @@ fn main() {
         cs.points, cs.wall_ms, cs.fired, cs.resumed_from_commit, cs.torn_generations,
         cs.all_recovered
     );
-    let _ = write!(
-        j,
-        ",\n  \"crash_sweep\": {{\"cell\": \"ibm_sp2/small/x4\", \"points\": {}, \
-         \"fired\": {}, \"resumed_from_commit\": {}, \"torn_generations\": {}, \
-         \"all_recovered\": {}, \"wall_ms\": {:.3}}}",
-        cs.points,
-        cs.fired,
-        cs.resumed_from_commit,
-        cs.torn_generations,
-        cs.all_recovered,
-        cs.wall_ms
-    );
+    doc.push((
+        "crash_sweep".into(),
+        Json::Obj(vec![
+            ("cell".into(), Json::str("ibm_sp2/small/x4")),
+            ("points".into(), Json::U64(cs.points as u64)),
+            ("fired".into(), Json::U64(cs.fired as u64)),
+            (
+                "resumed_from_commit".into(),
+                Json::U64(cs.resumed_from_commit as u64),
+            ),
+            ("torn_generations".into(), Json::U64(cs.torn_generations)),
+            ("all_recovered".into(), Json::Bool(cs.all_recovered)),
+            ("wall_ms".into(), rounded(cs.wall_ms, 3)),
+        ]),
+    ));
+
     let vs = verify_summary();
     eprintln!(
         "verify: {}/{} presets Safe, {}/{} corpus cases flagged, {} false negatives; static {:.2} ms vs strict sim {:.1} ms ({:.0}x)",
@@ -509,33 +515,36 @@ fn main() {
         vs.analysis_wall_ms, vs.sim_wall_ms,
         vs.sim_wall_ms / vs.analysis_wall_ms.max(1e-9)
     );
-    let _ = write!(
-        j,
-        ",\n  \"verify\": {{\"cell\": \"origin2000/small/x4\", \"presets\": {}, \
-         \"presets_safe\": {}, \"corpus_cases\": {}, \"corpus_flagged\": {}, \
-         \"false_negatives\": {}, \"analysis_wall_ms\": {:.3}, \"sim_wall_ms\": {:.3}, \
-         \"speedup\": {:.1}}}",
-        vs.presets,
-        vs.presets_safe,
-        vs.corpus_cases,
-        vs.corpus_flagged,
-        vs.false_negatives,
-        vs.analysis_wall_ms,
-        vs.sim_wall_ms,
-        vs.sim_wall_ms / vs.analysis_wall_ms.max(1e-9)
-    );
+    doc.push((
+        "verify".into(),
+        Json::Obj(vec![
+            ("cell".into(), Json::str("origin2000/small/x4")),
+            ("presets".into(), Json::U64(vs.presets as u64)),
+            ("presets_safe".into(), Json::U64(vs.presets_safe as u64)),
+            ("corpus_cases".into(), Json::U64(vs.corpus_cases as u64)),
+            ("corpus_flagged".into(), Json::U64(vs.corpus_flagged as u64)),
+            (
+                "false_negatives".into(),
+                Json::U64(vs.false_negatives as u64),
+            ),
+            ("analysis_wall_ms".into(), rounded(vs.analysis_wall_ms, 3)),
+            ("sim_wall_ms".into(), rounded(vs.sim_wall_ms, 3)),
+            (
+                "speedup".into(),
+                rounded(vs.sim_wall_ms / vs.analysis_wall_ms.max(1e-9), 1),
+            ),
+        ]),
+    ));
 
     if let Some(path) = embed_before {
         let before =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--embed-before {path}: {e}"));
-        j.push_str(",\n  \"before\": ");
-        // Indent the embedded document so the merged file stays readable.
-        j.push_str(&before.trim_end().replace('\n', "\n  "));
-        j.push('\n');
-    } else {
-        j.push('\n');
+        let parsed = json::parse(&before)
+            .unwrap_or_else(|e| panic!("--embed-before {path}: not valid JSON: {e}"));
+        doc.push(("before".into(), parsed));
     }
-    j.push_str("}\n");
-    std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
+    let out = Json::Obj(doc).pretty();
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("(wrote {out_path}; smoke_total_wall_ms = {smoke_total:.1})");
 }

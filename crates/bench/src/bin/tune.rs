@@ -25,6 +25,8 @@ use amrio_enzo::{
 };
 use amrio_hdf5::OverheadModel;
 use amrio_plan::{plan, Backend, PlanInput};
+use amrio_serve::json::Json;
+use amrio_serve::wire::tune_config_to_json;
 use amrio_tune::{lint, search_verified, Severity, TuneConfig};
 use std::io::Write as _;
 
@@ -110,6 +112,7 @@ fn tune_cell(
     problem: ProblemSize,
     nranks: usize,
     rows: &mut Vec<Row>,
+    winners: &mut Vec<Json>,
 ) -> bool {
     let probe = probe_cell(platform, problem, nranks);
     let input = PlanInput::from_probe(&probe, &platform.fs);
@@ -203,6 +206,14 @@ fn tune_cell(
         });
     }
 
+    winners.push(Json::Obj(vec![
+        ("platform".into(), Json::str(platform.name)),
+        ("problem".into(), Json::Str(problem.label())),
+        ("procs".into(), Json::U64(nranks as u64)),
+        ("predicted_s".into(), Json::F64(best.cost.total_s())),
+        ("config".into(), tune_config_to_json(&best.cfg)),
+    ]));
+
     let digest_ok = baseline_digest == Some(tuned.image_digest);
     println!(
         "  {:<18} write {:>9.4}s read {:>9.4}s total {:>9.4}s  digest {}",
@@ -258,12 +269,14 @@ fn main() {
     let mut ok = lint_presets(ProblemSize::Custom(16), 4);
 
     let mut rows = Vec::new();
+    let mut winners = Vec::new();
     if smoke {
         ok &= tune_cell(
             &Platform::origin2000(4),
             ProblemSize::Custom(16),
             4,
             &mut rows,
+            &mut winners,
         );
     } else {
         ok &= tune_cell(
@@ -271,21 +284,36 @@ fn main() {
             ProblemSize::Custom(16),
             4,
             &mut rows,
+            &mut winners,
         );
         ok &= tune_cell(
             &Platform::origin2000(8),
             ProblemSize::Custom(32),
             8,
             &mut rows,
+            &mut winners,
         );
-        ok &= tune_cell(&Platform::ibm_sp2(8), ProblemSize::Custom(32), 8, &mut rows);
+        ok &= tune_cell(
+            &Platform::ibm_sp2(8),
+            ProblemSize::Custom(32),
+            8,
+            &mut rows,
+            &mut winners,
+        );
         ok &= tune_cell(
             &Platform::chiba_pvfs(8),
             ProblemSize::Custom(32),
             8,
             &mut rows,
+            &mut winners,
         );
         write_csv(&rows);
+        // The winning advisories in the shared serve-format shape
+        // (label + full hint set), one object per matrix cell.
+        std::fs::create_dir_all("results").ok();
+        std::fs::write("results/tune_winners.json", Json::Arr(winners).pretty())
+            .expect("write results/tune_winners.json");
+        println!("(wrote results/tune_winners.json)");
     }
 
     if ok {

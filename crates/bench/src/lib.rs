@@ -4,7 +4,10 @@
 
 #![forbid(unsafe_code)]
 
+use amrio_enzo::spec::{ExperimentSpec, PlatformId, StrategyId};
 use amrio_enzo::{Experiment, IoStrategy, Platform, ProblemSize, RunReport, SimConfig};
+use amrio_serve::json::Json;
+use amrio_serve::wire::report_to_json;
 
 /// Evolution cycles before the timed dump (enough to grow a refinement
 /// hierarchy and scatter particles irregularly).
@@ -14,8 +17,39 @@ pub fn default_cfg(problem: ProblemSize, nranks: usize) -> SimConfig {
     SimConfig::new(problem, nranks)
 }
 
-/// Run one experiment cell: platform x problem x strategy.
+/// The spec for one bench cell: platform x problem x strategy with the
+/// harness's standard cycle count. This is the same document a client
+/// would `POST /run` to reproduce the cell through `amrio-serve`.
+pub fn cell_spec(
+    platform: PlatformId,
+    problem: ProblemSize,
+    nranks: usize,
+    strategy: StrategyId,
+) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(platform, strategy, problem.root_n(), nranks);
+    spec.cycles = EVOLVE_CYCLES;
+    spec
+}
+
+/// Run one experiment cell by spec — the one construction path shared
+/// with the serve layer and the integration tests.
 pub fn run_cell(
+    platform: PlatformId,
+    problem: ProblemSize,
+    nranks: usize,
+    strategy: StrategyId,
+) -> RunReport {
+    Experiment::from_spec(&cell_spec(platform, problem, nranks, strategy))
+        .expect("bench cell spec must validate")
+        .run()
+        .report
+}
+
+/// Run a cell whose platform or strategy cannot be named by a spec —
+/// ablations with hand-built `OverheadModel`s or mutated platform
+/// parameters (stripe sweeps). Everything nameable goes through
+/// [`run_cell`].
+pub fn run_cell_custom(
     platform: &Platform,
     problem: ProblemSize,
     nranks: usize,
@@ -90,6 +124,17 @@ pub fn write_csv(name: &str, reports: &[RunReport]) {
     println!("(wrote {path})");
 }
 
+/// Write reports as a JSON array to `results/<name>.json` — the same
+/// per-report shape (`amrio_serve::wire::report_to_json`) the serve
+/// layer returns, so figures, tests and the service speak one format.
+pub fn write_json(name: &str, reports: &[RunReport]) {
+    std::fs::create_dir_all("results").ok();
+    let path = format!("results/{name}.json");
+    let doc = Json::Arr(reports.iter().map(report_to_json).collect());
+    std::fs::write(&path, doc.pretty()).expect("write results json");
+    println!("(wrote {path})");
+}
+
 // ---------------------------------------------------------------------------
 // Crash-point sweep (crash-consistency fuzzing)
 
@@ -116,9 +161,9 @@ pub struct CrashCell {
     pub makespan: f64,
 }
 
-/// splitmix64 — the sweep's only entropy source, fully seeded so the
-/// committed CSV reproduces bit for bit.
-fn splitmix64(state: &mut u64) -> u64 {
+/// splitmix64 — the sweeps' only entropy source, fully seeded so the
+/// committed CSVs reproduce bit for bit.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -23,6 +23,7 @@ pub mod io;
 pub mod platform;
 pub mod problem;
 pub mod sort;
+pub mod spec;
 pub mod state;
 pub mod wire;
 
@@ -33,6 +34,10 @@ pub use io::{
 };
 pub use platform::Platform;
 pub use problem::{ProblemSize, SimConfig};
+pub use spec::{
+    ExperimentSpec, FaultEntry, FaultSpec, PlatformId, RetrySpec, SpecError, SpecExperiment,
+    StrategyId,
+};
 pub use state::{global_digest, SimState, TOP_GRID};
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! The sharded memoizing result cache with in-flight coalescing.
+//!
+//! Keyed on the spec's canonical FNV digest. Because runs are
+//! deterministic, a digest hit can return the stored outcome without
+//! re-simulating; the stored `image_digest` is the proof a client can
+//! check against any fresh run of the same spec.
+//!
+//! Coalescing protocol (DESIGN.md §5l): the first requester of a digest
+//! installs an `InFlight` marker and runs the simulation *outside* the
+//! shard lock; concurrent requesters of the same digest find the marker,
+//! park on its condvar, and receive the published result — N identical
+//! concurrent requests cost exactly one simulation. If the run fails,
+//! the marker is removed so later requests retry rather than caching a
+//! failure forever.
+//!
+//! FNV is not collision-free, so `Done` entries also store the canonical
+//! string; a digest match with a canonical mismatch (astronomically
+//! rare, but cheap to guard) bypasses the cache and is counted.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a lookup was satisfied — drives the stats counters and the
+/// per-class latency histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from a completed entry, no simulation.
+    Hit,
+    /// This request ran the simulation and published the entry.
+    Miss,
+    /// Another in-flight request ran it; this one waited for the result.
+    Coalesced,
+    /// Digest collision with a different canonical string: ran
+    /// uncached.
+    Collision,
+}
+
+/// A completed run, as stored in the cache.
+#[derive(Debug)]
+pub struct Cached<V> {
+    /// Canonical spec string — the collision guard.
+    pub canonical: String,
+    pub value: V,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+enum FlightState<V> {
+    Running,
+    /// Publisher stored the shared result (also installed in the map).
+    Done(Arc<Cached<V>>),
+    /// Publisher's run failed; waiters propagate the error message.
+    Failed(String),
+}
+
+enum Entry<V> {
+    InFlight(Arc<Flight<V>>),
+    Done(Arc<Cached<V>>),
+}
+
+/// Sharded map digest → entry. Shard count is fixed at construction;
+/// lookups lock exactly one shard, and never while simulating.
+pub struct RunCache<V> {
+    shards: Vec<Mutex<HashMap<u64, Entry<V>>>>,
+}
+
+impl<V> RunCache<V> {
+    pub fn new(shards: usize) -> RunCache<V> {
+        assert!(shards > 0);
+        RunCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, digest: u64) -> &Mutex<HashMap<u64, Entry<V>>> {
+        // High bits: FNV mixes them well, and consecutive digests are
+        // not meaningful anyway.
+        &self.shards[(digest >> 32) as usize % self.shards.len()]
+    }
+
+    /// Entries currently resident (completed + in-flight), for /stats.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `digest`, running `run` at most once across all
+    /// concurrent callers with the same digest. `run` executes outside
+    /// any shard lock. Returns the shared result (or the run's error)
+    /// plus how the lookup was satisfied.
+    pub fn get_or_run(
+        &self,
+        digest: u64,
+        canonical: &str,
+        run: impl FnOnce() -> Result<V, String>,
+    ) -> (Result<Arc<Cached<V>>, String>, Outcome) {
+        let flight = {
+            let mut shard = self.shard(digest).lock().unwrap();
+            match shard.get(&digest) {
+                Some(Entry::Done(c)) => {
+                    if c.canonical == canonical {
+                        return (Ok(Arc::clone(c)), Outcome::Hit);
+                    }
+                    // Same digest, different spec: serve uncached.
+                    drop(shard);
+                    let r = run().map(|value| {
+                        Arc::new(Cached {
+                            canonical: canonical.to_string(),
+                            value,
+                        })
+                    });
+                    return (r, Outcome::Collision);
+                }
+                Some(Entry::InFlight(f)) => Arc::clone(f),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        cv: Condvar::new(),
+                    });
+                    shard.insert(digest, Entry::InFlight(Arc::clone(&f)));
+                    drop(shard);
+                    // We are the publisher: simulate, then install the
+                    // result and wake every waiter.
+                    let result = run();
+                    let mut shard = self.shard(digest).lock().unwrap();
+                    let outcome = match result {
+                        Ok(value) => {
+                            let c = Arc::new(Cached {
+                                canonical: canonical.to_string(),
+                                value,
+                            });
+                            shard.insert(digest, Entry::Done(Arc::clone(&c)));
+                            *f.state.lock().unwrap() = FlightState::Done(Arc::clone(&c));
+                            Ok(c)
+                        }
+                        Err(e) => {
+                            // Do not cache failures: remove the marker
+                            // so the next request retries.
+                            shard.remove(&digest);
+                            *f.state.lock().unwrap() = FlightState::Failed(e.clone());
+                            Err(e)
+                        }
+                    };
+                    drop(shard);
+                    f.cv.notify_all();
+                    return (outcome, Outcome::Miss);
+                }
+            }
+        };
+        // Coalesced: park until the publisher resolves the flight.
+        let mut st = flight.state.lock().unwrap();
+        while matches!(*st, FlightState::Running) {
+            st = flight.cv.wait(st).unwrap();
+        }
+        let r = match &*st {
+            FlightState::Done(c) => Ok(Arc::clone(c)),
+            FlightState::Failed(e) => Err(e.clone()),
+            FlightState::Running => unreachable!(),
+        };
+        (r, Outcome::Coalesced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache: RunCache<u32> = RunCache::new(4);
+        let (r, o) = cache.get_or_run(1, "spec-a", || Ok(42));
+        assert_eq!((r.unwrap().value, o), (42, Outcome::Miss));
+        let (r, o) = cache.get_or_run(1, "spec-a", || panic!("must not run"));
+        assert_eq!((r.unwrap().value, o), (42, Outcome::Hit));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_run_once() {
+        let cache: Arc<RunCache<u32>> = Arc::new(RunCache::new(4));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (cache, runs, barrier) =
+                    (Arc::clone(&cache), Arc::clone(&runs), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (r, o) = cache.get_or_run(7, "spec-b", || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        // Let waiters pile up on the flight.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(99)
+                    });
+                    (r.unwrap().value, o)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one simulation");
+        assert!(results.iter().all(|(v, _)| *v == 99));
+        assert_eq!(
+            results.iter().filter(|(_, o)| *o == Outcome::Miss).count(),
+            1
+        );
+        assert!(results
+            .iter()
+            .filter(|(_, o)| *o != Outcome::Miss)
+            .all(|(_, o)| *o == Outcome::Coalesced || *o == Outcome::Hit));
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let cache: RunCache<u32> = RunCache::new(2);
+        let (r, o) = cache.get_or_run(3, "spec-c", || Err("boom".to_string()));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(o, Outcome::Miss);
+        assert!(cache.is_empty(), "failed flight must be evicted");
+        let (r, o) = cache.get_or_run(3, "spec-c", || Ok(5));
+        assert_eq!((r.unwrap().value, o), (5, Outcome::Miss));
+    }
+
+    #[test]
+    fn digest_collisions_bypass_the_cache() {
+        let cache: RunCache<u32> = RunCache::new(2);
+        cache.get_or_run(9, "spec-x", || Ok(1)).0.unwrap();
+        let (r, o) = cache.get_or_run(9, "spec-y", || Ok(2));
+        assert_eq!((r.unwrap().value, o), (2, Outcome::Collision));
+        // The original entry is untouched.
+        let (r, o) = cache.get_or_run(9, "spec-x", || panic!("must hit"));
+        assert_eq!((r.unwrap().value, o), (1, Outcome::Hit));
+    }
+}

@@ -1,0 +1,147 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net`: enough to
+//! serve `POST /run` and `GET /stats` to curl and the load generator,
+//! nothing more. One request per connection (`Connection: close`),
+//! `Content-Length` bodies only (no chunked transfer), bounded header
+//! and body sizes so a hostile peer cannot balloon memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed request line + headers + body.
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Why a connection could not produce a `Request`.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request — answer 400.
+    Bad(&'static str),
+    /// Body advertised more than the configured cap — answer 413.
+    TooLarge,
+    /// Socket-level failure — no answer possible.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Read one request from the stream. `max_body` caps the accepted
+/// `Content-Length`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    // Read until the blank line that ends the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = find_crlfcrlf(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::Bad("header block too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed mid-header"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Bad("non-utf8 header block"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Bad("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Bad("missing request path"))?
+        .to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(HttpError::Bad("malformed request line"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response and flush. Always `Connection: close`.
+pub fn write_response(stream: &mut TcpStream, code: u16, content_type: &str, body: &[u8]) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        code,
+        status_text(code),
+        content_type,
+        body.len()
+    );
+    // The peer may already be gone; nothing useful to do about it.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+/// JSON error body helper: `{"error":"...","error_kind":"..."}`.
+pub fn error_body(kind: &str, msg: &str) -> Vec<u8> {
+    crate::json::Json::Obj(vec![
+        ("error".into(), crate::json::Json::str(msg)),
+        ("error_kind".into(), crate::json::Json::str(kind)),
+    ])
+    .encode()
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_header_terminator() {
+        assert_eq!(find_crlfcrlf(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_crlfcrlf(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,437 @@
+//! `amrio-serve` — experiment-as-a-service.
+//!
+//! A std-only HTTP/JSON front-end over the deterministic simulation:
+//! clients `POST /run` an [`ExperimentSpec`] document, the server
+//! schedules it on a bounded worker pool, and identical specs — the
+//! common case when sweeping configurations under heavy traffic — are
+//! served from a sharded memoizing cache keyed on the spec's canonical
+//! FNV digest, with in-flight coalescing so N concurrent identical
+//! requests cost one simulation. Every response carries the run's
+//! `image_digest` as the cache-validity proof: a client can always
+//! compare it against a fresh uncached run of the same spec.
+//!
+//! Endpoints:
+//!
+//! - `POST /run` — body: a spec document (see [`wire`]). Response 200:
+//!   `{"spec_digest","image_digest","cached","coalesced","outcome"}`.
+//!   Malformed JSON, schema violations and invalid configurations are
+//!   400 with `{"error","error_kind"}`; full queue is 503.
+//! - `GET /stats` — counters, queue depth, cache size, latency
+//!   histograms ([`stats`]).
+//! - `GET /healthz` — liveness probe, `"ok"`.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod stats;
+pub mod wire;
+
+use amrio_enzo::spec::ExperimentSpec;
+use amrio_enzo::Experiment;
+use cache::{Outcome, RunCache};
+use http::{error_body, read_request, write_response, HttpError, Request};
+use json::Json;
+use stats::ServeStats;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs. Defaults are sized for a benchmark host:
+/// worker count tracks available cores, the queue bounds memory, and
+/// `max_ranks` keeps one hostile spec from monopolizing the box.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing requests (≥ 1).
+    pub workers: usize,
+    /// Accepted-but-unserviced connection bound; beyond it new
+    /// connections get an immediate 503 (fail fast beats unbounded
+    /// queueing).
+    pub queue_cap: usize,
+    /// Result-cache shard count.
+    pub shards: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Largest accepted `nranks` (simulation threads per run).
+    pub max_ranks: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        ServeConfig {
+            workers: cores.max(2),
+            queue_cap: 128,
+            shards: 16,
+            max_body: 1 << 20,
+            max_ranks: 512,
+        }
+    }
+}
+
+/// The connection queue: a bounded FIFO — fair in arrival order —
+/// plus a shutdown flag workers observe.
+struct Queue {
+    deque: Mutex<QueueInner>,
+    nonempty: Condvar,
+}
+
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    stopping: bool,
+}
+
+impl Queue {
+    fn new() -> Queue {
+        Queue {
+            deque: Mutex::new(QueueInner {
+                conns: VecDeque::new(),
+                stopping: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Hands the connection back when full (caller answers 503 inline).
+    fn push(&self, conn: TcpStream, cap: usize) -> Result<(), TcpStream> {
+        let mut q = self.deque.lock().unwrap();
+        if q.conns.len() >= cap {
+            return Err(conn);
+        }
+        q.conns.push_back(conn);
+        drop(q);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for work; `None` means shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.deque.lock().unwrap();
+        loop {
+            if let Some(c) = q.conns.pop_front() {
+                return Some(c);
+            }
+            if q.stopping {
+                return None;
+            }
+            q = self.nonempty.wait(q).unwrap();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.deque.lock().unwrap().conns.len()
+    }
+
+    fn stop(&self) {
+        self.deque.lock().unwrap().stopping = true;
+        self.nonempty.notify_all();
+    }
+}
+
+/// Shared server state: config, cache, stats, queue.
+struct Shared {
+    cfg: ServeConfig,
+    cache: RunCache<Json>,
+    stats: ServeStats,
+    queue: Queue,
+}
+
+/// A running server: accept thread + worker pool bound to a local
+/// address. Dropping the handle without [`ServerHandle::stop`] leaves
+/// the threads running for the life of the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain workers, join all threads.
+    pub fn stop(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.queue.stop();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving.
+pub fn serve(addr: &str, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cfg,
+        cache: RunCache::new(cfg.shards.max(1)),
+        stats: ServeStats::new(),
+        queue: Queue::new(),
+    });
+    let stopping = Arc::new(AtomicBool::new(false));
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_stop = Arc::clone(&stopping);
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(conn) = conn else { continue };
+            match accept_shared.queue.push(conn, accept_shared.cfg.queue_cap) {
+                Ok(()) => {
+                    accept_shared
+                        .stats
+                        .in_system
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(mut conn) => {
+                    accept_shared
+                        .stats
+                        .queue_full
+                        .fetch_add(1, Ordering::Relaxed);
+                    write_response(
+                        &mut conn,
+                        503,
+                        "application/json",
+                        &error_body("queue-full", "request queue is full, retry later"),
+                    );
+                }
+            }
+        }
+    });
+
+    let workers = (0..cfg.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while let Some(mut conn) = shared.queue.pop() {
+                    handle_connection(&shared, &mut conn);
+                    shared.stats.in_system.fetch_sub(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        addr: bound,
+        shared,
+        stopping,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn handle_connection(shared: &Shared, conn: &mut TcpStream) {
+    let req = match read_request(conn, shared.cfg.max_body) {
+        Ok(r) => r,
+        Err(HttpError::TooLarge) => {
+            write_response(
+                conn,
+                413,
+                "application/json",
+                &error_body("body-too-large", "request body exceeds the configured cap"),
+            );
+            return;
+        }
+        Err(HttpError::Bad(msg)) => {
+            write_response(
+                conn,
+                400,
+                "application/json",
+                &error_body("bad-request", msg),
+            );
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/run") => handle_run(shared, conn, &req),
+        ("GET", "/stats") => {
+            let body = shared
+                .stats
+                .to_json(shared.queue.len(), shared.cache.len())
+                .pretty();
+            write_response(conn, 200, "application/json", body.as_bytes());
+        }
+        ("GET", "/healthz") => write_response(conn, 200, "text/plain", b"ok"),
+        ("POST" | "GET", _) => write_response(
+            conn,
+            404,
+            "application/json",
+            &error_body("not-found", "unknown path"),
+        ),
+        _ => write_response(
+            conn,
+            405,
+            "application/json",
+            &error_body("method-not-allowed", "use POST /run or GET /stats"),
+        ),
+    }
+}
+
+fn handle_run(shared: &Shared, conn: &mut TcpStream, req: &Request) {
+    let start = Instant::now();
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        write_response(
+            conn,
+            400,
+            "application/json",
+            &error_body("bad-json", "body is not utf-8"),
+        );
+        return;
+    };
+    let doc = match json::parse(text) {
+        Ok(d) => d,
+        Err(e) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                conn,
+                400,
+                "application/json",
+                &error_body("bad-json", &e.to_string()),
+            );
+            return;
+        }
+    };
+    let spec = match wire::spec_from_json(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let kind = match &e {
+                wire::WireError::Spec(se) => se.kind(),
+                wire::WireError::UnknownField { .. } => "unknown-field",
+                wire::WireError::MissingField { .. } => "missing-field",
+                wire::WireError::BadField { .. } => "bad-field",
+            };
+            write_response(
+                conn,
+                400,
+                "application/json",
+                &error_body(kind, &e.to_string()),
+            );
+            return;
+        }
+    };
+    if let Err(e) = spec.validate() {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        write_response(
+            conn,
+            400,
+            "application/json",
+            &error_body(e.kind(), &e.to_string()),
+        );
+        return;
+    }
+    if spec.nranks > shared.cfg.max_ranks {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        write_response(
+            conn,
+            400,
+            "application/json",
+            &error_body(
+                "too-many-ranks",
+                &format!(
+                    "nranks {} exceeds this server's cap {}",
+                    spec.nranks, shared.cfg.max_ranks
+                ),
+            ),
+        );
+        return;
+    }
+
+    let digest = spec.canonical_digest();
+    let canonical = spec.canonical_string();
+    let (result, outcome) = shared
+        .cache
+        .get_or_run(digest, &canonical, || run_spec(&spec));
+
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    match outcome {
+        Outcome::Hit => {
+            shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+            shared.stats.hit_latency.record_us(elapsed_us);
+        }
+        Outcome::Miss => {
+            shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+            shared.stats.miss_latency.record_us(elapsed_us);
+        }
+        Outcome::Coalesced => {
+            shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            shared.stats.coalesced_latency.record_us(elapsed_us);
+        }
+        Outcome::Collision => {
+            shared.stats.collisions.fetch_add(1, Ordering::Relaxed);
+            shared.stats.miss_latency.record_us(elapsed_us);
+        }
+    }
+
+    match result {
+        Ok(cached) => {
+            let image_digest = cached
+                .value
+                .get("report")
+                .and_then(|r| r.get("image_digest"))
+                .and_then(|d| d.as_str())
+                .unwrap_or("0x0")
+                .to_string();
+            let body = Json::Obj(vec![
+                ("spec_digest".into(), Json::Str(wire::hex_digest(digest))),
+                ("image_digest".into(), Json::Str(image_digest)),
+                ("cached".into(), Json::Bool(outcome == Outcome::Hit)),
+                (
+                    "coalesced".into(),
+                    Json::Bool(outcome == Outcome::Coalesced),
+                ),
+                ("outcome".into(), cached.value.clone()),
+            ])
+            .encode();
+            write_response(conn, 200, "application/json", body.as_bytes());
+        }
+        Err(msg) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                conn,
+                500,
+                "application/json",
+                &error_body("run-failed", &msg),
+            );
+        }
+    }
+}
+
+/// Execute one validated spec, catching panics (a simulation bug must
+/// cost one 500, not the server process).
+fn run_spec(spec: &ExperimentSpec) -> Result<Json, String> {
+    let exp = Experiment::from_spec(spec).map_err(|e| e.to_string())?;
+    match catch_unwind(AssertUnwindSafe(|| exp.run())) {
+        Ok(outcome) => Ok(wire::outcome_to_json(&outcome)),
+        Err(p) => {
+            let msg = p
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .or_else(|| p.downcast_ref::<&str>().copied())
+                .unwrap_or("simulation panicked");
+            Err(format!("simulation panicked: {msg}"))
+        }
+    }
+}

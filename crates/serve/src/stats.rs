@@ -1,0 +1,197 @@
+//! Lock-free service counters and log2-bucketed latency histograms,
+//! exposed through `GET /stats`.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A latency histogram with power-of-two microsecond buckets: bucket
+/// `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 includes 0).
+/// Recording is a single relaxed atomic increment; quantiles are
+/// approximate (upper bucket bound), which is plenty for a p50/p99
+/// service dashboard.
+pub struct Histogram {
+    buckets: [AtomicU64; Histogram::NBUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// 2^39 µs ≈ 6.4 days — everything above saturates the last bucket.
+    const NBUCKETS: usize = 40;
+
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record_us(&self, us: u64) {
+        let b = (63 - (us | 1).leading_zeros()) as usize;
+        let b = b.min(Histogram::NBUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile in µs: the upper bound of the bucket holding
+    /// the q-th sample. `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((n as f64 * q).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let n = self.count();
+        let mean_us = if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        };
+        Json::Obj(vec![
+            ("count".into(), Json::U64(n)),
+            ("mean_us".into(), Json::F64(mean_us)),
+            (
+                "p50_us".into(),
+                Json::U64(self.quantile_us(0.50).unwrap_or(0)),
+            ),
+            (
+                "p99_us".into(),
+                Json::U64(self.quantile_us(0.99).unwrap_or(0)),
+            ),
+            (
+                "max_bucket_us".into(),
+                Json::U64(self.quantile_us(1.0).unwrap_or(0)),
+            ),
+        ])
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// All service counters. One instance per server, shared by workers.
+pub struct ServeStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub collisions: AtomicU64,
+    pub rejected: AtomicU64,
+    pub errors: AtomicU64,
+    pub queue_full: AtomicU64,
+    /// Connections accepted and queued, minus completed — the live
+    /// queue depth plus in-service count.
+    pub in_system: AtomicI64,
+    pub hit_latency: Histogram,
+    pub miss_latency: Histogram,
+    pub coalesced_latency: Histogram,
+}
+
+impl ServeStats {
+    pub fn new() -> ServeStats {
+        ServeStats {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            in_system: AtomicI64::new(0),
+            hit_latency: Histogram::new(),
+            miss_latency: Histogram::new(),
+            coalesced_latency: Histogram::new(),
+        }
+    }
+
+    pub fn to_json(&self, queue_depth: usize, cache_entries: usize) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::U64(self.hits.load(Ordering::Relaxed))),
+            (
+                "misses".into(),
+                Json::U64(self.misses.load(Ordering::Relaxed)),
+            ),
+            (
+                "coalesced".into(),
+                Json::U64(self.coalesced.load(Ordering::Relaxed)),
+            ),
+            (
+                "collisions".into(),
+                Json::U64(self.collisions.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected".into(),
+                Json::U64(self.rejected.load(Ordering::Relaxed)),
+            ),
+            (
+                "errors".into(),
+                Json::U64(self.errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "queue_full".into(),
+                Json::U64(self.queue_full.load(Ordering::Relaxed)),
+            ),
+            ("queue_depth".into(), Json::U64(queue_depth as u64)),
+            (
+                "in_system".into(),
+                Json::U64(self.in_system.load(Ordering::Relaxed).max(0) as u64),
+            ),
+            ("cache_entries".into(), Json::U64(cache_entries as u64)),
+            ("hit_latency".into(), self.hit_latency.to_json()),
+            ("miss_latency".into(), self.miss_latency.to_json()),
+            ("coalesced_latency".into(), self.coalesced_latency.to_json()),
+        ])
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for us in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 6);
+        let p50 = h.quantile_us(0.5).unwrap();
+        assert!((2..=8).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!(p99 >= 100_000, "p99 {p99} must cover the slowest sample");
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge() {
+        let h = Histogram::new();
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(1.0).is_some());
+    }
+}

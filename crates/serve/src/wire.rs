@@ -1,0 +1,775 @@
+//! The wire format: [`ExperimentSpec`] ↔ JSON, and report types →
+//! JSON.
+//!
+//! Decoding is **strict**: unknown fields are rejected. The canonical
+//! digest is defined over the spec's full field set, so silently
+//! dropping a field a client believed was significant would let two
+//! *different* intended experiments collide on one cache entry.
+//! Field *order* is free — decoding normalizes any ordering onto the
+//! same `ExperimentSpec`, hence the same canonical digest.
+//!
+//! 64-bit digests cross the wire as `"0x%016x"` strings: every JSON
+//! consumer can compare them byte-for-byte and none can round them
+//! through a double.
+
+use crate::json::Json;
+use amrio_check::{CheckMode, CheckReport};
+use amrio_enzo::driver::{RecoveryOutcome, RunOutcome, RunReport};
+use amrio_enzo::spec::{
+    check_mode_str, ExperimentSpec, FaultEntry, FaultSpec, PlatformId, RetrySpec, SpecError,
+    StrategyId,
+};
+use amrio_fault::ResilienceReport;
+use amrio_mpiio::{Advisory, Hints};
+use amrio_tune::TuneConfig;
+use std::fmt;
+
+/// A document that parsed as JSON but does not describe a spec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// Field present but with the wrong JSON type / out of range.
+    BadField {
+        field: &'static str,
+        expected: &'static str,
+    },
+    /// Required field absent.
+    MissingField { field: &'static str },
+    /// Field name not part of the schema (see module docs for why this
+    /// is fatal rather than ignored).
+    UnknownField { field: String },
+    /// Structurally fine, semantically invalid.
+    Spec(SpecError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadField { field, expected } => {
+                write!(f, "field {field:?} must be {expected}")
+            }
+            WireError::MissingField { field } => write!(f, "missing required field {field:?}"),
+            WireError::UnknownField { field } => write!(f, "unknown field {field:?}"),
+            WireError::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<SpecError> for WireError {
+    fn from(e: SpecError) -> WireError {
+        WireError::Spec(e)
+    }
+}
+
+/// Format a digest for the wire.
+pub fn hex_digest(d: u64) -> String {
+    format!("0x{d:016x}")
+}
+
+// ---------------------------------------------------------------------
+// Spec → JSON
+// ---------------------------------------------------------------------
+
+/// Encode a spec. Optional fields that are `None` are omitted (the
+/// decoder restores them as `None`), so the document is minimal.
+pub fn spec_to_json(s: &ExperimentSpec) -> Json {
+    let mut o: Vec<(String, Json)> = vec![
+        ("platform".into(), Json::str(s.platform.as_str())),
+        ("strategy".into(), Json::str(s.strategy.as_str())),
+        ("root_n".into(), Json::U64(s.root_n)),
+        ("nranks".into(), Json::U64(s.nranks as u64)),
+        ("cycles".into(), Json::U64(s.cycles as u64)),
+        ("max_level".into(), Json::U64(s.max_level as u64)),
+        (
+            "refine_threshold".into(),
+            Json::F64(s.refine_threshold as f64),
+        ),
+        ("seed".into(), Json::U64(s.seed)),
+        ("particle_fraction".into(), Json::F64(s.particle_fraction)),
+        ("check".into(), Json::str(check_mode_str(s.check))),
+        ("probe".into(), Json::Bool(s.probe)),
+    ];
+    if let Some(k) = s.dump_every {
+        o.push(("dump_every".into(), Json::U64(k as u64)));
+    }
+    if let Some(f) = &s.faults {
+        o.push(("faults".into(), faults_to_json(f)));
+    }
+    if let Some(r) = &s.retry {
+        o.push(("retry".into(), retry_to_json(r)));
+    }
+    if let Some(a) = &s.advisory {
+        o.push(("advisory".into(), advisory_to_json(a)));
+    }
+    Json::Obj(o)
+}
+
+fn faults_to_json(f: &FaultSpec) -> Json {
+    let mut o: Vec<(String, Json)> = Vec::new();
+    if let Some(n) = f.server_count {
+        o.push(("server_count".into(), Json::U64(n as u64)));
+    }
+    o.push((
+        "entries".into(),
+        Json::Arr(f.entries.iter().map(fault_entry_to_json).collect()),
+    ));
+    Json::Obj(o)
+}
+
+fn fault_entry_to_json(e: &FaultEntry) -> Json {
+    let kv = |k: &str, v: Json| (k.to_string(), v);
+    match *e {
+        FaultEntry::Crash { at_ns } => Json::Obj(vec![
+            kv("kind", Json::str("crash")),
+            kv("at_ns", Json::U64(at_ns)),
+        ]),
+        FaultEntry::ServerSlowdown {
+            server,
+            from_ns,
+            until_ns,
+            factor,
+        } => Json::Obj(vec![
+            kv("kind", Json::str("server_slowdown")),
+            kv("server", Json::U64(server as u64)),
+            kv("from_ns", Json::U64(from_ns)),
+            kv("until_ns", Json::U64(until_ns)),
+            kv("factor", Json::F64(factor)),
+        ]),
+        FaultEntry::ServerStall {
+            server,
+            from_ns,
+            until_ns,
+        } => Json::Obj(vec![
+            kv("kind", Json::str("server_stall")),
+            kv("server", Json::U64(server as u64)),
+            kv("from_ns", Json::U64(from_ns)),
+            kv("until_ns", Json::U64(until_ns)),
+        ]),
+        FaultEntry::TransientErrors {
+            server,
+            from_ns,
+            until_ns,
+            budget,
+        } => Json::Obj(vec![
+            kv("kind", Json::str("transient_errors")),
+            kv("server", Json::U64(server as u64)),
+            kv("from_ns", Json::U64(from_ns)),
+            kv("until_ns", Json::U64(until_ns)),
+            kv("budget", Json::U64(budget)),
+        ]),
+        FaultEntry::ServerFailure { server, at_ns } => Json::Obj(vec![
+            kv("kind", Json::str("server_failure")),
+            kv("server", Json::U64(server as u64)),
+            kv("at_ns", Json::U64(at_ns)),
+        ]),
+        FaultEntry::MessageDrops {
+            src,
+            dst,
+            from_ns,
+            until_ns,
+            retransmit_ns,
+            budget,
+        } => Json::Obj(vec![
+            kv("kind", Json::str("message_drops")),
+            kv("src", opt_u64(src.map(|v| v as u64))),
+            kv("dst", opt_u64(dst.map(|v| v as u64))),
+            kv("from_ns", Json::U64(from_ns)),
+            kv("until_ns", Json::U64(until_ns)),
+            kv("retransmit_ns", Json::U64(retransmit_ns)),
+            kv("budget", Json::U64(budget)),
+        ]),
+        FaultEntry::MessageDelays {
+            src,
+            dst,
+            from_ns,
+            until_ns,
+            extra_ns,
+            budget,
+        } => Json::Obj(vec![
+            kv("kind", Json::str("message_delays")),
+            kv("src", opt_u64(src.map(|v| v as u64))),
+            kv("dst", opt_u64(dst.map(|v| v as u64))),
+            kv("from_ns", Json::U64(from_ns)),
+            kv("until_ns", Json::U64(until_ns)),
+            kv("extra_ns", Json::U64(extra_ns)),
+            kv("budget", Json::U64(budget)),
+        ]),
+        FaultEntry::Straggler {
+            rank,
+            from_ns,
+            until_ns,
+            factor,
+        } => Json::Obj(vec![
+            kv("kind", Json::str("straggler")),
+            kv("rank", Json::U64(rank as u64)),
+            kv("from_ns", Json::U64(from_ns)),
+            kv("until_ns", Json::U64(until_ns)),
+            kv("factor", Json::F64(factor)),
+        ]),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(v) => Json::U64(v),
+        None => Json::Null,
+    }
+}
+
+fn retry_to_json(r: &RetrySpec) -> Json {
+    let mut o: Vec<(String, Json)> = vec![
+        ("max_retries".into(), Json::U64(r.max_retries as u64)),
+        ("backoff_ns".into(), Json::U64(r.backoff_ns)),
+    ];
+    if let Some(t) = r.op_timeout_ns {
+        o.push(("op_timeout_ns".into(), Json::U64(t)));
+    }
+    o.push(("failover".into(), Json::Bool(r.failover)));
+    Json::Obj(o)
+}
+
+fn advisory_to_json(a: &Advisory) -> Json {
+    let mut o: Vec<(String, Json)> = Vec::new();
+    if let Some(h) = &a.hints {
+        o.push(("hints".into(), hints_to_json(h)));
+    }
+    if let Some(w) = a.write_behind {
+        o.push(("write_behind".into(), Json::U64(w as u64)));
+    }
+    if let Some(s) = a.app_stripe {
+        o.push(("app_stripe".into(), Json::U64(s)));
+    }
+    Json::Obj(o)
+}
+
+pub fn hints_to_json(h: &Hints) -> Json {
+    Json::Obj(vec![
+        ("cb_nodes".into(), opt_u64(h.cb_nodes.map(|v| v as u64))),
+        ("cb_buffer_size".into(), Json::U64(h.cb_buffer_size)),
+        ("ds_read".into(), Json::Bool(h.ds_read)),
+        ("ds_write".into(), Json::Bool(h.ds_write)),
+        ("sieve_buffer_size".into(), Json::U64(h.sieve_buffer_size)),
+        (
+            "align_file_domains".into(),
+            Json::Bool(h.align_file_domains),
+        ),
+        ("cb_write".into(), Json::Bool(h.cb_write)),
+        ("cb_read".into(), Json::Bool(h.cb_read)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// JSON → Spec
+// ---------------------------------------------------------------------
+
+/// A strict object reader: typed field accessors plus an exhaustiveness
+/// check (`finish` fails on any field no accessor consumed).
+struct ObjReader<'a> {
+    fields: &'a [(String, Json)],
+    seen: Vec<&'a str>,
+}
+
+impl<'a> ObjReader<'a> {
+    fn new(v: &'a Json, what: &'static str) -> Result<ObjReader<'a>, WireError> {
+        match v {
+            Json::Obj(fields) => Ok(ObjReader {
+                fields,
+                seen: Vec::new(),
+            }),
+            _ => Err(WireError::BadField {
+                field: what,
+                expected: "an object",
+            }),
+        }
+    }
+
+    fn take(&mut self, key: &'static str) -> Option<&'a Json> {
+        let v = self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        if v.is_some() {
+            self.seen.push(key);
+        }
+        v
+    }
+
+    fn req(&mut self, key: &'static str) -> Result<&'a Json, WireError> {
+        self.take(key).ok_or(WireError::MissingField { field: key })
+    }
+
+    fn u64(&mut self, key: &'static str) -> Result<u64, WireError> {
+        as_u64(self.req(key)?, key)
+    }
+
+    fn opt_u64(&mut self, key: &'static str) -> Result<Option<u64>, WireError> {
+        match self.take(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => as_u64(v, key).map(Some),
+        }
+    }
+
+    fn f64(&mut self, key: &'static str) -> Result<f64, WireError> {
+        let v = self.req(key)?;
+        v.as_f64().ok_or(WireError::BadField {
+            field: key,
+            expected: "a number",
+        })
+    }
+
+    fn bool(&mut self, key: &'static str, default: bool) -> Result<bool, WireError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v.as_bool().ok_or(WireError::BadField {
+                field: key,
+                expected: "a boolean",
+            }),
+        }
+    }
+
+    fn str(&mut self, key: &'static str) -> Result<&'a str, WireError> {
+        self.req(key)?.as_str().ok_or(WireError::BadField {
+            field: key,
+            expected: "a string",
+        })
+    }
+
+    /// Reject any field not consumed by an accessor.
+    fn finish(self) -> Result<(), WireError> {
+        for (k, _) in self.fields {
+            if !self.seen.contains(&k.as_str()) {
+                return Err(WireError::UnknownField { field: k.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn as_u64(v: &Json, field: &'static str) -> Result<u64, WireError> {
+    v.as_u64().ok_or(WireError::BadField {
+        field,
+        expected: "a non-negative integer",
+    })
+}
+
+/// Decode a spec document (any field order; unknown fields rejected;
+/// missing optionals default exactly as [`ExperimentSpec::new`] does).
+pub fn spec_from_json(v: &Json) -> Result<ExperimentSpec, WireError> {
+    let mut r = ObjReader::new(v, "spec")?;
+    let platform = PlatformId::parse(r.str("platform")?)?;
+    let strategy = StrategyId::parse(r.str("strategy")?)?;
+    let root_n = r.u64("root_n")?;
+    let nranks = r.u64("nranks")? as usize;
+    let mut spec = ExperimentSpec::new(platform, strategy, root_n, nranks);
+    if let Some(c) = r.opt_u64("cycles")? {
+        spec.cycles = clamp_u32("cycles", c)?;
+    }
+    if let Some(m) = r.opt_u64("max_level")? {
+        spec.max_level = u8::try_from(m).map_err(|_| WireError::BadField {
+            field: "max_level",
+            expected: "a small integer",
+        })?;
+    }
+    if let Some(v) = r.take("refine_threshold") {
+        spec.refine_threshold = v.as_f64().ok_or(WireError::BadField {
+            field: "refine_threshold",
+            expected: "a number",
+        })? as f32;
+    }
+    if let Some(s) = r.opt_u64("seed")? {
+        spec.seed = s;
+    }
+    if let Some(v) = r.take("particle_fraction") {
+        spec.particle_fraction = v.as_f64().ok_or(WireError::BadField {
+            field: "particle_fraction",
+            expected: "a number",
+        })?;
+    }
+    if let Some(v) = r.take("check") {
+        spec.check = match v.as_str() {
+            Some("off") => CheckMode::Off,
+            Some("log") => CheckMode::Log,
+            Some("strict") => CheckMode::Strict,
+            _ => {
+                return Err(WireError::BadField {
+                    field: "check",
+                    expected: "\"off\", \"log\" or \"strict\"",
+                })
+            }
+        };
+    }
+    spec.probe = r.bool("probe", false)?;
+    spec.dump_every = match r.opt_u64("dump_every")? {
+        Some(k) => Some(clamp_u32("dump_every", k)?),
+        None => None,
+    };
+    if let Some(v) = r.take("faults") {
+        spec.faults = Some(faults_from_json(v)?);
+    }
+    if let Some(v) = r.take("retry") {
+        spec.retry = Some(retry_from_json(v)?);
+    }
+    if let Some(v) = r.take("advisory") {
+        spec.advisory = Some(advisory_from_json(v)?);
+    }
+    r.finish()?;
+    Ok(spec)
+}
+
+fn clamp_u32(field: &'static str, v: u64) -> Result<u32, WireError> {
+    u32::try_from(v).map_err(|_| WireError::BadField {
+        field,
+        expected: "a 32-bit integer",
+    })
+}
+
+fn faults_from_json(v: &Json) -> Result<FaultSpec, WireError> {
+    let mut r = ObjReader::new(v, "faults")?;
+    let server_count = r.opt_u64("server_count")?.map(|v| v as usize);
+    let entries_json = r.req("entries")?.as_arr().ok_or(WireError::BadField {
+        field: "entries",
+        expected: "an array",
+    })?;
+    let mut entries = Vec::with_capacity(entries_json.len());
+    for e in entries_json {
+        entries.push(fault_entry_from_json(e)?);
+    }
+    r.finish()?;
+    Ok(FaultSpec {
+        server_count,
+        entries,
+    })
+}
+
+fn fault_entry_from_json(v: &Json) -> Result<FaultEntry, WireError> {
+    let mut r = ObjReader::new(v, "fault entry")?;
+    let kind = r.str("kind")?;
+    let entry = match kind {
+        "crash" => FaultEntry::Crash {
+            at_ns: r.u64("at_ns")?,
+        },
+        "server_slowdown" => FaultEntry::ServerSlowdown {
+            server: r.u64("server")? as usize,
+            from_ns: r.u64("from_ns")?,
+            until_ns: r.u64("until_ns")?,
+            factor: r.f64("factor")?,
+        },
+        "server_stall" => FaultEntry::ServerStall {
+            server: r.u64("server")? as usize,
+            from_ns: r.u64("from_ns")?,
+            until_ns: r.u64("until_ns")?,
+        },
+        "transient_errors" => FaultEntry::TransientErrors {
+            server: r.u64("server")? as usize,
+            from_ns: r.u64("from_ns")?,
+            until_ns: r.u64("until_ns")?,
+            budget: r.u64("budget")?,
+        },
+        "server_failure" => FaultEntry::ServerFailure {
+            server: r.u64("server")? as usize,
+            at_ns: r.u64("at_ns")?,
+        },
+        "message_drops" => FaultEntry::MessageDrops {
+            src: r.opt_u64("src")?.map(|v| v as usize),
+            dst: r.opt_u64("dst")?.map(|v| v as usize),
+            from_ns: r.u64("from_ns")?,
+            until_ns: r.u64("until_ns")?,
+            retransmit_ns: r.u64("retransmit_ns")?,
+            budget: r.u64("budget")?,
+        },
+        "message_delays" => FaultEntry::MessageDelays {
+            src: r.opt_u64("src")?.map(|v| v as usize),
+            dst: r.opt_u64("dst")?.map(|v| v as usize),
+            from_ns: r.u64("from_ns")?,
+            until_ns: r.u64("until_ns")?,
+            extra_ns: r.u64("extra_ns")?,
+            budget: r.u64("budget")?,
+        },
+        "straggler" => FaultEntry::Straggler {
+            rank: r.u64("rank")? as usize,
+            from_ns: r.u64("from_ns")?,
+            until_ns: r.u64("until_ns")?,
+            factor: r.f64("factor")?,
+        },
+        _ => {
+            return Err(WireError::BadField {
+                field: "kind",
+                expected: "a known fault kind",
+            })
+        }
+    };
+    r.finish()?;
+    Ok(entry)
+}
+
+fn retry_from_json(v: &Json) -> Result<RetrySpec, WireError> {
+    let mut r = ObjReader::new(v, "retry")?;
+    let spec = RetrySpec {
+        max_retries: clamp_u32("max_retries", r.u64("max_retries")?)?,
+        backoff_ns: r.u64("backoff_ns")?,
+        op_timeout_ns: r.opt_u64("op_timeout_ns")?,
+        failover: r.bool("failover", true)?,
+    };
+    r.finish()?;
+    Ok(spec)
+}
+
+fn advisory_from_json(v: &Json) -> Result<Advisory, WireError> {
+    let mut r = ObjReader::new(v, "advisory")?;
+    let hints = match r.take("hints") {
+        None | Some(Json::Null) => None,
+        Some(h) => Some(hints_from_json(h)?),
+    };
+    let advisory = Advisory {
+        hints,
+        write_behind: r.opt_u64("write_behind")?.map(|v| v as usize),
+        app_stripe: r.opt_u64("app_stripe")?,
+    };
+    r.finish()?;
+    Ok(advisory)
+}
+
+fn hints_from_json(v: &Json) -> Result<Hints, WireError> {
+    let mut r = ObjReader::new(v, "hints")?;
+    let mut h = Hints {
+        cb_nodes: r.opt_u64("cb_nodes")?.map(|v| v as usize),
+        ..Hints::default()
+    };
+    if let Some(v) = r.opt_u64("cb_buffer_size")? {
+        h.cb_buffer_size = v;
+    }
+    h.ds_read = r.bool("ds_read", h.ds_read)?;
+    h.ds_write = r.bool("ds_write", h.ds_write)?;
+    if let Some(v) = r.opt_u64("sieve_buffer_size")? {
+        h.sieve_buffer_size = v;
+    }
+    h.align_file_domains = r.bool("align_file_domains", h.align_file_domains)?;
+    h.cb_write = r.bool("cb_write", h.cb_write)?;
+    h.cb_read = r.bool("cb_read", h.cb_read)?;
+    r.finish()?;
+    Ok(h)
+}
+
+// ---------------------------------------------------------------------
+// Reports → JSON
+// ---------------------------------------------------------------------
+
+/// Serialize a [`RunReport`] — the same shape whether it came from a
+/// bench bin, an integration test, or the serve layer.
+pub fn report_to_json(r: &RunReport) -> Json {
+    Json::Obj(vec![
+        ("platform".into(), Json::str(r.platform)),
+        ("strategy".into(), Json::str(r.strategy)),
+        ("problem".into(), Json::Str(r.problem.clone())),
+        ("nranks".into(), Json::U64(r.nranks as u64)),
+        ("write_time_s".into(), Json::F64(r.write_time)),
+        ("read_time_s".into(), Json::F64(r.read_time)),
+        ("bytes_written".into(), Json::U64(r.bytes_written)),
+        ("bytes_read".into(), Json::U64(r.bytes_read)),
+        ("grids".into(), Json::U64(r.grids as u64)),
+        ("max_level".into(), Json::U64(r.max_level as u64)),
+        ("verified".into(), Json::Bool(r.verified)),
+        ("makespan_s".into(), Json::F64(r.makespan)),
+        ("image_digest".into(), Json::Str(hex_digest(r.image_digest))),
+        ("resilience".into(), resilience_to_json(&r.resilience)),
+        ("ordered_ops".into(), Json::U64(r.ordered_ops)),
+        (
+            "sched".into(),
+            Json::Obj(vec![
+                ("wakeups".into(), Json::U64(r.sched.wakeups)),
+                ("handoffs".into(), Json::U64(r.sched.handoffs)),
+                ("index_updates".into(), Json::U64(r.sched.index_updates)),
+                (
+                    "lock_acquisitions".into(),
+                    Json::U64(r.sched.lock_acquisitions),
+                ),
+            ]),
+        ),
+    ])
+}
+
+pub fn resilience_to_json(r: &ResilienceReport) -> Json {
+    Json::Obj(vec![
+        ("transient_errors".into(), Json::U64(r.transient_errors)),
+        ("retries".into(), Json::U64(r.retries)),
+        ("timeouts".into(), Json::U64(r.timeouts)),
+        ("failovers".into(), Json::U64(r.failovers)),
+        ("dropped_messages".into(), Json::U64(r.dropped_messages)),
+        ("delayed_messages".into(), Json::U64(r.delayed_messages)),
+        ("straggler_secs".into(), Json::F64(r.straggler_secs)),
+        ("degraded_servers".into(), Json::U64(r.degraded_servers)),
+        ("degraded_mode_secs".into(), Json::F64(r.degraded_mode_secs)),
+        ("crashes".into(), Json::U64(r.crashes)),
+        ("recoveries".into(), Json::U64(r.recoveries)),
+        ("torn_generations".into(), Json::U64(r.torn_generations)),
+    ])
+}
+
+/// Violations serialize through their `Display` form: the checker's
+/// message text is its stable human-auditable shape.
+pub fn check_report_to_json(c: &CheckReport) -> Json {
+    Json::Obj(vec![
+        ("clean".into(), Json::Bool(c.is_clean())),
+        (
+            "violations".into(),
+            Json::Arr(
+                c.violations
+                    .iter()
+                    .map(|v| Json::Str(v.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("dropped".into(), Json::U64(c.dropped as u64)),
+    ])
+}
+
+pub fn recovery_to_json(r: &RecoveryOutcome) -> Json {
+    Json::Obj(vec![
+        ("crashes".into(), Json::U64(r.crashes)),
+        (
+            "resumed_generation".into(),
+            opt_u64(r.resumed_generation.map(|g| g as u64)),
+        ),
+        ("resumed_cycle".into(), Json::U64(r.resumed_cycle)),
+        ("torn_generations".into(), Json::U64(r.torn_generations)),
+        ("resume_verified".into(), Json::Bool(r.resume_verified)),
+    ])
+}
+
+/// Everything a run produced, minus probe traces (full event traces are
+/// a debugging artifact, far too heavy for a service response).
+pub fn outcome_to_json(o: &RunOutcome) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![("report".into(), report_to_json(&o.report))];
+    if let Some(c) = &o.check {
+        fields.push(("check".into(), check_report_to_json(c)));
+    }
+    if let Some(r) = &o.recovery {
+        fields.push(("recovery".into(), recovery_to_json(r)));
+    }
+    Json::Obj(fields)
+}
+
+/// Serialize a tuner winner — label plus the full knob set.
+pub fn tune_config_to_json(t: &TuneConfig) -> Json {
+    let mut o: Vec<(String, Json)> = vec![
+        ("label".into(), Json::Str(t.label.clone())),
+        ("hints".into(), hints_to_json(&t.hints)),
+    ];
+    if let Some(s) = t.app_stripe {
+        o.push(("app_stripe".into(), Json::U64(s)));
+    }
+    if let Some(w) = t.write_behind {
+        o.push(("write_behind".into(), Json::U64(w as u64)));
+    }
+    Json::Obj(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn base() -> ExperimentSpec {
+        let mut s = ExperimentSpec::new(PlatformId::IbmSp2, StrategyId::MpiIoOptimized, 16, 4);
+        s.cycles = 2;
+        s.particle_fraction = 0.5;
+        s
+    }
+
+    fn rich() -> ExperimentSpec {
+        let mut s = base();
+        s.check = CheckMode::Strict;
+        s.probe = false;
+        s.dump_every = Some(1);
+        s.retry = Some(RetrySpec {
+            max_retries: 3,
+            backoff_ns: 1_000_000,
+            op_timeout_ns: Some(30_000_000_000),
+            failover: true,
+        });
+        s.advisory = Some(Advisory {
+            hints: Some(Hints {
+                cb_nodes: Some(2),
+                ..Hints::default()
+            }),
+            write_behind: Some(4),
+            app_stripe: Some(1 << 20),
+        });
+        s.faults = Some(FaultSpec {
+            server_count: None,
+            entries: vec![
+                FaultEntry::ServerSlowdown {
+                    server: 0,
+                    from_ns: 0,
+                    until_ns: 1_000_000_000,
+                    factor: 4.0,
+                },
+                FaultEntry::MessageDrops {
+                    src: None,
+                    dst: Some(1),
+                    from_ns: 0,
+                    until_ns: 500,
+                    retransmit_ns: 10,
+                    budget: 3,
+                },
+            ],
+        });
+        s
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for s in [base(), rich()] {
+            let doc = spec_to_json(&s).encode();
+            let back = spec_from_json(&parse(&doc).unwrap()).unwrap();
+            assert_eq!(back, s);
+            assert_eq!(back.canonical_digest(), s.canonical_digest());
+            // encode → decode → re-encode is a fixed point.
+            assert_eq!(spec_to_json(&back).encode(), doc);
+        }
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let s = base();
+        let Json::Obj(mut fields) = spec_to_json(&s) else {
+            panic!("spec must encode as an object")
+        };
+        fields.reverse();
+        let back = spec_from_json(&Json::Obj(fields)).unwrap();
+        assert_eq!(back.canonical_digest(), s.canonical_digest());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let doc = r#"{"platform":"ibm-sp2","strategy":"mpiio-optimized","root_n":16,"nranks":4,"turbo":true}"#;
+        let err = spec_from_json(&parse(doc).unwrap()).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::UnknownField {
+                field: "turbo".into()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_required_fields_are_rejected() {
+        let doc = r#"{"platform":"ibm-sp2","strategy":"mpiio-optimized","root_n":16}"#;
+        assert!(matches!(
+            spec_from_json(&parse(doc).unwrap()),
+            Err(WireError::MissingField { field: "nranks" })
+        ));
+    }
+
+    #[test]
+    fn unknown_platform_is_a_spec_error() {
+        let doc = r#"{"platform":"cray-t3e","strategy":"mpiio-optimized","root_n":16,"nranks":4}"#;
+        assert!(matches!(
+            spec_from_json(&parse(doc).unwrap()),
+            Err(WireError::Spec(SpecError::UnknownPlatform(_)))
+        ));
+    }
+
+    #[test]
+    fn digests_cross_the_wire_as_hex_strings() {
+        assert_eq!(hex_digest(0xdead_beef), "0x00000000deadbeef");
+    }
+}

@@ -47,4 +47,7 @@ awk -v b="$baseline" -v c="$current" 'BEGIN {
 echo "== selfbench scale smoke (256-rank cell vs absolute executor-scaling budget)"
 cargo run --release -q -p amrio-bench --bin selfbench -- --scale-smoke
 
+echo "== loadgen smoke (serve cache: hot >= 20x cold rps, hot p99 budget, zero digest mismatches, coalescing proof)"
+cargo run --release -q -p amrio-bench --bin loadgen -- --smoke
+
 echo "ci: OK"

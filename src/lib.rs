@@ -21,6 +21,7 @@ pub use amrio_mpiio as mpiio;
 pub use amrio_net as net;
 pub use amrio_plan as plan;
 pub use amrio_recover as recover;
+pub use amrio_serve as serve;
 pub use amrio_simt as simt;
 pub use amrio_tune as tune;
 pub use amrio_verify as verify;

@@ -2,17 +2,15 @@
 //! bit-identical timings, bytes, and content digests across repeated
 //! runs, regardless of host thread scheduling.
 
-use amrio::enzo::{
-    Experiment, Hdf4Serial, IoStrategy, MpiIoOptimized, Platform, ProblemSize, SimConfig,
-};
+use amrio::enzo::spec::{ExperimentSpec, PlatformId, StrategyId};
+use amrio::enzo::{Experiment, MpiIoOptimized, Platform, ProblemSize, SimConfig};
 
-fn one(strategy: &dyn IoStrategy) -> (u64, u64, u64, u64) {
-    let nranks = 6;
-    let platform = Platform::ibm_sp2(nranks);
-    let mut cfg = SimConfig::new(ProblemSize::Custom(16), nranks);
-    cfg.particle_fraction = 0.5;
-    let r = Experiment::new(&platform, &cfg, strategy)
-        .cycles(2)
+fn one(strategy: StrategyId) -> (u64, u64, u64, u64) {
+    let mut spec = ExperimentSpec::new(PlatformId::IbmSp2, strategy, 16, 6);
+    spec.cycles = 2;
+    spec.particle_fraction = 0.5;
+    let r = Experiment::from_spec(&spec)
+        .expect("valid spec")
         .run()
         .report;
     assert!(r.verified);
@@ -26,8 +24,8 @@ fn one(strategy: &dyn IoStrategy) -> (u64, u64, u64, u64) {
 
 #[test]
 fn repeated_runs_are_bit_identical() {
-    let a = one(&MpiIoOptimized);
-    let b = one(&MpiIoOptimized);
+    let a = one(StrategyId::MpiIoOptimized);
+    let b = one(StrategyId::MpiIoOptimized);
     assert_eq!(a, b, "timings/bytes must not depend on host scheduling");
 }
 
@@ -60,8 +58,8 @@ fn rank_sweep_is_deterministic() {
 
 #[test]
 fn strategies_read_write_same_payload() {
-    let a = one(&MpiIoOptimized);
-    let b = one(&Hdf4Serial);
+    let a = one(StrategyId::MpiIoOptimized);
+    let b = one(StrategyId::Hdf4Serial);
     // Same simulation, so the raw array payload is the same; formats add
     // different metadata so allow a small envelope.
     let (aw, bw) = (a.2 as f64, b.2 as f64);

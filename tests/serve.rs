@@ -1,0 +1,218 @@
+//! End-to-end tests of the `amrio-serve` HTTP service: request
+//! coalescing under concurrency, cache hits, typed 400s for invalid
+//! specs, and the digest proof that cached responses equal fresh runs.
+
+use amrio::enzo::spec::{ExperimentSpec, PlatformId, StrategyId};
+use amrio::enzo::Experiment;
+use amrio::serve::json::{self, Json};
+use amrio::serve::wire::{hex_digest, spec_to_json};
+use amrio::serve::{serve, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+
+fn test_spec(seed: u64) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(PlatformId::IbmSp2, StrategyId::MpiIoOptimized, 16, 4);
+    s.seed = seed;
+    s
+}
+
+fn start() -> amrio::serve::ServerHandle {
+    serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 12,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind test server")
+}
+
+/// One-shot HTTP client (the server closes after each response).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).unwrap();
+    conn.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body_at = text.find("\r\n\r\n").map(|i| i + 4).unwrap_or(text.len());
+    let doc = json::parse(&text[body_at..]).unwrap_or(Json::Null);
+    (status, doc)
+}
+
+fn post_run(addr: SocketAddr, spec: &ExperimentSpec) -> (u16, Json) {
+    request(addr, "POST", "/run", &spec_to_json(spec).encode())
+}
+
+fn counter(stats: &Json, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Json::as_u64)
+        .expect("stats counter")
+}
+
+/// N concurrent identical requests must cost exactly one simulation,
+/// and every response must carry the image digest of a fresh local run
+/// of the same spec — the full memoization-soundness statement.
+#[test]
+fn concurrent_identical_specs_run_once_with_identical_digests() {
+    let server = start();
+    let addr = server.addr();
+    let spec = test_spec(0x5EED_0001);
+    let expect = hex_digest(
+        Experiment::from_spec(&spec)
+            .expect("valid spec")
+            .run()
+            .report
+            .image_digest,
+    );
+
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    let digests: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let spec = spec.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    let (status, body) = post_run(addr, &spec);
+                    assert_eq!(status, 200, "run failed: {}", body.encode());
+                    body.get("image_digest")
+                        .and_then(Json::as_str)
+                        .expect("image_digest")
+                        .to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for d in &digests {
+        assert_eq!(d, &expect, "served digest diverged from fresh local run");
+    }
+
+    let (status, stats) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(counter(&stats, "misses"), 1, "exactly one simulation ran");
+    assert_eq!(
+        counter(&stats, "hits") + counter(&stats, "coalesced"),
+        threads as u64 - 1,
+        "every other request was served from the cache or a joined flight"
+    );
+    server.stop();
+}
+
+/// A repeated spec is a cache hit; a perturbed spec is a miss.
+#[test]
+fn second_request_hits_and_perturbed_spec_misses() {
+    let server = start();
+    let addr = server.addr();
+
+    let (status, first) = post_run(addr, &test_spec(0x5EED_0002));
+    assert_eq!(status, 200);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+
+    let (status, second) = post_run(addr, &test_spec(0x5EED_0002));
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        first.get("image_digest").and_then(Json::as_str),
+        second.get("image_digest").and_then(Json::as_str)
+    );
+
+    // One-field perturbation: different cache key, fresh simulation.
+    let (status, third) = post_run(addr, &test_spec(0x5EED_0003));
+    assert_eq!(status, 200);
+    assert_eq!(third.get("cached").and_then(Json::as_bool), Some(false));
+    assert_ne!(
+        first.get("spec_digest").and_then(Json::as_str),
+        third.get("spec_digest").and_then(Json::as_str)
+    );
+    server.stop();
+}
+
+/// Invalid specs come back as 400 with the typed `error_kind`, never
+/// as connection drops or 500s.
+#[test]
+fn invalid_specs_are_typed_400s() {
+    let server = start();
+    let addr = server.addr();
+    let kind_of = |body: &Json| {
+        body.get("error_kind")
+            .and_then(Json::as_str)
+            .expect("error_kind")
+            .to_string()
+    };
+
+    let mut zero_ranks = test_spec(1);
+    zero_ranks.nranks = 0;
+    let (status, body) = post_run(addr, &zero_ranks);
+    assert_eq!((status, kind_of(&body).as_str()), (400, "zero-ranks"));
+
+    let mut zero_dump = test_spec(1);
+    zero_dump.dump_every = Some(0);
+    let (status, body) = post_run(addr, &zero_dump);
+    assert_eq!((status, kind_of(&body).as_str()), (400, "zero-dump-every"));
+
+    let mut bad_fraction = test_spec(1);
+    bad_fraction.particle_fraction = 2.0;
+    let (status, body) = post_run(addr, &bad_fraction);
+    assert_eq!(
+        (status, kind_of(&body).as_str()),
+        (400, "bad-particle-fraction")
+    );
+
+    // Unknown fields are rejected — silently ignoring them would let
+    // two semantically different documents share a cache entry.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/run",
+        r#"{"platform":"ibm-sp2","strategy":"mpiio-optimized","root_n":16,"nranks":4,"frobnicate":1}"#,
+    );
+    assert_eq!((status, kind_of(&body).as_str()), (400, "unknown-field"));
+
+    let (status, body) = request(addr, "POST", "/run", "{not json");
+    assert_eq!((status, kind_of(&body).as_str()), (400, "bad-json"));
+
+    let (status, body) = request(addr, "GET", "/nope", "");
+    assert_eq!((status, kind_of(&body).as_str()), (404, "not-found"));
+    server.stop();
+}
+
+/// `/stats` and `/healthz` respond sanely on a fresh server.
+#[test]
+fn stats_and_health_endpoints() {
+    let server = start();
+    let addr = server.addr();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut text = String::new();
+    conn.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200"));
+    assert!(text.ends_with("ok"));
+
+    let (status, stats) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(counter(&stats, "hits"), 0);
+    assert_eq!(counter(&stats, "cache_entries"), 0);
+
+    let _ = post_run(addr, &test_spec(0x5EED_0004));
+    let (_, stats) = request(addr, "GET", "/stats", "");
+    assert_eq!(counter(&stats, "misses"), 1);
+    assert_eq!(counter(&stats, "cache_entries"), 1);
+    server.stop();
+}

@@ -1,0 +1,263 @@
+//! The serializable `ExperimentSpec` API: spec-built runs must be
+//! bit-identical to imperatively-built runs, the canonical digest must
+//! track every field, and the JSON wire format must round-trip to a
+//! fixed point regardless of field ordering. These are the soundness
+//! conditions `amrio-serve`'s memoizing cache rests on.
+
+use amrio::enzo::spec::{
+    ExperimentSpec, FaultEntry, FaultSpec, PlatformId, RetrySpec, SpecError, StrategyId,
+};
+use amrio::enzo::{Experiment, MpiIoOptimized, Platform, ProblemSize, SimConfig};
+use amrio::mpiio::{Advisory, Hints};
+use amrio::serve::json::{self, Json};
+use amrio::serve::wire::{spec_from_json, spec_to_json};
+use amrio_check::CheckMode;
+
+type Mutation = Box<dyn Fn(&mut ExperimentSpec)>;
+
+fn base_spec() -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(PlatformId::IbmSp2, StrategyId::MpiIoOptimized, 16, 4);
+    s.cycles = 2;
+    s
+}
+
+/// A spec exercising every optional field, so round-trip tests cover
+/// the whole wire surface.
+fn rich_spec() -> ExperimentSpec {
+    let mut s = base_spec();
+    s.max_level = 3;
+    s.refine_threshold = 4.5;
+    s.seed = 0xDEAD_BEEF;
+    s.particle_fraction = 0.25;
+    s.check = CheckMode::Log;
+    s.probe = true;
+    s.dump_every = Some(1);
+    s.faults = Some(FaultSpec {
+        server_count: Some(8),
+        entries: vec![
+            FaultEntry::TransientErrors {
+                server: 0,
+                from_ns: 0,
+                until_ns: 1_000_000_000,
+                budget: 3,
+            },
+            FaultEntry::ServerSlowdown {
+                server: 1,
+                from_ns: 10,
+                until_ns: 2_000_000_000,
+                factor: 4.0,
+            },
+            FaultEntry::MessageDelays {
+                src: None,
+                dst: Some(2),
+                from_ns: 0,
+                until_ns: 500_000_000,
+                extra_ns: 200_000,
+                budget: 10,
+            },
+        ],
+    });
+    s.retry = Some(RetrySpec {
+        max_retries: 5,
+        backoff_ns: 1_000_000,
+        op_timeout_ns: Some(2_000_000_000),
+        failover: true,
+    });
+    s.advisory = Some(Advisory {
+        hints: Some(Hints::default()),
+        write_behind: Some(4 << 20),
+        app_stripe: Some(1 << 20),
+    });
+    s
+}
+
+/// The migration guarantee: a spec-built experiment produces exactly
+/// the run an imperatively-built one does — digest, virtual timings
+/// and byte counts included.
+#[test]
+fn spec_path_matches_imperative_path() {
+    let spec = base_spec();
+    let from_spec = Experiment::from_spec(&spec)
+        .expect("valid spec")
+        .run()
+        .report;
+
+    let platform = Platform::ibm_sp2(4);
+    let cfg = SimConfig::new(ProblemSize::Custom(16), 4);
+    let imperative = Experiment::new(&platform, &cfg, &MpiIoOptimized)
+        .cycles(2)
+        .run()
+        .report;
+
+    assert_eq!(from_spec.image_digest, imperative.image_digest);
+    assert_eq!(
+        from_spec.write_time.to_bits(),
+        imperative.write_time.to_bits()
+    );
+    assert_eq!(
+        from_spec.read_time.to_bits(),
+        imperative.read_time.to_bits()
+    );
+    assert_eq!(from_spec.bytes_written, imperative.bytes_written);
+    assert_eq!(from_spec.bytes_read, imperative.bytes_read);
+    assert!(from_spec.verified);
+}
+
+/// Cache-key soundness, miss direction: perturbing any single field
+/// must change the canonical digest (else distinct experiments could
+/// collide onto one cache entry by construction, not just by hash
+/// accident).
+#[test]
+fn any_single_field_perturbation_changes_digest() {
+    let base = base_spec().canonical_digest();
+    let perturbations: Vec<(&str, Mutation)> = vec![
+        (
+            "platform",
+            Box::new(|s| s.platform = PlatformId::Origin2000),
+        ),
+        (
+            "strategy",
+            Box::new(|s| s.strategy = StrategyId::Hdf4Serial),
+        ),
+        ("root_n", Box::new(|s| s.root_n = 24)),
+        ("nranks", Box::new(|s| s.nranks = 8)),
+        ("cycles", Box::new(|s| s.cycles = 3)),
+        ("max_level", Box::new(|s| s.max_level = 1)),
+        ("refine_threshold", Box::new(|s| s.refine_threshold = 6.0)),
+        ("seed", Box::new(|s| s.seed ^= 1)),
+        (
+            "particle_fraction",
+            Box::new(|s| s.particle_fraction = 0.75),
+        ),
+        ("check", Box::new(|s| s.check = CheckMode::Strict)),
+        ("probe", Box::new(|s| s.probe = true)),
+        ("dump_every", Box::new(|s| s.dump_every = Some(1))),
+        (
+            "faults",
+            Box::new(|s| {
+                s.faults = Some(FaultSpec {
+                    server_count: None,
+                    entries: vec![FaultEntry::Crash { at_ns: 1_000_000 }],
+                })
+            }),
+        ),
+        (
+            "retry",
+            Box::new(|s| {
+                s.retry = Some(RetrySpec {
+                    max_retries: 1,
+                    backoff_ns: 0,
+                    op_timeout_ns: None,
+                    failover: false,
+                })
+            }),
+        ),
+        (
+            "advisory",
+            Box::new(|s| {
+                s.advisory = Some(Advisory {
+                    hints: None,
+                    write_behind: Some(1 << 20),
+                    app_stripe: None,
+                })
+            }),
+        ),
+    ];
+    let mut seen = vec![base];
+    for (field, perturb) in perturbations {
+        let mut s = base_spec();
+        perturb(&mut s);
+        let d = s.canonical_digest();
+        assert!(
+            !seen.contains(&d),
+            "perturbing {field} did not produce a fresh digest"
+        );
+        seen.push(d);
+    }
+}
+
+/// Wire-format fixed point: encode → decode → re-encode reproduces the
+/// same bytes, and the decoded spec is canonically identical.
+#[test]
+fn json_round_trip_is_a_fixed_point() {
+    for spec in [base_spec(), rich_spec()] {
+        let enc = spec_to_json(&spec).encode();
+        let decoded = spec_from_json(&json::parse(&enc).expect("wire JSON parses"))
+            .expect("wire JSON decodes");
+        assert_eq!(decoded.canonical_string(), spec.canonical_string());
+        assert_eq!(decoded.canonical_digest(), spec.canonical_digest());
+        let re = spec_to_json(&decoded).encode();
+        assert_eq!(re, enc, "re-encode must reproduce the same bytes");
+    }
+}
+
+/// Field order on the wire is presentation, not meaning: any rotation
+/// of the top-level fields must decode to the same canonical digest.
+#[test]
+fn digest_is_stable_across_field_orderings() {
+    let spec = rich_spec();
+    let Json::Obj(fields) = spec_to_json(&spec) else {
+        panic!("spec encodes to an object");
+    };
+    let want = spec.canonical_digest();
+    for rot in 0..fields.len() {
+        let mut shuffled = fields.clone();
+        shuffled.rotate_left(rot);
+        let decoded = spec_from_json(&Json::Obj(shuffled)).expect("shuffled spec decodes");
+        assert_eq!(
+            decoded.canonical_digest(),
+            want,
+            "digest changed under field rotation {rot}"
+        );
+    }
+}
+
+/// The old builder panics are now typed, testable errors.
+#[test]
+fn invalid_specs_fail_with_typed_errors() {
+    let cases: Vec<(Mutation, &str)> = vec![
+        (Box::new(|s| s.nranks = 0), "zero-ranks"),
+        (Box::new(|s| s.dump_every = Some(0)), "zero-dump-every"),
+        (Box::new(|s| s.root_n = 0), "empty-root-grid"),
+        (Box::new(|s| s.nranks = 32768), "decomp-wider-than-grid"),
+        (
+            Box::new(|s| s.particle_fraction = -0.5),
+            "bad-particle-fraction",
+        ),
+        (
+            Box::new(|s| s.refine_threshold = f32::NAN),
+            "bad-refine-threshold",
+        ),
+        (Box::new(|s| s.max_level = 200), "max-level-too-deep"),
+    ];
+    for (mutate, kind) in cases {
+        let mut s = base_spec();
+        mutate(&mut s);
+        let err = s.validate().expect_err("must be rejected");
+        assert_eq!(err.kind(), kind);
+        assert!(
+            Experiment::from_spec(&s).is_err(),
+            "from_spec must reject what validate rejects ({kind})"
+        );
+    }
+    // And a valid spec sails through both.
+    assert!(base_spec().validate().is_ok());
+}
+
+/// Fault entries referencing servers beyond the platform's bound are
+/// rejected as typed fault errors, not runtime panics.
+#[test]
+fn fault_spec_server_bounds_are_checked() {
+    let mut s = base_spec();
+    s.faults = Some(FaultSpec {
+        server_count: Some(2),
+        entries: vec![FaultEntry::ServerFailure {
+            server: 7,
+            at_ns: 1,
+        }],
+    });
+    match s.validate() {
+        Err(SpecError::Fault(_)) => {}
+        other => panic!("expected SpecError::Fault, got {other:?}"),
+    }
+}
